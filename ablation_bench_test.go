@@ -1,0 +1,143 @@
+// Ablation benchmarks: measure the cost of the design choices DESIGN.md
+// calls out — concurrent vs serial constraint evaluation, the price of the
+// OCL profile-constraint pass relative to pure structural conformance, XML
+// vs JSON interchange, and the heavyweight (metaclass) vs lightweight
+// (stereotype query) element classification paths.
+package dqwebre_test
+
+import (
+	"fmt"
+	"testing"
+
+	idq "github.com/modeldriven/dqwebre/internal/dqwebre"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/uml"
+	"github.com/modeldriven/dqwebre/internal/validate"
+	"github.com/modeldriven/dqwebre/internal/webre"
+	"github.com/modeldriven/dqwebre/internal/xmi"
+)
+
+// newEngine assembles the full validation stack for a model.
+func newEngine(rm *idq.RequirementsModel) *validate.Engine {
+	eng := validate.New(rm.Model)
+	for _, r := range idq.Rules() {
+		eng.AddRules(validate.Rule{ID: r.ID, Class: r.Class, Expr: r.Expr, Doc: r.Doc})
+	}
+	eng.AddProfileConstraints(idq.Profile())
+	return eng
+}
+
+// BenchmarkAblationValidationWorkers compares serial and concurrent rule
+// evaluation on a mid-sized model.
+func BenchmarkAblationValidationWorkers(b *testing.B) {
+	rm := syntheticModel(b, 200)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := newEngine(rm).SetWorkers(workers).Run()
+				if !rep.OK() {
+					b.Fatal("model invalid")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationValidationPasses isolates the three validation passes:
+// structural conformance only, metamodel OCL rules only, and the full
+// stack with profile constraints.
+func BenchmarkAblationValidationPasses(b *testing.B) {
+	rm := syntheticModel(b, 200)
+	b.Run("conformance-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if vs := metamodel.CheckConformance(rm.Model.Model); len(vs) != 0 {
+				b.Fatal("violations")
+			}
+		}
+	})
+	b.Run("metamodel-rules-only", func(b *testing.B) {
+		eng := validate.New(rm.Model).SkipConformance()
+		for _, r := range idq.Rules() {
+			eng.AddRules(validate.Rule{ID: r.ID, Class: r.Class, Expr: r.Expr, Doc: r.Doc})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rep := eng.Run(); !rep.OK() {
+				b.Fatal("violations")
+			}
+		}
+	})
+	b.Run("full-stack", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if rep := newEngine(rm).Run(); !rep.OK() {
+				b.Fatal("violations")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSerializationFormat compares the XML and JSON
+// interchange forms on the same model.
+func BenchmarkAblationSerializationFormat(b *testing.B) {
+	rm := syntheticModel(b, 200)
+	b.Run("xml", func(b *testing.B) {
+		data, err := xmi.Marshal(rm.Model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := xmi.Marshal(rm.Model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := xmi.Unmarshal(out, xmiOpts()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("json", func(b *testing.B) {
+		data, err := xmi.MarshalJSON(rm.Model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := xmi.MarshalJSON(rm.Model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := xmi.UnmarshalJSON(out, xmiOpts()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func xmiOpts() xmi.Options {
+	return xmi.Options{Profiles: []*uml.Profile{webre.Profile(), idq.Profile()}}
+}
+
+// BenchmarkAblationClassificationPath compares finding all DQ requirements
+// via the heavyweight metaclass extent vs the lightweight stereotype scan.
+func BenchmarkAblationClassificationPath(b *testing.B) {
+	rm := syntheticModel(b, 200)
+	b.Run("metaclass-extent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			objs, err := rm.Model.AllInstancesOf(idq.MetaDQRequirement)
+			if err != nil || len(objs) == 0 {
+				b.Fatal("no requirements")
+			}
+		}
+	})
+	b.Run("stereotype-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			objs := rm.Model.StereotypedBy(idq.MetaDQRequirement)
+			if len(objs) == 0 {
+				b.Fatal("no requirements")
+			}
+		}
+	})
+}

@@ -1,0 +1,224 @@
+// Command dqreport regenerates every table and figure of the paper from
+// the implemented system:
+//
+//	Table 1  — ISO/IEC 25012 characteristics      (internal/iso25012)
+//	Table 2  — WebRE metamodel elements           (internal/webre)
+//	Table 3  — DQ_WebRE stereotype specification  (internal/dqwebre)
+//	Fig. 1   — extended metamodel                 (PlantUML + DOT)
+//	Figs 2-5 — profile stereotype diagrams
+//	Fig. 6   — EasyChair use-case diagram with DQ requirements
+//	Fig. 7   — EasyChair activity diagram with DQ management
+//
+// Usage:
+//
+//	dqreport -all                  # print everything to stdout
+//	dqreport -table 3              # one table
+//	dqreport -figure 6             # one figure (PlantUML)
+//	dqreport -figure 6 -format dot # one figure (Graphviz DOT)
+//	dqreport -all -out artifacts/  # write files instead of stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/modeldriven/dqwebre/internal/diagram"
+	"github.com/modeldriven/dqwebre/internal/dqwebre"
+	"github.com/modeldriven/dqwebre/internal/easychair"
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/webre"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-3)")
+	figure := flag.Int("figure", 0, "regenerate one figure (1-7)")
+	all := flag.Bool("all", false, "regenerate everything")
+	format := flag.String("format", "plantuml", "figure format: plantuml or dot")
+	out := flag.String("out", "", "write artifacts to this directory instead of stdout")
+	flag.Parse()
+
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	emit := func(name, content string) {
+		if *out == "" {
+			fmt.Printf("===== %s =====\n%s\n", name, content)
+			return
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
+	}
+
+	tables := map[int]func() (string, string){
+		1: func() (string, string) { return "table1_iso25012.txt", Table1() },
+		2: func() (string, string) { return "table2_webre.txt", Table2() },
+		3: func() (string, string) { return "table3_dqwebre_profile.txt", Table3() },
+	}
+	ext := ".puml"
+	if *format == "dot" {
+		ext = ".dot"
+	}
+	figures := map[int]func() (string, string){
+		1: func() (string, string) { return "fig1_extended_metamodel" + ext, Figure1(*format) },
+		2: func() (string, string) { return "fig2_usecase_stereotypes" + ext, FigureProfile(*format, 2) },
+		3: func() (string, string) { return "fig3_activity_stereotype" + ext, FigureProfile(*format, 3) },
+		4: func() (string, string) { return "fig4_class_stereotypes" + ext, FigureProfile(*format, 4) },
+		5: func() (string, string) { return "fig5_requirement_stereotype" + ext, FigureProfile(*format, 5) },
+		6: func() (string, string) { return "fig6_easychair_usecases" + ext, Figure6(*format) },
+		7: func() (string, string) { return "fig7_easychair_activity" + ext, Figure7(*format) },
+	}
+
+	run := func(n int, m map[int]func() (string, string), kind string) {
+		f, ok := m[n]
+		if !ok {
+			fatal(fmt.Errorf("no %s %d", kind, n))
+		}
+		name, content := f()
+		emit(name, content)
+	}
+
+	switch {
+	case *all:
+		for i := 1; i <= 3; i++ {
+			run(i, tables, "table")
+		}
+		for i := 1; i <= 7; i++ {
+			run(i, figures, "figure")
+		}
+	case *table != 0:
+		run(*table, tables, "table")
+	case *figure != 0:
+		run(*figure, figures, "figure")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dqreport:", err)
+	os.Exit(1)
+}
+
+// Table1 renders the ISO/IEC 25012 catalog in the paper's Table 1 layout.
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("Table 1  Data Quality characteristics proposed by the ISO/IEC 25012 standard\n\n")
+	last := iso25012.Category(-1)
+	for _, d := range iso25012.All() {
+		if d.Category != last {
+			fmt.Fprintf(&b, "%s\n", d.Category)
+			last = d.Category
+		}
+		fmt.Fprintf(&b, "  %-18s %s\n", d.Name, d.Text)
+	}
+	return b.String()
+}
+
+// Table2 renders the WebRE element catalog in the paper's Table 2 layout.
+func Table2() string {
+	var b strings.Builder
+	b.WriteString("Table 2  Elements of WebRE metamodel\n\n")
+	for _, row := range webre.Table2() {
+		fmt.Fprintf(&b, "  %-16s %s\n", row.Element, row.Description)
+	}
+	return b.String()
+}
+
+// Table3 renders the stereotype specification in the paper's Table 3
+// layout, enriched with the machine-checked OCL of each constraint.
+func Table3() string {
+	p := dqwebre.Profile()
+	var b strings.Builder
+	b.WriteString("Table 3  Stereotype specification for DQ software requirements in DQ_WebRE profile\n\n")
+	for _, row := range dqwebre.Table3() {
+		fmt.Fprintf(&b, "«%s»\n", row.Name)
+		fmt.Fprintf(&b, "  Base class:    %s\n", row.BaseClass)
+		fmt.Fprintf(&b, "  Description:   %s\n", row.Description)
+		cons := row.Constraints
+		if cons == "" {
+			cons = "(none)"
+		}
+		fmt.Fprintf(&b, "  Constraints:   %s\n", cons)
+		fmt.Fprintf(&b, "  Tagged values: %s\n", row.TaggedValues)
+		if s, ok := p.Stereotype(row.Name); ok {
+			for _, c := range s.Constraints() {
+				fmt.Fprintf(&b, "  OCL:           %s\n", c.OCL)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure1 renders the extended metamodel (paper Fig. 1).
+func Figure1(format string) string {
+	title := "Fig. 1 Extended metamodel with DQ elements"
+	// The figure shows the DQ extension plus its WebRE/UML anchors; the
+	// filter keeps the drawing readable as in the paper.
+	filter := func(c *metamodel.Class) bool {
+		switch c.Package().Name() {
+		case "Behavior", "Structure":
+			return true
+		}
+		return false
+	}
+	if format == "dot" {
+		return diagram.MetamodelDOT(dqwebre.Metamodel(), title, filter)
+	}
+	return diagram.MetamodelPlantUML(dqwebre.Metamodel(), title, filter)
+}
+
+// FigureProfile renders the profile fragments of the paper's Figs. 2-5.
+func FigureProfile(format string, fig int) string {
+	p := dqwebre.Profile()
+	var title string
+	var names []string
+	switch fig {
+	case 2:
+		title = "Fig. 2 New Use cases elements defined in DQ_WebRE profile"
+		names = []string{dqwebre.MetaInformationCase, dqwebre.MetaDQRequirement}
+	case 3:
+		title = "Fig. 3 New Activity element defined in DQ_WebRE profile"
+		names = []string{dqwebre.MetaAddDQMetadata}
+	case 4:
+		title = "Fig. 4 New Class elements defined in DQ_WebRE profile"
+		names = []string{dqwebre.MetaDQMetadata, dqwebre.MetaDQValidator, dqwebre.MetaDQConstraint}
+	case 5:
+		title = "Fig. 5 New Requirement and Actor element defined in DQ_WebRE profile"
+		names = []string{dqwebre.MetaDQReqSpecification}
+	}
+	if format == "dot" {
+		return diagram.ProfileDOT(p, title, names...)
+	}
+	return diagram.ProfilePlantUML(p, title, names...)
+}
+
+// Figure6 renders the EasyChair use-case diagram (paper Fig. 6).
+func Figure6(format string) string {
+	e := easychair.MustBuildModel()
+	title := "Fig. 6 Use case diagram specifying DQ requirements"
+	if format == "dot" {
+		return diagram.UseCaseDOT(e.Model.Model, title)
+	}
+	return diagram.UseCasePlantUML(e.Model.Model, title)
+}
+
+// Figure7 renders the EasyChair activity diagram (paper Fig. 7).
+func Figure7(format string) string {
+	e := easychair.MustBuildModel()
+	title := "Fig. 7 Activity diagram with Data Quality management"
+	if format == "dot" {
+		return diagram.ActivityDOT(e.Model.Model, e.Activity, title)
+	}
+	return diagram.ActivityPlantUML(e.Model.Model, e.Activity, title)
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1MatchesPaperLayout(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{
+		"Table 1", "Inherent", "Inherent and System dependent", "System dependent",
+		"Accuracy", "Recoverability",
+		"The degree to which data have attributes that provide an audit trail",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 lacks %q", want)
+		}
+	}
+	// 15 characteristic rows.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "  ") && strings.Contains(line, "The degree") {
+			rows++
+		}
+	}
+	if rows != 15 {
+		t.Errorf("Table 1 rows = %d, want 15", rows)
+	}
+}
+
+func TestTable2MatchesPaperLayout(t *testing.T) {
+	out := Table2()
+	for _, want := range []string{"WebUser", "Navigation", "WebProcess", "Browse", "Search", "UserTransaction", "Node", "Content", "WebUI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 lacks %q", want)
+		}
+	}
+}
+
+func TestTable3IncludesOCL(t *testing.T) {
+	out := Table3()
+	for _, want := range []string{
+		"«InformationCase»", "«DQConstraint»",
+		"Base class:    UseCase",
+		"Tagged values: DQConstraint: set (String). upper_bound: Integer. lower_bound: Integer",
+		"OCL:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 lacks %q", want)
+		}
+	}
+}
+
+func TestFiguresRenderInBothFormats(t *testing.T) {
+	figs := []struct {
+		name string
+		gen  func(string) string
+		puml string
+		dot  string
+	}{
+		{"fig1", Figure1, "class InformationCase", "digraph"},
+		{"fig6", Figure6, "«InformationCase»", "digraph"},
+		{"fig7", Figure7, "«Add_DQ_Metadata»", "subgraph cluster_0"},
+	}
+	for _, f := range figs {
+		if out := f.gen("plantuml"); !strings.Contains(out, f.puml) {
+			t.Errorf("%s plantuml lacks %q", f.name, f.puml)
+		}
+		if out := f.gen("dot"); !strings.Contains(out, f.dot) {
+			t.Errorf("%s dot lacks %q", f.name, f.dot)
+		}
+	}
+	for fig := 2; fig <= 5; fig++ {
+		out := FigureProfile("plantuml", fig)
+		if !strings.Contains(out, "<<stereotype>>") {
+			t.Errorf("figure %d lacks stereotypes", fig)
+		}
+		if dot := FigureProfile("dot", fig); !strings.Contains(dot, "digraph") {
+			t.Errorf("figure %d dot malformed", fig)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Command dqwebre is the analyst CLI for DQ_WebRE models: validate models,
+// render diagrams, run the DQR→DQSR (and onward design) transformations
+// and generate code. Models travel as the library's XMI-flavoured XML (or
+// JSON), produced by the `demo` subcommand or any program using the
+// library.
+//
+// Usage:
+//
+//	dqwebre demo > easychair.xml           # emit the case-study model
+//	dqwebre validate easychair.xml         # conformance + Table 3 constraints
+//	dqwebre diagram -kind usecase easychair.xml
+//	dqwebre diagram -kind activity easychair.xml
+//	dqwebre transform easychair.xml        # DQR → DQSR summary
+//	dqwebre transform -design easychair.xml
+//	dqwebre codegen -kind sql easychair.xml
+//	dqwebre stats easychair.xml
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/modeldriven/dqwebre/internal/cli"
+)
+
+func main() {
+	if err := cli.Run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dqwebre:", err)
+		os.Exit(1)
+	}
+}

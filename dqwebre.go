@@ -1,0 +1,123 @@
+// Package dqwebre is the public facade of the DQ_WebRE library: capturing
+// Data Quality (DQ) requirements for web applications by means of an
+// extended web-requirements metamodel and a UML profile, after
+// Guerra-García, Caballero & Piattini.
+//
+// The library reproduces the paper's two artifacts and everything around
+// them:
+//
+//   - Metamodel() — the WebRE metamodel extended with seven DQ metaclasses
+//     (paper Fig. 1), built on a reflective metamodeling kernel.
+//   - Profile() — the DQ_WebRE UML profile: stereotypes, tagged values and
+//     machine-checked OCL constraints (paper Table 3, Figs. 2–5).
+//   - NewRequirementsModel() — the analyst API for drawing DQ-aware
+//     use-case and activity diagrams (paper Figs. 6–7).
+//   - Validate — structural conformance + metamodel rules + profile
+//     constraints, with diagnostics.
+//   - TransformToDQSR / EnrichWithDQ — the QVT-style transformations the
+//     paper names as future work.
+//   - BuildEnforcer — turns a DQSR model into executable runtime checks
+//     (completeness, precision, accuracy) and metadata capture
+//     (traceability, confidentiality).
+//
+// A complete worked example — the paper's EasyChair case study — lives in
+// internal/easychair, runnable via cmd/easychair; the paper's tables and
+// figures regenerate via cmd/dqreport.
+package dqwebre
+
+import (
+	"github.com/modeldriven/dqwebre/internal/dqruntime"
+	idqwebre "github.com/modeldriven/dqwebre/internal/dqwebre"
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/transform"
+	"github.com/modeldriven/dqwebre/internal/uml"
+	"github.com/modeldriven/dqwebre/internal/validate"
+	"github.com/modeldriven/dqwebre/internal/webre"
+	"github.com/modeldriven/dqwebre/internal/xmi"
+)
+
+// RequirementsModel is the analyst-facing model type; see the methods on
+// the internal type for the full builder API.
+type RequirementsModel = idqwebre.RequirementsModel
+
+// RequirementInfo summarizes one captured DQ requirement.
+type RequirementInfo = idqwebre.RequirementInfo
+
+// Characteristic is an ISO/IEC 25012 data quality characteristic.
+type Characteristic = iso25012.Characteristic
+
+// The fifteen ISO/IEC 25012 characteristics (paper Table 1).
+const (
+	Accuracy          = iso25012.Accuracy
+	Completeness      = iso25012.Completeness
+	Consistency       = iso25012.Consistency
+	Credibility       = iso25012.Credibility
+	Currentness       = iso25012.Currentness
+	Accessibility     = iso25012.Accessibility
+	Compliance        = iso25012.Compliance
+	Confidentiality   = iso25012.Confidentiality
+	Efficiency        = iso25012.Efficiency
+	Precision         = iso25012.Precision
+	Traceability      = iso25012.Traceability
+	Understandability = iso25012.Understandability
+	Availability      = iso25012.Availability
+	Portability       = iso25012.Portability
+	Recoverability    = iso25012.Recoverability
+)
+
+// Record is one unit of user-entered data handed to runtime checks.
+type Record = dqruntime.Record
+
+// Enforcer executes DQ software requirements at application runtime.
+type Enforcer = dqruntime.Enforcer
+
+// Report is a validation report with diagnostics.
+type Report = validate.Report
+
+// Model is the profiled model type underlying RequirementsModel.
+type Model = uml.Model
+
+// Trace is the source→target mapping produced by a transformation run.
+type Trace = transform.Trace
+
+// NewRequirementsModel creates an empty DQ_WebRE requirements model with
+// the profile applied.
+func NewRequirementsModel(name string) *RequirementsModel {
+	return idqwebre.NewRequirementsModel(name)
+}
+
+// Metamodel returns the DQ_WebRE extended metamodel (paper Fig. 1).
+func Metamodel() *metamodel.Package { return idqwebre.Metamodel() }
+
+// Profile returns the DQ_WebRE UML profile (paper Table 3).
+func Profile() *uml.Profile { return idqwebre.Profile() }
+
+// TransformToDQSR runs the DQR→DQSR transformation (paper §5) on a
+// requirements model, returning the DQSR model and its trace.
+func TransformToDQSR(rm *RequirementsModel) (*Model, *Trace, error) {
+	return transform.RunDQR2DQSR(rm)
+}
+
+// EnrichWithDQ proactively adds an InformationCase (with one DQ requirement
+// per characteristic) to every WebProcess lacking one; it returns the
+// number of InformationCases added.
+func EnrichWithDQ(rm *RequirementsModel, dims []Characteristic) (int, error) {
+	return transform.EnrichWithDQ(rm, dims)
+}
+
+// BuildEnforcer assembles runtime DQ enforcement from a DQSR model.
+func BuildEnforcer(dqsr *Model) (*Enforcer, error) {
+	return dqruntime.BuildFromDQSR(dqsr)
+}
+
+// MarshalXMI serializes a model to the XMI-flavoured XML interchange form.
+func MarshalXMI(m *Model) ([]byte, error) { return xmi.Marshal(m) }
+
+// UnmarshalXMI reconstructs a DQ_WebRE model from its XMI form. The
+// DQ_WebRE profile is supplied automatically.
+func UnmarshalXMI(data []byte) (*Model, error) {
+	return xmi.Unmarshal(data, xmi.Options{Profiles: []*uml.Profile{
+		webre.Profile(), idqwebre.Profile(),
+	}})
+}

@@ -1,0 +1,116 @@
+package dqwebre_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/modeldriven/dqwebre"
+)
+
+// TestFacadePipeline exercises the whole public API surface: model →
+// validate → transform → enforce → serialize → deserialize.
+func TestFacadePipeline(t *testing.T) {
+	rm := dqwebre.NewRequirementsModel("facade")
+	user := rm.WebUser("u")
+	proc := rm.WebProcess("do things", user)
+	content := rm.Content("things", "name", "amount_level")
+	ic := rm.InformationCase("manage things", proc, content)
+	req := rm.DQRequirement("things are complete", dqwebre.Completeness, ic)
+	rm.Specify(req, 1, "all thing fields present")
+	if err := rm.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := rm.Validate()
+	if !rep.OK() {
+		t.Fatalf("validation failed: %v", rep.Errors())
+	}
+
+	dqsr, trace, err := dqwebre.TransformToDQSR(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Links) == 0 {
+		t.Fatal("no trace links")
+	}
+
+	enf, err := dqwebre.BuildEnforcer(dqsr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enf.CheckInput(dqwebre.Record{"name": "x", "amount_level": "3"}).Passed() {
+		t.Fatal("complete record rejected")
+	}
+	if enf.CheckInput(dqwebre.Record{}).Passed() {
+		t.Fatal("empty record accepted")
+	}
+
+	data, err := dqwebre.MarshalXMI(rm.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dqwebre.UnmarshalXMI(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rm.Len() {
+		t.Fatalf("round trip: %d vs %d elements", back.Len(), rm.Len())
+	}
+}
+
+func TestFacadeEnrich(t *testing.T) {
+	rm := dqwebre.NewRequirementsModel("enrich")
+	u := rm.WebUser("u")
+	rm.WebProcess("p1", u)
+	rm.WebProcess("p2", u)
+	if err := rm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	added, err := dqwebre.EnrichWithDQ(rm, []dqwebre.Characteristic{dqwebre.Accuracy})
+	if err != nil || added != 2 {
+		t.Fatalf("added=%d err=%v", added, err)
+	}
+	if !rm.Validate().OK() {
+		t.Fatal("enriched model invalid")
+	}
+}
+
+func TestFacadeMetamodelAndProfile(t *testing.T) {
+	if dqwebre.Metamodel().Name() != "DQ_WebRE" {
+		t.Fatal("metamodel name")
+	}
+	p := dqwebre.Profile()
+	if p.Name() != "DQ_WebRE" || len(p.Stereotypes()) != 7 {
+		t.Fatal("profile shape")
+	}
+}
+
+// TestFacadeCharacteristics pins the re-exported constant set.
+func TestFacadeCharacteristics(t *testing.T) {
+	all := []dqwebre.Characteristic{
+		dqwebre.Accuracy, dqwebre.Completeness, dqwebre.Consistency,
+		dqwebre.Credibility, dqwebre.Currentness, dqwebre.Accessibility,
+		dqwebre.Compliance, dqwebre.Confidentiality, dqwebre.Efficiency,
+		dqwebre.Precision, dqwebre.Traceability, dqwebre.Understandability,
+		dqwebre.Availability, dqwebre.Portability, dqwebre.Recoverability,
+	}
+	seen := map[dqwebre.Characteristic]bool{}
+	for _, c := range all {
+		if string(c) == "" || seen[c] {
+			t.Fatalf("bad characteristic %q", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) != 15 {
+		t.Fatalf("constants = %d", len(seen))
+	}
+}
+
+func TestFacadeUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := dqwebre.UnmarshalXMI([]byte("<not-xmi")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := dqwebre.UnmarshalXMI([]byte(strings.Repeat("x", 10))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,105 @@
+// E-commerce: DQ requirements for an online store's checkout — the kind of
+// business-intelligence-feeding web application the paper's introduction
+// motivates. Shows proactive enrichment (EnrichWithDQ), custom runtime
+// checks (accuracy, consistency, currentness) and SQL schema generation.
+//
+//	go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/modeldriven/dqwebre"
+	"github.com/modeldriven/dqwebre/internal/codegen"
+	"github.com/modeldriven/dqwebre/internal/dqruntime"
+)
+
+func main() {
+	// A plain web requirements model: three WebProcesses, no DQ yet.
+	rm := dqwebre.NewRequirementsModel("webshop")
+	shopper := rm.WebUser("shopper")
+	checkout := rm.WebProcess("Checkout order", shopper)
+	rm.WebProcess("Track shipment", shopper)
+	rm.WebProcess("Manage wishlist", shopper)
+
+	order := rm.Content("order data",
+		"customer_email", "shipping_address", "card_expiry", "item_count")
+	ic := rm.InformationCase("Store order data", checkout, order)
+	accuracy := rm.DQRequirement("customer email is syntactically valid", dqwebre.Accuracy, ic)
+	rm.Specify(accuracy, 1, "Validate the email shape before accepting the order.")
+	if err := rm.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Proactive customization: every uncovered WebProcess gains an
+	// InformationCase with Completeness + Currentness requirements.
+	added, err := dqwebre.EnrichWithDQ(rm, []dqwebre.Characteristic{
+		dqwebre.Completeness, dqwebre.Currentness,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enriched %d web processes with default DQ requirements\n", added)
+
+	report := rm.Validate()
+	fmt.Printf("validation: %d checks, OK=%v\n\n", report.Checked, report.OK())
+
+	infos, _ := rm.DQRequirements()
+	for _, info := range infos {
+		fmt.Printf("  [%s] %s\n", info.Dimension, info.Name)
+	}
+
+	// Runtime: the generated enforcer plus handwritten domain checks.
+	dqsr, _, err := dqwebre.TransformToDQSR(rm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enforcer, err := dqwebre.BuildEnforcer(dqsr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enforcer.Validator().Add(
+		dqruntime.ConsistencyCheck{
+			Rule: "an order with items needs a shipping address",
+			Predicate: func(r dqruntime.Record) bool {
+				return !(r["item_count"] != "" && r["item_count"] != "0" && r["shipping_address"] == "")
+			},
+		},
+		dqruntime.CurrentnessCheck{
+			Field:    "card_expiry",
+			MaxAge:   0, // expiry must be in the future: age <= 0
+			Optional: true,
+		},
+	)
+
+	orders := []dqruntime.Record{
+		{
+			"customer_email":   "pat@example.com",
+			"shipping_address": "1 Main St",
+			"card_expiry":      time.Now().Add(24 * time.Hour).Format(time.RFC3339),
+			"item_count":       "2",
+		},
+		{
+			"customer_email": "not-an-email",
+			"item_count":     "3",
+		},
+	}
+	fmt.Println("\ncheckout validation:")
+	for i, o := range orders {
+		rep := enforcer.CheckInput(o)
+		fmt.Printf("  order %d: passed=%v\n", i+1, rep.Passed())
+		for _, f := range rep.Failures() {
+			fmt.Printf("    %s\n", f)
+		}
+	}
+
+	// Generate the storage schema with DQ metadata columns.
+	ddl, err := codegen.SQLDDL(rm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ngenerated schema:")
+	fmt.Print(ddl)
+}

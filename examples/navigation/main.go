@@ -1,0 +1,41 @@
+// Navigation: the WebRE half the paper's case study leaves implicit — how
+// a PC member *reaches* the review form. Builds the navigation view
+// (Navigation, Browse, Search, Node per Table 2), validates it against the
+// WebRE well-formedness rules and prints the navigation path.
+//
+//	go run ./examples/navigation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/modeldriven/dqwebre/internal/easychair"
+)
+
+func main() {
+	n, err := easychair.BuildNavigationModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := n.Model.Validate()
+	fmt.Printf("navigation model: %d elements, %d checks, well-formed=%v\n\n",
+		n.Model.Len(), rep.Checked, rep.OK())
+
+	fmt.Printf("«Navigation» %s\n", n.Navigation.GetString("name"))
+	for i, b := range n.Navigation.GetRefs("browses") {
+		kind := b.Class().Name()
+		src := b.GetRef("source").GetString("name")
+		dst := b.GetRef("target").GetString("name")
+		fmt.Printf("  %d. «%s» %s: %s → %s\n", i+1, kind, b.GetString("name"), src, dst)
+		if kind == "Search" {
+			params := b.GetList("parameters")
+			fmt.Printf("     parameters: %v, over «Content» %s\n",
+				params, b.GetRef("queriedContent").GetString("name"))
+		}
+	}
+	fmt.Printf("target node: %s\n", n.Navigation.GetRef("targetNode").GetString("name"))
+	if ui := n.ReviewForm.GetRef("ui"); ui != nil {
+		fmt.Printf("presented by «WebUI» %s\n", ui.GetString("name"))
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: capture a DQ requirement, validate the model, transform it
+// to software requirements, and enforce them on live input — the whole
+// DQ_WebRE pipeline in one page.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/modeldriven/dqwebre"
+)
+
+func main() {
+	// 1. Model the web functionality (a WebRE WebProcess) and the data it
+	//    manages.
+	rm := dqwebre.NewRequirementsModel("guestbook")
+	visitor := rm.WebUser("visitor")
+	sign := rm.WebProcess("Sign the guestbook", visitor)
+	entry := rm.Content("guestbook entry", "author_name", "email_address", "message")
+
+	// 2. Capture the DQ requirements on an «InformationCase» (paper Fig. 6).
+	ic := rm.InformationCase("Store guestbook entries", sign, entry)
+	complete := rm.DQRequirement("all entry fields are filled", dqwebre.Completeness, ic)
+	rm.Specify(complete, 1, "Reject entries with blank author, email or message.")
+	traced := rm.DQRequirement("entries are traceable", dqwebre.Traceability, ic)
+	rm.Specify(traced, 2, "Record who stored each entry and when.")
+	if err := rm.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Validate: structural conformance + Table 3 profile constraints.
+	report := rm.Validate()
+	fmt.Printf("validation: %d checks, OK=%v\n", report.Checked, report.OK())
+
+	// 4. Transform DQR → DQSR (the paper's future-work QVT step).
+	dqsr, trace, err := dqwebre.TransformToDQSR(rm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transformation: %d elements, %d trace links\n", dqsr.Len(), len(trace.Links))
+
+	// 5. Enforce at runtime.
+	enforcer, err := dqwebre.BuildEnforcer(dqsr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	good := dqwebre.Record{"author_name": "Ada", "email_address": "ada@example.org", "message": "hi!"}
+	bad := dqwebre.Record{"author_name": "Ada"}
+	fmt.Printf("good entry passes: %v\n", enforcer.CheckInput(good).Passed())
+	fmt.Printf("bad entry passes:  %v\n", enforcer.CheckInput(bad).Passed())
+	for _, f := range enforcer.CheckInput(bad).Failures() {
+		fmt.Printf("  %s\n", f)
+	}
+
+	// Traceability in action.
+	enforcer.OnStore("entry/1", "ada", 0, nil)
+	enforcer.OnModify("entry/1", "moderator")
+	for _, e := range enforcer.Store().Audit("entry/1") {
+		fmt.Println(" ", e)
+	}
+
+	// 6. Ship the model to teammates as XMI.
+	data, err := dqwebre.MarshalXMI(rm.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("XMI: %d bytes\n", len(data))
+}

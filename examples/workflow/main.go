@@ -1,0 +1,93 @@
+// Workflow: executes the paper's Fig. 7 activity diagram as a live
+// workflow. The model is not documentation — the interpreter walks the
+// activity graph, the «UserTransaction» steps fill the review record, the
+// «Add_DQ_Metadata» steps call into the runtime enforcer, and the decision
+// node loops until the record passes every DQ check.
+//
+//	go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/modeldriven/dqwebre"
+	"github.com/modeldriven/dqwebre/internal/activity"
+	"github.com/modeldriven/dqwebre/internal/easychair"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+)
+
+func main() {
+	e := easychair.MustBuildModel()
+	dqsr, _, err := dqwebre.TransformToDQSR(e.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enforcer, err := dqwebre.BuildEnforcer(dqsr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The reviewer's two attempts: the first is incomplete with a bad
+	// score; the [no: fix input] loop supplies the corrected one.
+	attempts := []dqwebre.Record{
+		{"first_name": "Grace", "overall_evaluation": "9"},
+		{
+			"first_name": "Grace", "last_name": "Hopper",
+			"email_address":      "grace@navy.mil",
+			"overall_evaluation": "2", "reviewer_confidence": "4",
+		},
+	}
+	attempt := 0
+	record := attempts[attempt]
+
+	hooks := activity.Hooks{
+		OnUserTransaction: func(n *metamodel.Object) error {
+			fmt.Printf("  «UserTransaction» %s\n", n.GetString("name"))
+			return nil
+		},
+		OnAddDQMetadata: func(n *metamodel.Object) error {
+			fmt.Printf("  «Add_DQ_Metadata» %s\n", n.GetString("name"))
+			if store := n.GetRef("metadata"); store != nil &&
+				strings.Contains(store.GetString("name"), "traceability") {
+				enforcer.OnStore("review/1", "grace", 2, []string{"chair"})
+			}
+			return nil
+		},
+		Decide: func(n *metamodel.Object, guards []string) (int, error) {
+			rep := enforcer.CheckInput(record)
+			fmt.Printf("  <decision> %s: passed=%v\n", n.GetString("name"), rep.Passed())
+			for _, f := range rep.Failures() {
+				fmt.Printf("      %s\n", f)
+			}
+			for i, g := range guards {
+				if rep.Passed() && g == "yes" {
+					return i, nil
+				}
+				if !rep.Passed() && strings.HasPrefix(g, "no") {
+					attempt++
+					record = attempts[attempt]
+					fmt.Println("  → looping back with corrected input")
+					return i, nil
+				}
+			}
+			return 0, fmt.Errorf("no guard matched")
+		},
+	}
+
+	it, err := activity.New(e.Model.Model, e.Activity, hooks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executing activity %q\n", e.Activity.GetString("name"))
+	trace, err := it.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompleted in %d steps\n", len(trace))
+	fmt.Println("\naudit trail captured during execution:")
+	for _, entry := range enforcer.Store().Audit("review/1") {
+		fmt.Printf("  %s\n", entry)
+	}
+}

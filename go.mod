@@ -1,0 +1,3 @@
+module github.com/modeldriven/dqwebre
+
+go 1.22

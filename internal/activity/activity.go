@@ -1,0 +1,222 @@
+// Package activity interprets UML activity graphs: token flow from the
+// initial node through actions, decisions, merges, forks and joins to the
+// final node, with application-supplied hooks for the stereotyped node
+// kinds of the paper's Fig. 7 (UserTransaction, Add_DQ_Metadata).
+//
+// This makes the paper's activity diagram executable: the EasyChair model's
+// "Add new review to submission" activity can be run as a workflow whose
+// DQ activities call straight into the dqruntime enforcer — the diagrams
+// are not just documentation.
+package activity
+
+import (
+	"fmt"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+// Hooks supplies behaviour for the node kinds an activity can contain.
+// Nil hooks make the corresponding nodes no-ops (still traced).
+type Hooks struct {
+	// OnUserTransaction runs for WebRE «UserTransaction» nodes.
+	OnUserTransaction func(node *metamodel.Object) error
+	// OnAddDQMetadata runs for «Add_DQ_Metadata» nodes.
+	OnAddDQMetadata func(node *metamodel.Object) error
+	// OnAction runs for any other executable node kind.
+	OnAction func(node *metamodel.Object) error
+	// Decide resolves a decision node: it receives the node and the guards
+	// of its outgoing edges (in edge order; unguarded edges contribute "")
+	// and returns the index of the edge to follow. Required when the
+	// activity contains a decision node with more than one outgoing edge.
+	Decide func(node *metamodel.Object, guards []string) (int, error)
+}
+
+// Step records one executed node.
+type Step struct {
+	// Node is the executed node.
+	Node *metamodel.Object
+	// Kind is the node's metaclass name.
+	Kind string
+	// Name is the node's name ("" for control nodes).
+	Name string
+	// Guard is the guard of the edge taken to leave a decision node.
+	Guard string
+}
+
+// String renders the step for logs.
+func (s Step) String() string {
+	if s.Name == "" {
+		return s.Kind
+	}
+	if s.Guard != "" {
+		return fmt.Sprintf("%s %q [%s]", s.Kind, s.Name, s.Guard)
+	}
+	return fmt.Sprintf("%s %q", s.Kind, s.Name)
+}
+
+// Trace is the ordered list of executed steps.
+type Trace []Step
+
+// Names returns the names of the named steps, in order.
+func (t Trace) Names() []string {
+	var out []string
+	for _, s := range t {
+		if s.Name != "" {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// Interpreter executes one activity of a model.
+type Interpreter struct {
+	model    *uml.Model
+	activity *metamodel.Object
+	hooks    Hooks
+	// MaxSteps bounds execution (loops are legal); default 10_000.
+	MaxSteps int
+}
+
+// New creates an interpreter for the given activity element.
+func New(m *uml.Model, activity *metamodel.Object, hooks Hooks) (*Interpreter, error) {
+	if m == nil || activity == nil {
+		return nil, fmt.Errorf("activity: nil model or activity")
+	}
+	if !activity.IsA(uml.MustClass(uml.MetaActivity)) {
+		return nil, fmt.Errorf("activity: %s is not an Activity", activity.Label())
+	}
+	return &Interpreter{model: m, activity: activity, hooks: hooks, MaxSteps: 10_000}, nil
+}
+
+// Run executes the activity from its initial node to an activity-final
+// node, returning the execution trace.
+func (it *Interpreter) Run() (Trace, error) {
+	nodes := it.activity.GetRefs("nodes")
+	edges := it.activity.GetRefs("edges")
+
+	outgoing := map[*metamodel.Object][]*metamodel.Object{}
+	for _, e := range edges {
+		src := e.GetRef("source")
+		if src != nil {
+			outgoing[src] = append(outgoing[src], e)
+		}
+	}
+
+	var initial *metamodel.Object
+	for _, n := range nodes {
+		if n.Class().Name() == uml.MetaInitialNode {
+			if initial != nil {
+				return nil, fmt.Errorf("activity %q has multiple initial nodes",
+					it.activity.GetString("name"))
+			}
+			initial = n
+		}
+	}
+	if initial == nil {
+		return nil, fmt.Errorf("activity %q has no initial node", it.activity.GetString("name"))
+	}
+
+	var trace Trace
+	cur := initial
+	steps := 0
+	for {
+		steps++
+		if steps > it.MaxSteps {
+			return trace, fmt.Errorf("activity %q exceeded %d steps (livelock?)",
+				it.activity.GetString("name"), it.MaxSteps)
+		}
+		kind := cur.Class().Name()
+		step := Step{Node: cur, Kind: kind, Name: cur.GetString("name")}
+
+		// Execute the node.
+		if err := it.execute(cur, kind); err != nil {
+			return trace, fmt.Errorf("activity %q at %s: %w",
+				it.activity.GetString("name"), step, err)
+		}
+
+		if kind == uml.MetaActivityFinalNode {
+			trace = append(trace, step)
+			return trace, nil
+		}
+
+		// Pick the next edge.
+		outs := outgoing[cur]
+		var next *metamodel.Object
+		switch {
+		case len(outs) == 0:
+			return trace, fmt.Errorf("activity %q: node %s has no outgoing flow",
+				it.activity.GetString("name"), cur.Label())
+		case len(outs) == 1:
+			next = outs[0].GetRef("target")
+			step.Guard = outs[0].GetString("guard")
+		default:
+			if kind != uml.MetaDecisionNode {
+				// Forks would branch here; this interpreter runs a single
+				// token, so plain nodes must not fan out.
+				if kind == uml.MetaForkNode {
+					return trace, fmt.Errorf("activity %q: fork %s: concurrent regions not supported by the single-token interpreter",
+						it.activity.GetString("name"), cur.Label())
+				}
+				return trace, fmt.Errorf("activity %q: node %s has %d outgoing flows but is not a decision",
+					it.activity.GetString("name"), cur.Label(), len(outs))
+			}
+			if it.hooks.Decide == nil {
+				return trace, fmt.Errorf("activity %q: decision %s needs a Decide hook",
+					it.activity.GetString("name"), cur.Label())
+			}
+			guards := make([]string, len(outs))
+			for i, e := range outs {
+				guards[i] = e.GetString("guard")
+			}
+			idx, err := it.hooks.Decide(cur, guards)
+			if err != nil {
+				return trace, fmt.Errorf("activity %q: decision %s: %w",
+					it.activity.GetString("name"), cur.Label(), err)
+			}
+			if idx < 0 || idx >= len(outs) {
+				return trace, fmt.Errorf("activity %q: decision %s: Decide chose %d of %d",
+					it.activity.GetString("name"), cur.Label(), idx, len(outs))
+			}
+			next = outs[idx].GetRef("target")
+			step.Guard = guards[idx]
+		}
+		trace = append(trace, step)
+		if next == nil {
+			return trace, fmt.Errorf("activity %q: dangling flow from %s",
+				it.activity.GetString("name"), cur.Label())
+		}
+		cur = next
+	}
+}
+
+// execute dispatches the node to the right hook by metaclass conformance.
+func (it *Interpreter) execute(n *metamodel.Object, kind string) error {
+	switch kind {
+	case uml.MetaInitialNode, uml.MetaActivityFinalNode,
+		uml.MetaDecisionNode, uml.MetaMergeNode,
+		uml.MetaForkNode, uml.MetaJoinNode:
+		return nil // control nodes carry no behaviour
+	}
+	if isKindOf(it.model, n, "Add_DQ_Metadata") {
+		if it.hooks.OnAddDQMetadata != nil {
+			return it.hooks.OnAddDQMetadata(n)
+		}
+		return nil
+	}
+	if isKindOf(it.model, n, "UserTransaction") {
+		if it.hooks.OnUserTransaction != nil {
+			return it.hooks.OnUserTransaction(n)
+		}
+		return nil
+	}
+	if it.hooks.OnAction != nil {
+		return it.hooks.OnAction(n)
+	}
+	return nil
+}
+
+func isKindOf(m *uml.Model, o *metamodel.Object, class string) bool {
+	c, ok := m.Metamodel().FindClass(class)
+	return ok && o.IsA(c)
+}

@@ -1,0 +1,292 @@
+package activity
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/modeldriven/dqwebre/internal/dqruntime"
+	"github.com/modeldriven/dqwebre/internal/easychair"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/transform"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+// TestExecuteFig7AgainstEnforcer runs the paper's Fig. 7 activity diagram
+// as a workflow: UserTransactions fill the review record field by field,
+// the Add_DQ_Metadata activities invoke the runtime enforcer, and the
+// decision loops back until the record passes every DQ check.
+func TestExecuteFig7AgainstEnforcer(t *testing.T) {
+	e := easychair.MustBuildModel()
+	dqsr, _, err := transform.RunDQR2DQSR(e.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enf, err := dqruntime.BuildFromDQSR(dqsr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The record the PC member "types" in: first attempt incomplete, the
+	// fix-input loop supplies the rest.
+	attempts := []dqruntime.Record{
+		{ // first pass: missing fields, bad score
+			"first_name":         "Grace",
+			"overall_evaluation": "9",
+		},
+		{ // after the [no: fix input] loop: complete and precise
+			"first_name":          "Grace",
+			"last_name":           "Hopper",
+			"email_address":       "grace@navy.mil",
+			"overall_evaluation":  "2",
+			"reviewer_confidence": "4",
+		},
+	}
+	attempt := 0
+	record := attempts[attempt]
+
+	var storedMetadata, verified []string
+	hooks := Hooks{
+		OnUserTransaction: func(n *metamodel.Object) error {
+			// Each transaction contributes its content's fields from the
+			// current attempt.
+			for _, content := range n.GetRefs("data") {
+				for _, a := range content.GetRefs("attributes") {
+					f := a.GetString("name")
+					if v, ok := record[f]; ok {
+						record[f] = v
+					}
+				}
+			}
+			return nil
+		},
+		OnAddDQMetadata: func(n *metamodel.Object) error {
+			if store := n.GetRef("metadata"); store != nil {
+				storedMetadata = append(storedMetadata, store.GetString("name"))
+				if strings.Contains(store.GetString("name"), "traceability") {
+					enf.OnStore("review/exec", "grace", 2, []string{"chair"})
+				}
+				return nil
+			}
+			if n.GetRef("validator") != nil {
+				verified = append(verified, n.GetString("name"))
+			}
+			return nil
+		},
+		Decide: func(n *metamodel.Object, guards []string) (int, error) {
+			passed := enf.CheckInput(record).Passed()
+			for i, g := range guards {
+				if passed && g == "yes" {
+					return i, nil
+				}
+				if !passed && strings.HasPrefix(g, "no") {
+					// Loop back with the corrected input.
+					attempt++
+					if attempt >= len(attempts) {
+						return 0, fmt.Errorf("out of attempts")
+					}
+					record = attempts[attempt]
+					return i, nil
+				}
+			}
+			return 0, fmt.Errorf("no matching guard in %v", guards)
+		},
+	}
+
+	it, err := New(e.Model.Model, e.Activity, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := it.Run()
+	if err != nil {
+		t.Fatalf("execution failed: %v\ntrace: %v", err, trace)
+	}
+
+	// Two passes through the five transactions plus the DQ tail.
+	names := trace.Names()
+	count := func(want string) int {
+		n := 0
+		for _, s := range names {
+			if s == want {
+				n++
+			}
+		}
+		return n
+	}
+	if count("add reviewer information") != 2 {
+		t.Errorf("transaction executed %d times, want 2 (one retry)", count("add reviewer information"))
+	}
+	if count("store metadata of traceability") != 2 {
+		t.Errorf("traceability capture executed %d times", count("store metadata of traceability"))
+	}
+	if got := len(verified); got != 4 { // 2 verification activities × 2 passes
+		t.Errorf("verification activities executed %d times, want 4", got)
+	}
+	// The final node terminated the run.
+	if trace[len(trace)-1].Kind != uml.MetaActivityFinalNode {
+		t.Fatalf("last step = %v", trace[len(trace)-1])
+	}
+	// Metadata actually reached the enforcer's store.
+	if _, ok := enf.Store().Get("review/exec"); !ok {
+		t.Fatal("traceability metadata not captured during execution")
+	}
+	// The record the workflow converged on passes all checks.
+	if !enf.CheckInput(record).Passed() {
+		t.Fatal("final record should pass")
+	}
+}
+
+// buildLinear constructs initial → action → final.
+func buildLinear(t *testing.T) (*uml.Model, *metamodel.Object, *metamodel.Object) {
+	t.Helper()
+	m := uml.NewModel("lin", uml.Metamodel())
+	b := uml.NewBuilder(m)
+	act := b.Activity("linear")
+	start := b.Node(act, uml.MetaInitialNode, "", nil)
+	step := b.Node(act, uml.MetaAction, "do it", nil)
+	end := b.Node(act, uml.MetaActivityFinalNode, "", nil)
+	b.FlowChain(act, start, step, end)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return m, act, step
+}
+
+func TestLinearActivity(t *testing.T) {
+	m, act, _ := buildLinear(t)
+	var ran []string
+	it, err := New(m, act, Hooks{
+		OnAction: func(n *metamodel.Object) error {
+			ran = append(ran, n.GetString("name"))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := it.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 1 || ran[0] != "do it" {
+		t.Fatalf("ran = %v", ran)
+	}
+	if len(trace) != 3 {
+		t.Fatalf("trace = %v", trace)
+	}
+	if trace[1].String() != `Action "do it"` {
+		t.Fatalf("step rendering = %q", trace[1].String())
+	}
+}
+
+func TestHookErrorPropagates(t *testing.T) {
+	m, act, _ := buildLinear(t)
+	it, _ := New(m, act, Hooks{
+		OnAction: func(n *metamodel.Object) error { return fmt.Errorf("boom") },
+	})
+	if _, err := it.Run(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStructuralErrors(t *testing.T) {
+	m := uml.NewModel("bad", uml.Metamodel())
+	b := uml.NewBuilder(m)
+
+	// No initial node.
+	noStart := b.Activity("no-start")
+	b.Node(noStart, uml.MetaAction, "a", nil)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it, _ := New(m, noStart, Hooks{})
+	if _, err := it.Run(); err == nil || !strings.Contains(err.Error(), "no initial node") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Dead end.
+	deadEnd := b.Activity("dead-end")
+	s := b.Node(deadEnd, uml.MetaInitialNode, "", nil)
+	a := b.Node(deadEnd, uml.MetaAction, "stuck", nil)
+	b.Flow(deadEnd, s, a, "")
+	it, _ = New(m, deadEnd, Hooks{})
+	if _, err := it.Run(); err == nil || !strings.Contains(err.Error(), "no outgoing flow") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Two initial nodes.
+	twoStarts := b.Activity("two-starts")
+	b.Node(twoStarts, uml.MetaInitialNode, "", nil)
+	b.Node(twoStarts, uml.MetaInitialNode, "", nil)
+	it, _ = New(m, twoStarts, Hooks{})
+	if _, err := it.Run(); err == nil || !strings.Contains(err.Error(), "multiple initial nodes") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Decision without a hook.
+	noHook := b.Activity("no-hook")
+	s2 := b.Node(noHook, uml.MetaInitialNode, "", nil)
+	d := b.Node(noHook, uml.MetaDecisionNode, "", nil)
+	e1 := b.Node(noHook, uml.MetaActivityFinalNode, "", nil)
+	e2 := b.Node(noHook, uml.MetaActivityFinalNode, "", nil)
+	b.Flow(noHook, s2, d, "")
+	b.Flow(noHook, d, e1, "x")
+	b.Flow(noHook, d, e2, "y")
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it, _ = New(m, noHook, Hooks{})
+	if _, err := it.Run(); err == nil || !strings.Contains(err.Error(), "Decide hook") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Decide out of range.
+	it, _ = New(m, noHook, Hooks{Decide: func(n *metamodel.Object, g []string) (int, error) { return 9, nil }})
+	if _, err := it.Run(); err == nil || !strings.Contains(err.Error(), "chose") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Fan-out from a plain action.
+	fanOut := b.Activity("fan-out")
+	s3 := b.Node(fanOut, uml.MetaInitialNode, "", nil)
+	a3 := b.Node(fanOut, uml.MetaAction, "split", nil)
+	f1 := b.Node(fanOut, uml.MetaActivityFinalNode, "", nil)
+	f2 := b.Node(fanOut, uml.MetaActivityFinalNode, "", nil)
+	b.Flow(fanOut, s3, a3, "")
+	b.Flow(fanOut, a3, f1, "")
+	b.Flow(fanOut, a3, f2, "")
+	it, _ = New(m, fanOut, Hooks{})
+	if _, err := it.Run(); err == nil || !strings.Contains(err.Error(), "not a decision") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLivelockBounded(t *testing.T) {
+	m := uml.NewModel("loop", uml.Metamodel())
+	b := uml.NewBuilder(m)
+	act := b.Activity("forever")
+	s := b.Node(act, uml.MetaInitialNode, "", nil)
+	a := b.Node(act, uml.MetaAction, "spin", nil)
+	b.Flow(act, s, a, "")
+	b.Flow(act, a, a, "") // self-loop
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it, _ := New(m, act, Hooks{})
+	it.MaxSteps = 50
+	if _, err := it.Run(); err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	m := uml.NewModel("v", uml.Metamodel())
+	b := uml.NewBuilder(m)
+	notActivity := b.Actor("a")
+	if _, err := New(m, notActivity, Hooks{}); err == nil {
+		t.Fatal("non-activity accepted")
+	}
+	if _, err := New(nil, nil, Hooks{}); err == nil {
+		t.Fatal("nils accepted")
+	}
+}

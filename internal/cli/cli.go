@@ -1,0 +1,347 @@
+// Package cli implements the dqwebre command-line interface: model
+// loading, validation, diagram rendering, transformation, code generation
+// and statistics. It is separated from the main package so every command
+// path is unit-testable against an io.Writer.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/modeldriven/dqwebre/internal/codegen"
+	"github.com/modeldriven/dqwebre/internal/diagram"
+	idq "github.com/modeldriven/dqwebre/internal/dqwebre"
+	"github.com/modeldriven/dqwebre/internal/easychair"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/transform"
+	"github.com/modeldriven/dqwebre/internal/uml"
+	"github.com/modeldriven/dqwebre/internal/validate"
+	"github.com/modeldriven/dqwebre/internal/webre"
+	"github.com/modeldriven/dqwebre/internal/xmi"
+)
+
+// Run dispatches one CLI invocation, writing output to out. args excludes
+// the program name: e.g. Run([]string{"validate", "m.xml"}, os.Stdout).
+func Run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("no command given; %s", usageLine)
+	}
+	switch args[0] {
+	case "demo":
+		return cmdDemo(args[1:], out)
+	case "validate":
+		return cmdValidate(args[1:], out)
+	case "diagram":
+		return cmdDiagram(args[1:], out)
+	case "transform":
+		return cmdTransform(args[1:], out)
+	case "codegen":
+		return cmdCodegen(args[1:], out)
+	case "stats":
+		return cmdStats(args[1:], out)
+	case "diff":
+		return cmdDiff(args[1:], out)
+	default:
+		return fmt.Errorf("unknown command %q; %s", args[0], usageLine)
+	}
+}
+
+// usageLine summarizes the commands for error messages.
+const usageLine = "commands: demo, validate, diagram, transform, codegen, stats, diff"
+
+// loadModel reads an XMI (or JSON) model with the DQ_WebRE profile
+// available.
+func loadModel(path string) (*uml.Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	opts := xmi.Options{Profiles: []*uml.Profile{webre.Profile(), idq.Profile()}}
+	idq.Metamodel() // ensure registered
+	if strings.HasPrefix(strings.TrimSpace(string(data)), "{") {
+		return xmi.UnmarshalJSON(data, opts)
+	}
+	return xmi.Unmarshal(data, opts)
+}
+
+// asRequirements wraps a loaded model in the analyst API. Loaded models are
+// always DQ_WebRE models, so this is a plain rewrap.
+func asRequirements(m *uml.Model) *idq.RequirementsModel {
+	return idq.WrapModel(m)
+}
+
+func cmdDemo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit JSON instead of XMI")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	e, err := easychair.BuildModel()
+	if err != nil {
+		return err
+	}
+	var data []byte
+	if *asJSON {
+		data, err = xmi.MarshalJSON(e.Model.Model)
+	} else {
+		data, err = xmi.Marshal(e.Model.Model)
+	}
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(append(data, '\n'))
+	return err
+}
+
+func cmdValidate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("validate needs exactly one model file")
+	}
+	m, err := loadModel(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	eng := validate.New(m)
+	for _, r := range idq.Rules() {
+		eng.AddRules(validate.Rule{ID: r.ID, Class: r.Class, Expr: r.Expr, Doc: r.Doc})
+	}
+	eng.AddProfileConstraints(idq.Profile())
+	rep := eng.Run()
+	for _, d := range rep.Diagnostics {
+		fmt.Fprintln(out, d)
+	}
+	fmt.Fprintf(out, "%d checks, %d findings\n", rep.Checked, len(rep.Diagnostics))
+	if !rep.OK() {
+		return fmt.Errorf("model is not well-formed")
+	}
+	fmt.Fprintln(out, "model is well-formed")
+	return nil
+}
+
+func cmdDiagram(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("diagram", flag.ContinueOnError)
+	kind := fs.String("kind", "usecase", "usecase, activity, metamodel or profile")
+	format := fs.String("format", "plantuml", "plantuml or dot")
+	title := fs.String("title", "", "diagram title")
+	activity := fs.String("activity", "", "activity name (for -kind activity; default: first activity)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *kind {
+	case "metamodel":
+		if *format == "dot" {
+			fmt.Fprint(out, diagram.MetamodelDOT(idq.Metamodel(), *title, nil))
+		} else {
+			fmt.Fprint(out, diagram.MetamodelPlantUML(idq.Metamodel(), *title, nil))
+		}
+		return nil
+	case "profile":
+		if *format == "dot" {
+			fmt.Fprint(out, diagram.ProfileDOT(idq.Profile(), *title))
+		} else {
+			fmt.Fprint(out, diagram.ProfilePlantUML(idq.Profile(), *title))
+		}
+		return nil
+	}
+
+	if fs.NArg() != 1 {
+		return fmt.Errorf("diagram -kind %s needs a model file", *kind)
+	}
+	m, err := loadModel(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	switch *kind {
+	case "usecase":
+		if *format == "dot" {
+			fmt.Fprint(out, diagram.UseCaseDOT(m, *title))
+		} else {
+			fmt.Fprint(out, diagram.UseCasePlantUML(m, *title))
+		}
+	case "activity":
+		acts, err := m.AllInstancesOf(uml.MetaActivity)
+		if err != nil || len(acts) == 0 {
+			return fmt.Errorf("model has no activities")
+		}
+		target := acts[0]
+		if *activity != "" {
+			target = nil
+			for _, a := range acts {
+				if a.GetString("name") == *activity {
+					target = a
+				}
+			}
+			if target == nil {
+				return fmt.Errorf("no activity named %q", *activity)
+			}
+		}
+		if *format == "dot" {
+			fmt.Fprint(out, diagram.ActivityDOT(m, target, *title))
+		} else {
+			fmt.Fprint(out, diagram.ActivityPlantUML(m, target, *title))
+		}
+	default:
+		return fmt.Errorf("unknown diagram kind %q", *kind)
+	}
+	return nil
+}
+
+func cmdTransform(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("transform", flag.ContinueOnError)
+	asXMI := fs.Bool("xmi", false, "emit the DQSR model as XMI instead of a summary")
+	design := fs.Bool("design", false, "continue to the design model and emit its class diagram")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("transform needs exactly one model file")
+	}
+	m, err := loadModel(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	dqsr, trace, err := transform.RunDQR2DQSR(asRequirements(m))
+	if err != nil {
+		return err
+	}
+	if *design {
+		designModel, _, err := transform.RunDQSR2Design(dqsr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, diagram.ClassDiagramPlantUML(designModel, "Design model derived from "+m.Name()))
+		return nil
+	}
+	if *asXMI {
+		data, err := xmi.Marshal(dqsr)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(append(data, '\n'))
+		return err
+	}
+	reqs, _ := dqsr.AllInstancesOf("SoftwareRequirement")
+	for _, r := range reqs {
+		fmt.Fprintf(out, "DQSR-%d [%s] %s\n", r.GetInt("id"), r.GetString("dimension"), r.GetString("title"))
+		fmt.Fprintf(out, "    %s\n", r.GetString("description"))
+		for _, c := range r.GetRefs("realizedBy") {
+			fmt.Fprintf(out, "    realized by %s %q\n", c.GetString("kind"), c.GetString("name"))
+		}
+		for _, c := range r.GetRefs("checks") {
+			fmt.Fprintf(out, "    check: %s()\n", c.GetString("function"))
+		}
+	}
+	fmt.Fprintf(out, "%d trace links\n", len(trace.Links))
+	return nil
+}
+
+func cmdCodegen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("codegen", flag.ContinueOnError)
+	kind := fs.String("kind", "sql", "sql, html or go")
+	icName := fs.String("case", "", "InformationCase name (for -kind html)")
+	pkg := fs.String("pkg", "dqchecks", "package name (for -kind go)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("codegen needs exactly one model file")
+	}
+	m, err := loadModel(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rm := asRequirements(m)
+	switch *kind {
+	case "sql":
+		ddl, err := codegen.SQLDDL(rm)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, ddl)
+	case "html":
+		if *icName == "" {
+			ics, _ := m.AllInstancesOf(idq.MetaInformationCase)
+			if len(ics) == 0 {
+				return fmt.Errorf("model has no InformationCase")
+			}
+			*icName = ics[0].GetString("name")
+		}
+		form, err := codegen.HTMLForm(rm, *icName)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, form)
+	case "go":
+		dqsr, _, err := transform.RunDQR2DQSR(rm)
+		if err != nil {
+			return err
+		}
+		src, err := codegen.GoValidator(dqsr, *pkg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, src)
+	default:
+		return fmt.Errorf("unknown codegen kind %q", *kind)
+	}
+	return nil
+}
+
+func cmdStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats needs exactly one model file")
+	}
+	m, err := loadModel(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "model %q (metamodel %s): %d elements\n",
+		m.Name(), m.Metamodel().Name(), m.Len())
+	for _, s := range m.Stats() {
+		fmt.Fprintf(out, "  %-20s %d\n", s.Class, s.Count)
+	}
+	var applied int
+	for _, o := range m.Objects() {
+		applied += len(m.StereotypeNames(o))
+	}
+	fmt.Fprintf(out, "  %-20s %d\n", "«applications»", applied)
+	fmt.Fprintf(out, "registered metamodels: %s\n", strings.Join(metamodel.RegisteredNames(), ", "))
+	return nil
+}
+
+// cmdDiff prints the structural differences between two model files.
+func cmdDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff needs exactly two model files")
+	}
+	oldM, err := loadModel(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newM, err := loadModel(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	ds := xmi.Diff(oldM, newM)
+	for _, d := range ds {
+		fmt.Fprintln(out, d)
+	}
+	fmt.Fprintf(out, "%d difference(s)\n", len(ds))
+	return nil
+}

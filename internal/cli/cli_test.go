@@ -1,0 +1,259 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// demoModelFile writes the case-study model to a temp file and returns its
+// path.
+func demoModelFile(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run([]string{"demo"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "easychair.xml")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func run(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := Run(args, &buf)
+	return buf.String(), err
+}
+
+func TestRunDispatch(t *testing.T) {
+	if _, err := run(t); err == nil {
+		t.Fatal("no command should error")
+	}
+	if _, err := run(t, "bogus"); err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("bogus command: %v", err)
+	}
+}
+
+func TestDemoEmitsXMIAndJSON(t *testing.T) {
+	out, err := run(t, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `metamodel="DQ_WebRE"`) {
+		t.Fatalf("demo output is not XMI:\n%.200s", out)
+	}
+	out, err = run(t, "demo", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"metamodel": "DQ_WebRE"`) {
+		t.Fatalf("demo -json output:\n%.200s", out)
+	}
+}
+
+func TestValidateRoundTrip(t *testing.T) {
+	path := demoModelFile(t)
+	out, err := run(t, "validate", path)
+	if err != nil {
+		t.Fatalf("validate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "model is well-formed") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// Arg validation.
+	if _, err := run(t, "validate"); err == nil {
+		t.Fatal("missing file arg accepted")
+	}
+	if _, err := run(t, "validate", "/nonexistent.xml"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestValidateJSONInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run([]string{"demo", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, "validate", path)
+	if err != nil {
+		t.Fatalf("validate json: %v\n%s", err, out)
+	}
+}
+
+func TestDiagramKinds(t *testing.T) {
+	path := demoModelFile(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"diagram", "-kind", "usecase", path}, "«InformationCase»"},
+		{[]string{"diagram", "-kind", "usecase", "-format", "dot", path}, "digraph"},
+		{[]string{"diagram", "-kind", "activity", path}, "«UserTransaction»"},
+		{[]string{"diagram", "-kind", "metamodel"}, "class InformationCase"},
+		{[]string{"diagram", "-kind", "profile"}, "<<stereotype>>"},
+		{[]string{"diagram", "-kind", "profile", "-format", "dot"}, "digraph"},
+		{[]string{"diagram", "-kind", "metamodel", "-format", "dot"}, "digraph"},
+		{[]string{"diagram", "-kind", "activity", "-format", "dot", path}, "subgraph cluster_0"},
+		{[]string{"diagram", "-kind", "activity", "-activity", "Add new review to submission", path}, "state"},
+	}
+	for _, c := range cases {
+		out, err := run(t, c.args...)
+		if err != nil {
+			t.Errorf("%v: %v", c.args, err)
+			continue
+		}
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%v output lacks %q", c.args, c.want)
+		}
+	}
+	// Errors.
+	for _, bad := range [][]string{
+		{"diagram", "-kind", "usecase"},
+		{"diagram", "-kind", "nope", path},
+		{"diagram", "-kind", "activity", "-activity", "ghost", path},
+	} {
+		if _, err := run(t, bad...); err == nil {
+			t.Errorf("%v should fail", bad)
+		}
+	}
+}
+
+func TestTransformSummaryXMIAndDesign(t *testing.T) {
+	path := demoModelFile(t)
+	out, err := run(t, "transform", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DQSR-1", "[Completeness]", "realized by validator", "trace links"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transform summary lacks %q:\n%s", want, out)
+		}
+	}
+	out, err = run(t, "transform", "-xmi", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `metamodel="DQSR"`) {
+		t.Fatalf("transform -xmi output:\n%.200s", out)
+	}
+	out, err = run(t, "transform", "-design", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TraceabilityMetadata", "«satisfy»", "@startuml"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("design output lacks %q", want)
+		}
+	}
+	if _, err := run(t, "transform"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCodegenKinds(t *testing.T) {
+	path := demoModelFile(t)
+	out, err := run(t, "codegen", "-kind", "sql", path)
+	if err != nil || !strings.Contains(out, "CREATE TABLE") {
+		t.Fatalf("sql: %v\n%s", err, out)
+	}
+	out, err = run(t, "codegen", "-kind", "html", path)
+	if err != nil || !strings.Contains(out, "<form") {
+		t.Fatalf("html (default case): %v\n%s", err, out)
+	}
+	out, err = run(t, "codegen", "-kind", "html", "-case", "Add all data as result of review", path)
+	if err != nil || !strings.Contains(out, "evaluation scores") {
+		t.Fatalf("html (named case): %v\n%s", err, out)
+	}
+	out, err = run(t, "codegen", "-kind", "go", "-pkg", "checks", path)
+	if err != nil || !strings.Contains(out, "package checks") {
+		t.Fatalf("go: %v\n%s", err, out)
+	}
+	if _, err := run(t, "codegen", "-kind", "nope", path); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	if _, err := run(t, "codegen"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	path := demoModelFile(t)
+	out, err := run(t, "stats", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DQ_Requirement", "«applications»", "registered metamodels"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats lack %q:\n%s", want, out)
+		}
+	}
+	if _, err := run(t, "stats"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestValidateCatchesCorruption: a model mutated to violate Table 3 is
+// rejected by the validate command.
+func TestValidateCatchesCorruption(t *testing.T) {
+	path := demoModelFile(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the include linking the WebProcess to the InformationCase: the
+	// InformationCase then violates its Table 3 constraint.
+	mutated := strings.Replace(string(data),
+		`<slot name="include">`, `<slot name="extend">`, 1)
+	bad := filepath.Join(t.TempDir(), "bad.xml")
+	if err := os.WriteFile(bad, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, "validate", bad)
+	if err == nil {
+		t.Fatalf("corrupted model validated:\n%s", out)
+	}
+}
+
+func TestDiffCommand(t *testing.T) {
+	path := demoModelFile(t)
+	out, err := run(t, "diff", path, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0 difference(s)") {
+		t.Fatalf("self-diff:\n%s", out)
+	}
+	// Mutate a copy: rename the web process.
+	data, _ := os.ReadFile(path)
+	mutated := strings.Replace(string(data),
+		"Add new review to submission", "Add amended review", 1)
+	other := filepath.Join(t.TempDir(), "other.xml")
+	if err := os.WriteFile(other, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = run(t, "diff", path, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "slot-changed") || !strings.Contains(out, "Add amended review") {
+		t.Fatalf("diff output:\n%s", out)
+	}
+	if _, err := run(t, "diff", path); err == nil {
+		t.Fatal("single arg accepted")
+	}
+	if _, err := run(t, "diff", path, "/nope.xml"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := run(t, "diff", "/nope.xml", path); err == nil {
+		t.Fatal("missing first file accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package codegen_test
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	. "github.com/modeldriven/dqwebre/internal/codegen"
+	"github.com/modeldriven/dqwebre/internal/dqwebre"
+	"github.com/modeldriven/dqwebre/internal/easychair"
+	"github.com/modeldriven/dqwebre/internal/transform"
+)
+
+func TestSQLDDLForCaseStudy(t *testing.T) {
+	e := easychair.MustBuildModel()
+	ddl, err := SQLDDL(e.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"CREATE TABLE information_of_reviewer",
+		"CREATE TABLE evaluation_scores",
+		"first_name TEXT NOT NULL",
+		"email_address TEXT NOT NULL",
+		"overall_evaluation INTEGER CHECK (overall_evaluation BETWEEN -3 AND 3)",
+		"reviewer_confidence INTEGER CHECK (reviewer_confidence BETWEEN 0 AND 5)",
+		"stored_by TEXT, -- DQ metadata",
+		"stored_date TIMESTAMP, -- DQ metadata",
+		"security_level INTEGER, -- DQ metadata",
+		"CREATE TABLE dq_audit",
+		"action TEXT NOT NULL CHECK (action IN ('store', 'modify', 'read', 'denied'))",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL lacks %q\n%s", want, ddl)
+		}
+	}
+}
+
+func TestSQLDDLWithoutTraceabilityOmitsAudit(t *testing.T) {
+	// A model whose metadata does not include stored_by gets no audit table.
+	rm := dqwebre.NewRequirementsModel("minimal")
+	content := rm.Content("profiles", "nickname")
+	rm.DQMetadata("confidentiality metadata", []string{"security_level"}, content)
+	if err := rm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ddl, err := SQLDDL(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(ddl, "dq_audit") {
+		t.Fatal("audit table generated without traceability metadata")
+	}
+	if !strings.Contains(ddl, "security_level INTEGER -- DQ metadata") {
+		t.Fatalf("metadata column missing:\n%s", ddl)
+	}
+}
+
+func TestHTMLFormForCaseStudy(t *testing.T) {
+	e := easychair.MustBuildModel()
+	form, err := HTMLForm(e.Model, "Add all data as result of review")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<form method=\"post\"",
+		"<legend>information of reviewer</legend>",
+		"<legend>evaluation scores</legend>",
+		`<input type="text" name="first_name" required`,
+		`<input type="email" name="email_address" required`,
+		`<input type="number" name="overall_evaluation" min="-3" max="3" required`,
+		`<input type="number" name="reviewer_confidence" min="0" max="5" required`,
+	} {
+		if !strings.Contains(form, want) {
+			t.Errorf("form lacks %q\n%s", want, form)
+		}
+	}
+}
+
+func TestHTMLFormUnknownCase(t *testing.T) {
+	e := easychair.MustBuildModel()
+	if _, err := HTMLForm(e.Model, "nope"); err == nil {
+		t.Fatal("unknown InformationCase accepted")
+	}
+}
+
+func TestGoValidatorCompilesAndCovers(t *testing.T) {
+	e := easychair.MustBuildModel()
+	dqsr, _, err := transform.RunDQR2DQSR(e.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := GoValidator(dqsr, "reviewchecks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"package reviewchecks",
+		"func check_completeness(r Record) bool",
+		"func check_precision(r Record, field string, lo, hi int64) bool",
+		`"first_name"`,
+		`"overall_evaluation"`,
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source lacks %q\n%s", want, src)
+		}
+	}
+	// The generated file must parse as valid Go.
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", err, src)
+	}
+}

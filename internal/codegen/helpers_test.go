@@ -1,0 +1,21 @@
+package codegen
+
+import "testing"
+
+func TestHelpers(t *testing.T) {
+	if sqlIdent("Information of Reviewer!") != "information_of_reviewer" {
+		t.Fatalf("sqlIdent = %q", sqlIdent("Information of Reviewer!"))
+	}
+	if sqlIdent("___") != "t" {
+		t.Fatalf("sqlIdent empty = %q", sqlIdent("___"))
+	}
+	if goIdent("check-precision") != "check_precision" {
+		t.Fatalf("goIdent = %q", goIdent("check-precision"))
+	}
+	if goIdent("") != "check" {
+		t.Fatal("goIdent empty")
+	}
+	if quoteList([]string{"a", "b"}) != `"a", "b"` {
+		t.Fatalf("quoteList = %q", quoteList([]string{"a", "b"}))
+	}
+}

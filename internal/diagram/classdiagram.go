@@ -1,0 +1,93 @@
+package diagram
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+// ClassDiagramPlantUML renders the model's Class instances (with their
+// attributes and operations) and Requirement instances (with their trace
+// links) as a PlantUML class diagram — the design-view counterpart of the
+// metamodel renderers, used for the output of the DQSR→Design
+// transformation.
+func ClassDiagramPlantUML(m *uml.Model, title string) string {
+	m.AssignXIDs()
+	var b strings.Builder
+	b.WriteString("@startuml\n")
+	if title != "" {
+		fmt.Fprintf(&b, "title %s\n", title)
+	}
+	b.WriteString("skinparam classAttributeIconSize 0\n")
+
+	for _, o := range m.Objects() {
+		switch {
+		case isKind(m, o, uml.MetaClass):
+			fmt.Fprintf(&b, "class \"%s%s\" as %s {\n",
+				stereoLabel(m, o), o.GetString("name"), ident(o.XID()))
+			for _, a := range o.GetRefs("attributes") {
+				fmt.Fprintf(&b, "  %s : %s\n", a.GetString("name"), a.GetString("type"))
+			}
+			for _, op := range o.GetRefs("operations") {
+				fmt.Fprintf(&b, "  %s%s\n", op.GetString("name"), op.GetString("signature"))
+			}
+			b.WriteString("}\n")
+		case isKind(m, o, uml.MetaRequirement):
+			fmt.Fprintf(&b, "class \"«requirement» %s\" as %s {\n",
+				o.GetString("name"), ident(o.XID()))
+			fmt.Fprintf(&b, "  id = %d\n", o.GetInt("id"))
+			b.WriteString("}\n")
+		}
+	}
+	for _, o := range m.Objects() {
+		if isKind(m, o, uml.MetaRequirement) {
+			for _, target := range o.GetRefs("tracedTo") {
+				fmt.Fprintf(&b, "%s ..> %s : «satisfy»\n", ident(target.XID()), ident(o.XID()))
+			}
+		}
+	}
+	b.WriteString("@enduml\n")
+	return b.String()
+}
+
+// ClassDiagramDOT renders the same design view as DOT.
+func ClassDiagramDOT(m *uml.Model, title string) string {
+	m.AssignXIDs()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", ident(m.Name()))
+	if title != "" {
+		fmt.Fprintf(&b, "  label=\"%s\";\n", esc(title))
+	}
+	b.WriteString("  rankdir=BT;\n  node [shape=record, fontsize=10];\n")
+	for _, o := range m.Objects() {
+		switch {
+		case isKind(m, o, uml.MetaClass):
+			var attrs, ops []string
+			for _, a := range o.GetRefs("attributes") {
+				attrs = append(attrs, a.GetString("name")+": "+a.GetString("type"))
+			}
+			for _, op := range o.GetRefs("operations") {
+				ops = append(ops, op.GetString("name")+op.GetString("signature"))
+			}
+			fmt.Fprintf(&b, "  %s [label=\"{%s|%s|%s}\"];\n",
+				ident(o.XID()),
+				esc(stereoLabel(m, o)+o.GetString("name")),
+				esc(strings.Join(attrs, "\\l")),
+				esc(strings.Join(ops, "\\l")))
+		case isKind(m, o, uml.MetaRequirement):
+			fmt.Fprintf(&b, "  %s [shape=note, label=\"%s\"];\n",
+				ident(o.XID()), esc("«requirement» "+o.GetString("name")))
+		}
+	}
+	for _, o := range m.Objects() {
+		if isKind(m, o, uml.MetaRequirement) {
+			for _, target := range o.GetRefs("tracedTo") {
+				fmt.Fprintf(&b, "  %s -> %s [style=dashed, label=\"«satisfy»\"];\n",
+					ident(target.XID()), ident(o.XID()))
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

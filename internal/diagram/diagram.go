@@ -1,0 +1,297 @@
+// Package diagram renders metamodels, profiles and models as PlantUML and
+// Graphviz DOT text, regenerating the paper's figures:
+//
+//	Fig. 1  — class diagram of the extended metamodel   (MetamodelPlantUML/DOT)
+//	Figs 2-5 — profile stereotype diagrams               (ProfilePlantUML/DOT)
+//	Fig. 6  — use-case diagram with DQ requirements      (UseCasePlantUML/DOT)
+//	Fig. 7  — activity diagram with DQ management        (ActivityPlantUML/DOT)
+//
+// Output is deterministic for a given model construction order, so the
+// figures are stable across runs and asserted byte-for-byte in tests.
+package diagram
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+// esc escapes a label for DOT double-quoted strings.
+func esc(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// ident produces a DOT/PlantUML-safe identifier from an xid or label.
+func ident(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// MetamodelPlantUML renders a metamodel package (classes, inheritance,
+// typed references, enumerations) as a PlantUML class diagram. filter, when
+// non-nil, selects which classes to include; edges to excluded classes are
+// still drawn as type annotations.
+func MetamodelPlantUML(pkg *metamodel.Package, title string, filter func(*metamodel.Class) bool) string {
+	var b strings.Builder
+	b.WriteString("@startuml\n")
+	if title != "" {
+		fmt.Fprintf(&b, "title %s\n", title)
+	}
+	b.WriteString("skinparam classAttributeIconSize 0\n")
+
+	var classes []*metamodel.Class
+	for _, c := range pkg.AllClasses() {
+		if filter == nil || filter(c) {
+			classes = append(classes, c)
+		}
+	}
+	included := map[*metamodel.Class]bool{}
+	for _, c := range classes {
+		included[c] = true
+	}
+
+	// Group classes by owning subpackage for package frames.
+	byPkg := map[string][]*metamodel.Class{}
+	var pkgOrder []string
+	for _, c := range classes {
+		key := c.Package().QualifiedName()
+		if _, ok := byPkg[key]; !ok {
+			pkgOrder = append(pkgOrder, key)
+		}
+		byPkg[key] = append(byPkg[key], c)
+	}
+
+	for _, key := range pkgOrder {
+		fmt.Fprintf(&b, "package \"%s\" {\n", key)
+		for _, c := range byPkg[key] {
+			kw := "class"
+			if c.IsAbstract() {
+				kw = "abstract class"
+			}
+			fmt.Fprintf(&b, "  %s %s {\n", kw, c.Name())
+			for _, p := range c.OwnProperties() {
+				if _, isClass := p.Type().(*metamodel.Class); isClass {
+					continue // drawn as an edge below
+				}
+				fmt.Fprintf(&b, "    %s : %s [%s]\n", p.Name(), p.Type().Name(), p.MultiplicityString())
+			}
+			b.WriteString("  }\n")
+		}
+		b.WriteString("}\n")
+	}
+
+	// Enumerations.
+	for _, e := range allEnums(pkg) {
+		fmt.Fprintf(&b, "enum %s {\n", e.Name())
+		for _, l := range e.Literals() {
+			fmt.Fprintf(&b, "  %s\n", l)
+		}
+		b.WriteString("}\n")
+	}
+
+	// Inheritance and reference edges.
+	for _, c := range classes {
+		for _, s := range c.Supers() {
+			fmt.Fprintf(&b, "%s <|-- %s\n", s.Name(), c.Name())
+		}
+		for _, p := range c.OwnProperties() {
+			if target, ok := p.Type().(*metamodel.Class); ok {
+				if included[target] || true { // type edges always drawn
+					fmt.Fprintf(&b, "%s --> \"%s\" %s : %s\n",
+						c.Name(), p.MultiplicityString(), target.Name(), p.Name())
+				}
+			}
+		}
+	}
+	b.WriteString("@enduml\n")
+	return b.String()
+}
+
+// MetamodelDOT renders a metamodel package as a DOT digraph with
+// record-shaped class nodes.
+func MetamodelDOT(pkg *metamodel.Package, title string, filter func(*metamodel.Class) bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", ident(pkg.Name()))
+	if title != "" {
+		fmt.Fprintf(&b, "  label=\"%s\";\n", esc(title))
+	}
+	b.WriteString("  rankdir=BT;\n  node [shape=record, fontsize=10];\n")
+	var classes []*metamodel.Class
+	for _, c := range pkg.AllClasses() {
+		if filter == nil || filter(c) {
+			classes = append(classes, c)
+		}
+	}
+	for _, c := range classes {
+		var attrs []string
+		for _, p := range c.OwnProperties() {
+			if _, isClass := p.Type().(*metamodel.Class); isClass {
+				continue
+			}
+			attrs = append(attrs, fmt.Sprintf("%s: %s [%s]", p.Name(), p.Type().Name(), p.MultiplicityString()))
+		}
+		label := c.Name()
+		if c.IsAbstract() {
+			label = "«abstract»\\n" + label
+		}
+		fmt.Fprintf(&b, "  %s [label=\"{%s|%s}\"];\n",
+			ident(c.QualifiedName()), esc(label), esc(strings.Join(attrs, "\\l")))
+	}
+	for _, c := range classes {
+		for _, s := range c.Supers() {
+			fmt.Fprintf(&b, "  %s -> %s [arrowhead=empty];\n",
+				ident(c.QualifiedName()), ident(s.QualifiedName()))
+		}
+		for _, p := range c.OwnProperties() {
+			if target, ok := p.Type().(*metamodel.Class); ok {
+				fmt.Fprintf(&b, "  %s -> %s [label=\"%s [%s]\", arrowhead=vee, style=solid];\n",
+					ident(c.QualifiedName()), ident(target.QualifiedName()),
+					esc(p.Name()), p.MultiplicityString())
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func allEnums(pkg *metamodel.Package) []*metamodel.Enumeration {
+	var out []*metamodel.Enumeration
+	out = append(out, pkg.Enumerations()...)
+	for _, sub := range pkg.Packages() {
+		out = append(out, allEnums(sub)...)
+	}
+	return out
+}
+
+// ProfilePlantUML renders profile stereotypes (optionally filtered by name)
+// with their base-class extension arrows, tagged values and constraint
+// notes — the shape of the paper's Figs. 2–5.
+func ProfilePlantUML(p *uml.Profile, title string, names ...string) string {
+	var b strings.Builder
+	b.WriteString("@startuml\n")
+	if title != "" {
+		fmt.Fprintf(&b, "title %s\n", title)
+	}
+	b.WriteString("skinparam classAttributeIconSize 0\n")
+	selected := selectStereotypes(p, names)
+
+	baseSeen := map[string]bool{}
+	for _, s := range selected {
+		for _, base := range s.Bases() {
+			if !baseSeen[base.Name()] {
+				baseSeen[base.Name()] = true
+				fmt.Fprintf(&b, "class %s <<metaclass>>\n", base.Name())
+			}
+		}
+	}
+	for _, s := range selected {
+		fmt.Fprintf(&b, "class %s <<stereotype>> {\n", s.Name())
+		for _, tag := range s.Tags() {
+			fmt.Fprintf(&b, "  %s : %s\n", tag.Name, tag.TypeString())
+		}
+		b.WriteString("}\n")
+		for _, base := range s.Bases() {
+			fmt.Fprintf(&b, "%s <|.. %s : «extends»\n", base.Name(), s.Name())
+		}
+		for _, c := range s.Constraints() {
+			fmt.Fprintf(&b, "note bottom of %s\n  {%s} %s\nend note\n", s.Name(), c.Name, c.Doc)
+		}
+	}
+	b.WriteString("@enduml\n")
+	return b.String()
+}
+
+// ProfileDOT renders profile stereotypes as a DOT digraph.
+func ProfileDOT(p *uml.Profile, title string, names ...string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", ident(p.Name()))
+	if title != "" {
+		fmt.Fprintf(&b, "  label=\"%s\";\n", esc(title))
+	}
+	b.WriteString("  rankdir=BT;\n  node [shape=record, fontsize=10];\n")
+	selected := selectStereotypes(p, names)
+	baseSeen := map[string]bool{}
+	for _, s := range selected {
+		for _, base := range s.Bases() {
+			if !baseSeen[base.Name()] {
+				baseSeen[base.Name()] = true
+				fmt.Fprintf(&b, "  %s [label=\"{«metaclass»\\n%s}\"];\n", ident(base.Name()), esc(base.Name()))
+			}
+		}
+	}
+	for _, s := range selected {
+		var tags []string
+		for _, tag := range s.Tags() {
+			tags = append(tags, tag.Name+": "+tag.TypeString())
+		}
+		fmt.Fprintf(&b, "  %s [label=\"{«stereotype»\\n%s|%s}\"];\n",
+			ident(s.Name()), esc(s.Name()), esc(strings.Join(tags, "\\l")))
+		for _, base := range s.Bases() {
+			fmt.Fprintf(&b, "  %s -> %s [arrowhead=empty, style=dashed];\n",
+				ident(s.Name()), ident(base.Name()))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func selectStereotypes(p *uml.Profile, names []string) []*uml.Stereotype {
+	if len(names) == 0 {
+		return p.Stereotypes()
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []*uml.Stereotype
+	for _, s := range p.Stereotypes() {
+		if want[s.Name()] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// stereoLabel renders «A» «B» prefixes for an element's applied stereotypes.
+func stereoLabel(m *uml.Model, o *metamodel.Object) string {
+	names := m.StereotypeNames(o)
+	if len(names) == 0 {
+		// Heavyweight instances of non-UML metaclasses display their
+		// metaclass as a stereotype, as Enterprise Architect does.
+		switch o.Class().Name() {
+		case uml.MetaUseCase, uml.MetaActor, uml.MetaClass, uml.MetaAction,
+			uml.MetaActivity, uml.MetaComment, uml.MetaRequirement:
+			return ""
+		default:
+			return "«" + o.Class().Name() + "» "
+		}
+	}
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString("«" + n + "» ")
+	}
+	return b.String()
+}
+
+// isKind reports whether the object's metaclass conforms to the named class
+// in the model's metamodel.
+func isKind(m *uml.Model, o *metamodel.Object, class string) bool {
+	c, ok := m.Metamodel().FindClass(class)
+	return ok && o.IsA(c)
+}

@@ -1,0 +1,257 @@
+package diagram
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/modeldriven/dqwebre/internal/dqwebre"
+	"github.com/modeldriven/dqwebre/internal/easychair"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/transform"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+func TestMetamodelPlantUMLFig1(t *testing.T) {
+	out := MetamodelPlantUML(dqwebre.Metamodel(), "Fig. 1 Extended metamodel with DQ elements", nil)
+	for _, want := range []string{
+		"@startuml", "@enduml",
+		"class InformationCase", "class DQ_Requirement", "class DQ_Req_Specification",
+		"class Add_DQ_Metadata", "class DQ_Metadata", "class DQ_Validator", "class DQConstraint",
+		"enum DQDimension", "Completeness", "Traceability",
+		`package "DQ_WebRE.Behavior"`, `package "DQ_WebRE.Structure"`,
+		"UseCase <|-- InformationCase",
+		"UseCase <|-- DQ_Requirement",
+		"Requirement <|-- DQ_Req_Specification",
+		"Action <|-- Add_DQ_Metadata",
+		"Class <|-- DQ_Metadata",
+		"Class <|-- DQ_Validator",
+		"Class <|-- DQConstraint",
+		"upper_bound : Integer",
+		"lower_bound : Integer",
+		"dq_metadata : String [0..*]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig. 1 PlantUML lacks %q", want)
+		}
+	}
+}
+
+func TestMetamodelDOTFig1(t *testing.T) {
+	out := MetamodelDOT(dqwebre.Metamodel(), "Fig. 1", nil)
+	for _, want := range []string{
+		"digraph DQ_WebRE", "rankdir=BT",
+		"DQ_WebRE_Behavior_InformationCase",
+		"DQ_WebRE_Structure_DQConstraint",
+		"arrowhead=empty",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig. 1 DOT lacks %q", want)
+		}
+	}
+}
+
+func TestMetamodelFilter(t *testing.T) {
+	out := MetamodelPlantUML(dqwebre.Metamodel(), "", func(c *metamodel.Class) bool {
+		return c.Name() == dqwebre.MetaDQValidator
+	})
+	if !strings.Contains(out, "class DQ_Validator") {
+		t.Error("filtered class missing")
+	}
+	if strings.Contains(out, "class DQ_Metadata ") {
+		t.Error("filter leaked other classes")
+	}
+}
+
+func TestProfilePlantUMLFigs2to5(t *testing.T) {
+	p := dqwebre.Profile()
+	// Fig. 2: the use-case stereotypes.
+	fig2 := ProfilePlantUML(p, "Fig. 2", dqwebre.MetaInformationCase, dqwebre.MetaDQRequirement)
+	for _, want := range []string{
+		"class InformationCase <<stereotype>>",
+		"class DQ_Requirement <<stereotype>>",
+		"class UseCase <<metaclass>>",
+		"UseCase <|.. InformationCase",
+		"Must be related to at least one element of \"WebProcess\" type.",
+	} {
+		if !strings.Contains(fig2, want) {
+			t.Errorf("Fig. 2 lacks %q", want)
+		}
+	}
+	if strings.Contains(fig2, "DQ_Metadata") {
+		t.Error("Fig. 2 should not include class stereotypes")
+	}
+
+	// Fig. 3: the activity stereotype.
+	fig3 := ProfilePlantUML(p, "Fig. 3", dqwebre.MetaAddDQMetadata)
+	if !strings.Contains(fig3, "class Add_DQ_Metadata <<stereotype>>") {
+		t.Error("Fig. 3 lacks Add_DQ_Metadata")
+	}
+
+	// Fig. 4: the class stereotypes with tagged values.
+	fig4 := ProfilePlantUML(p, "Fig. 4",
+		dqwebre.MetaDQMetadata, dqwebre.MetaDQValidator, dqwebre.MetaDQConstraint)
+	for _, want := range []string{
+		"DQ_metadata : set(String)",
+		"upper_bound : Integer",
+		"lower_bound : Integer",
+		"class Class <<metaclass>>",
+	} {
+		if !strings.Contains(fig4, want) {
+			t.Errorf("Fig. 4 lacks %q", want)
+		}
+	}
+
+	// Fig. 5: the requirement stereotype.
+	fig5 := ProfilePlantUML(p, "Fig. 5", dqwebre.MetaDQReqSpecification)
+	for _, want := range []string{
+		"class DQ_Req_Specification <<stereotype>>",
+		"ID : Integer",
+		"Text : String",
+	} {
+		if !strings.Contains(fig5, want) {
+			t.Errorf("Fig. 5 lacks %q", want)
+		}
+	}
+}
+
+func TestProfileDOT(t *testing.T) {
+	out := ProfileDOT(dqwebre.Profile(), "profile")
+	for _, want := range []string{
+		"digraph DQ_WebRE",
+		"«stereotype»",
+		"InformationCase",
+		"style=dashed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile DOT lacks %q", want)
+		}
+	}
+}
+
+func TestUseCaseDiagramFig6(t *testing.T) {
+	e := easychair.MustBuildModel()
+	out := UseCasePlantUML(e.Model.Model, "Fig. 6 Use case diagram specifying DQ requirements")
+	for _, want := range []string{
+		"actor \"«WebUser» PC member\"",
+		"«WebProcess» Add new review to submission",
+		"«InformationCase» Add all data as result of review",
+		"«DQ_Requirement» check that data will be accessed only by authorized users",
+		"«DQ_Requirement» verify that all data have been completed by reviewer",
+		"«DQ_Requirement» check who is able to add or change a revision",
+		"«DQ_Requirement» validate the score assigned to each topic of revision",
+		"<<include>>",
+		"first_name, last_name, email_address",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig. 6 lacks %q", want)
+		}
+	}
+	// Exactly five include edges: process→IC plus IC→4 requirements.
+	if got := strings.Count(out, "<<include>>"); got != 5 {
+		t.Errorf("include edges = %d, want 5", got)
+	}
+
+	dot := UseCaseDOT(e.Model.Model, "Fig. 6")
+	if !strings.Contains(dot, "shape=ellipse") || !strings.Contains(dot, "«include»") {
+		t.Error("Fig. 6 DOT malformed")
+	}
+}
+
+func TestActivityDiagramFig7(t *testing.T) {
+	e := easychair.MustBuildModel()
+	out := ActivityPlantUML(e.Model.Model, e.Activity, "Fig. 7 Activity diagram with Data Quality management")
+	for _, want := range []string{
+		"«UserTransaction» add reviewer information",
+		"«UserTransaction» add evaluation scores",
+		"«Add_DQ_Metadata» store metadata of traceability",
+		"«Add_DQ_Metadata» add metadata about confidentiality",
+		"«Add_DQ_Metadata» Verify Precision of data",
+		"«Add_DQ_Metadata» Check Completeness of entered data",
+		"«DQ_Metadata» traceability metadata",
+		"«DQ_Validator» review DQ validator",
+		"[*] -->",
+		"--> [*]",
+		"[yes]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig. 7 lacks %q", want)
+		}
+	}
+
+	dot := ActivityDOT(e.Model.Model, e.Activity, "Fig. 7")
+	for _, want := range []string{
+		"subgraph cluster_0",
+		"label=\"PC member\"",
+		"label=\"EasyChair\"",
+		"shape=diamond",
+		"shape=doublecircle",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Fig. 7 DOT lacks %q", want)
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	a := UseCasePlantUML(easychair.MustBuildModel().Model.Model, "t")
+	b := UseCasePlantUML(easychair.MustBuildModel().Model.Model, "t")
+	if a != b {
+		t.Fatal("diagram output not deterministic across identical builds")
+	}
+}
+
+func TestEscAndIdent(t *testing.T) {
+	if esc(`a"b\c`+"\n") != `a\"b\\c\n` {
+		t.Fatalf("esc = %q", esc(`a"b\c`+"\n"))
+	}
+	if ident("a b-c.1") != "a_b_c_1" {
+		t.Fatalf("ident = %q", ident("a b-c.1"))
+	}
+	if ident("") != "_" {
+		t.Fatal("empty ident")
+	}
+}
+
+func TestStereoLabelFallsBackToMetaclass(t *testing.T) {
+	m := uml.NewModel("t", dqwebre.Metamodel())
+	// A heavyweight WebProcess with no stereotype applied still shows its
+	// metaclass in guillemets.
+	o := m.MustCreate("WebProcess")
+	if got := stereoLabel(m, o); got != "«WebProcess» " {
+		t.Fatalf("stereoLabel = %q", got)
+	}
+	uc := m.MustCreate("UseCase")
+	if got := stereoLabel(m, uc); got != "" {
+		t.Fatalf("plain UseCase label = %q", got)
+	}
+}
+
+func TestClassDiagramForDesignModel(t *testing.T) {
+	e := easychair.MustBuildModel()
+	dqsr, _, err := transform.RunDQR2DQSR(e.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, _, err := transform.RunDQSR2Design(dqsr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ClassDiagramPlantUML(design, "Design model")
+	for _, want := range []string{
+		"TraceabilityMetadata",
+		"ReviewDQValidator",
+		"stored_by : String",
+		"stored_date : Timestamp",
+		"check_precision(record): Boolean",
+		"«requirement»",
+		"«satisfy»",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("design diagram lacks %q", want)
+		}
+	}
+	dot := ClassDiagramDOT(design, "Design model")
+	if !strings.Contains(dot, "shape=record") || !strings.Contains(dot, "«satisfy»") {
+		t.Error("design DOT malformed")
+	}
+}

@@ -1,0 +1,262 @@
+package diagram
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+// UseCasePlantUML renders the model's use-case view: actors, use cases with
+// stereotype labels, actor-use-case associations, include/extend edges and
+// comment notes — the shape of the paper's Fig. 6.
+func UseCasePlantUML(m *uml.Model, title string) string {
+	m.AssignXIDs()
+	var b strings.Builder
+	b.WriteString("@startuml\n")
+	if title != "" {
+		fmt.Fprintf(&b, "title %s\n", title)
+	}
+	b.WriteString("left to right direction\n")
+
+	for _, o := range m.Objects() {
+		switch {
+		case isKind(m, o, uml.MetaActor):
+			fmt.Fprintf(&b, "actor \"%s%s\" as %s\n",
+				stereoLabel(m, o), o.GetString("name"), ident(o.XID()))
+		case isKind(m, o, uml.MetaUseCase):
+			fmt.Fprintf(&b, "usecase \"%s%s\" as %s\n",
+				stereoLabel(m, o), o.GetString("name"), ident(o.XID()))
+		case isKind(m, o, uml.MetaClass):
+			fmt.Fprintf(&b, "rectangle \"%s%s\" as %s\n",
+				stereoLabel(m, o), o.GetString("name"), ident(o.XID()))
+		}
+	}
+	// Edges.
+	for _, o := range m.Objects() {
+		switch {
+		case isKind(m, o, uml.MetaAssociation):
+			ends := o.GetRefs("memberEnd")
+			if len(ends) == 2 {
+				fmt.Fprintf(&b, "%s -- %s\n", ident(ends[0].XID()), ident(ends[1].XID()))
+			}
+		case isKind(m, o, uml.MetaUseCase):
+			for _, inc := range o.GetRefs("include") {
+				if add := inc.GetRef("addition"); add != nil {
+					fmt.Fprintf(&b, "%s ..> %s : <<include>>\n", ident(o.XID()), ident(add.XID()))
+				}
+			}
+			for _, ext := range o.GetRefs("extend") {
+				if ec := ext.GetRef("extendedCase"); ec != nil {
+					fmt.Fprintf(&b, "%s ..> %s : <<extend>>\n", ident(o.XID()), ident(ec.XID()))
+				}
+			}
+		case isKind(m, o, uml.MetaComment):
+			fmt.Fprintf(&b, "note \"%s\" as %s\n", esc(o.GetString("body")), ident(o.XID()))
+			for _, ann := range o.GetRefs("annotatedElement") {
+				fmt.Fprintf(&b, "%s .. %s\n", ident(o.XID()), ident(ann.XID()))
+			}
+		}
+	}
+	b.WriteString("@enduml\n")
+	return b.String()
+}
+
+// UseCaseDOT renders the use-case view as a DOT graph.
+func UseCaseDOT(m *uml.Model, title string) string {
+	m.AssignXIDs()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", ident(m.Name()))
+	if title != "" {
+		fmt.Fprintf(&b, "  label=\"%s\";\n", esc(title))
+	}
+	b.WriteString("  rankdir=LR;\n  node [fontsize=10];\n")
+	for _, o := range m.Objects() {
+		label := esc(stereoLabel(m, o) + o.GetString("name"))
+		switch {
+		case isKind(m, o, uml.MetaActor):
+			fmt.Fprintf(&b, "  %s [shape=plaintext, label=\"%s\"];\n", ident(o.XID()), label)
+		case isKind(m, o, uml.MetaUseCase):
+			fmt.Fprintf(&b, "  %s [shape=ellipse, label=\"%s\"];\n", ident(o.XID()), label)
+		case isKind(m, o, uml.MetaClass):
+			fmt.Fprintf(&b, "  %s [shape=box, label=\"%s\"];\n", ident(o.XID()), label)
+		case isKind(m, o, uml.MetaComment):
+			fmt.Fprintf(&b, "  %s [shape=note, label=\"%s\"];\n", ident(o.XID()), esc(o.GetString("body")))
+		}
+	}
+	for _, o := range m.Objects() {
+		switch {
+		case isKind(m, o, uml.MetaAssociation):
+			ends := o.GetRefs("memberEnd")
+			if len(ends) == 2 {
+				fmt.Fprintf(&b, "  %s -> %s [dir=none];\n", ident(ends[0].XID()), ident(ends[1].XID()))
+			}
+		case isKind(m, o, uml.MetaUseCase):
+			for _, inc := range o.GetRefs("include") {
+				if add := inc.GetRef("addition"); add != nil {
+					fmt.Fprintf(&b, "  %s -> %s [style=dashed, label=\"«include»\"];\n",
+						ident(o.XID()), ident(add.XID()))
+				}
+			}
+			for _, ext := range o.GetRefs("extend") {
+				if ec := ext.GetRef("extendedCase"); ec != nil {
+					fmt.Fprintf(&b, "  %s -> %s [style=dashed, label=\"«extend»\"];\n",
+						ident(o.XID()), ident(ec.XID()))
+				}
+			}
+		case isKind(m, o, uml.MetaComment):
+			for _, ann := range o.GetRefs("annotatedElement") {
+				fmt.Fprintf(&b, "  %s -> %s [style=dotted, dir=none];\n", ident(o.XID()), ident(ann.XID()))
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ActivityPlantUML renders one activity's graph with swimlanes and
+// stereotyped nodes — the shape of the paper's Fig. 7. Structural elements
+// (DQ_Metadata, DQ_Validator, WebUI) referenced by nodes are rendered as
+// linked rectangles.
+func ActivityPlantUML(m *uml.Model, activity *metamodel.Object, title string) string {
+	m.AssignXIDs()
+	var b strings.Builder
+	b.WriteString("@startuml\n")
+	if title != "" {
+		fmt.Fprintf(&b, "title %s\n", title)
+	}
+
+	nodes := activity.GetRefs("nodes")
+	edges := activity.GetRefs("edges")
+
+	// PlantUML's structured activity syntax cannot express arbitrary
+	// graphs, so the graph form uses the state-diagram dialect, which can.
+	for _, n := range nodes {
+		switch n.Class().Name() {
+		case uml.MetaInitialNode:
+			// rendered implicitly via [*] edges
+		case uml.MetaActivityFinalNode:
+			// rendered implicitly via [*] edges
+		default:
+			label := stereoLabel(m, n) + n.GetString("name")
+			fmt.Fprintf(&b, "state \"%s\" as %s\n", esc(label), ident(n.XID()))
+		}
+	}
+	for _, e := range edges {
+		src, dst := e.GetRef("source"), e.GetRef("target")
+		if src == nil || dst == nil {
+			continue
+		}
+		from, to := ident(src.XID()), ident(dst.XID())
+		if src.Class().Name() == uml.MetaInitialNode {
+			from = "[*]"
+		}
+		if dst.Class().Name() == uml.MetaActivityFinalNode {
+			to = "[*]"
+		}
+		guard := e.GetString("guard")
+		if guard != "" {
+			fmt.Fprintf(&b, "%s --> %s : [%s]\n", from, to, esc(guard))
+		} else {
+			fmt.Fprintf(&b, "%s --> %s\n", from, to)
+		}
+	}
+	// Structural elements wired to Add_DQ_Metadata nodes.
+	for _, n := range nodes {
+		for _, prop := range []string{"metadata", "validator"} {
+			if _, ok := n.Class().Property(prop); !ok {
+				continue
+			}
+			if target := n.GetRef(prop); target != nil {
+				fmt.Fprintf(&b, "state \"%s\" as %s\n",
+					esc(stereoLabel(m, target)+target.GetString("name")), ident(target.XID()))
+				fmt.Fprintf(&b, "%s --> %s : %s\n", ident(n.XID()), ident(target.XID()), prop)
+			}
+		}
+	}
+	b.WriteString("@enduml\n")
+	return b.String()
+}
+
+// ActivityDOT renders one activity's graph as DOT, with swimlane clusters.
+func ActivityDOT(m *uml.Model, activity *metamodel.Object, title string) string {
+	m.AssignXIDs()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", ident(activity.GetString("name")))
+	if title != "" {
+		fmt.Fprintf(&b, "  label=\"%s\";\n", esc(title))
+	}
+	b.WriteString("  rankdir=TB;\n  node [fontsize=10];\n")
+
+	nodes := activity.GetRefs("nodes")
+	edges := activity.GetRefs("edges")
+	partitions := activity.GetRefs("partitions")
+
+	byPartition := map[*metamodel.Object][]*metamodel.Object{}
+	var unpartitioned []*metamodel.Object
+	for _, n := range nodes {
+		if p := n.GetRef("inPartition"); p != nil {
+			byPartition[p] = append(byPartition[p], n)
+		} else {
+			unpartitioned = append(unpartitioned, n)
+		}
+	}
+	emitNode := func(indent string, n *metamodel.Object) {
+		label := esc(stereoLabel(m, n) + n.GetString("name"))
+		switch n.Class().Name() {
+		case uml.MetaInitialNode:
+			fmt.Fprintf(&b, "%s%s [shape=circle, style=filled, fillcolor=black, label=\"\", width=0.2];\n", indent, ident(n.XID()))
+		case uml.MetaActivityFinalNode:
+			fmt.Fprintf(&b, "%s%s [shape=doublecircle, style=filled, fillcolor=black, label=\"\", width=0.15];\n", indent, ident(n.XID()))
+		case uml.MetaDecisionNode, uml.MetaMergeNode:
+			fmt.Fprintf(&b, "%s%s [shape=diamond, label=\"%s\"];\n", indent, ident(n.XID()), label)
+		case uml.MetaForkNode, uml.MetaJoinNode:
+			fmt.Fprintf(&b, "%s%s [shape=box, style=filled, fillcolor=black, label=\"\", height=0.08];\n", indent, ident(n.XID()))
+		default:
+			fmt.Fprintf(&b, "%s%s [shape=box, style=rounded, label=\"%s\"];\n", indent, ident(n.XID()), label)
+		}
+	}
+	for i, p := range partitions {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=\"%s\";\n", i, esc(p.GetString("name")))
+		for _, n := range byPartition[p] {
+			emitNode("    ", n)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, n := range unpartitioned {
+		emitNode("  ", n)
+	}
+	for _, e := range edges {
+		src, dst := e.GetRef("source"), e.GetRef("target")
+		if src == nil || dst == nil {
+			continue
+		}
+		guard := e.GetString("guard")
+		if guard != "" {
+			fmt.Fprintf(&b, "  %s -> %s [label=\"[%s]\"];\n", ident(src.XID()), ident(dst.XID()), esc(guard))
+		} else {
+			fmt.Fprintf(&b, "  %s -> %s;\n", ident(src.XID()), ident(dst.XID()))
+		}
+	}
+	// Structural element links.
+	emitted := map[string]bool{}
+	for _, n := range nodes {
+		for _, prop := range []string{"metadata", "validator"} {
+			if _, ok := n.Class().Property(prop); !ok {
+				continue
+			}
+			if target := n.GetRef(prop); target != nil {
+				if !emitted[target.XID()] {
+					emitted[target.XID()] = true
+					fmt.Fprintf(&b, "  %s [shape=box, label=\"%s\"];\n",
+						ident(target.XID()), esc(stereoLabel(m, target)+target.GetString("name")))
+				}
+				fmt.Fprintf(&b, "  %s -> %s [style=dashed, label=\"%s\"];\n",
+					ident(n.XID()), ident(target.XID()), prop)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

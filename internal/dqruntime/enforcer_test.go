@@ -1,0 +1,242 @@
+package dqruntime_test
+
+import (
+	"testing"
+
+	. "github.com/modeldriven/dqwebre/internal/dqruntime"
+	"github.com/modeldriven/dqwebre/internal/easychair"
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/transform"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+// buildEnforcer runs the whole pipeline of the paper on the case study:
+// requirements model → DQSR model → runtime enforcer.
+func buildEnforcer(t testing.TB) *Enforcer {
+	t.Helper()
+	e := easychair.MustBuildModel()
+	dqsr, _, err := transform.RunDQR2DQSR(e.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enf, err := BuildFromDQSR(dqsr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enf
+}
+
+func TestBuildFromDQSRAssemblesRequirements(t *testing.T) {
+	enf := buildEnforcer(t)
+	reqs := enf.Requirements()
+	if len(reqs) != 4 {
+		t.Fatalf("requirements = %d, want 4", len(reqs))
+	}
+	mech := map[iso25012.Characteristic]string{}
+	for _, r := range reqs {
+		mech[r.Dimension] = r.Mechanism
+		if r.Title == "" || r.Description == "" || r.ID == 0 {
+			t.Errorf("incomplete summary: %+v", r)
+		}
+	}
+	if mech[iso25012.Completeness] != "validator" || mech[iso25012.Precision] != "validator" {
+		t.Errorf("validation mechanisms = %v", mech)
+	}
+	if mech[iso25012.Traceability] != "metadata" || mech[iso25012.Confidentiality] != "metadata" {
+		t.Errorf("metadata mechanisms = %v", mech)
+	}
+	if !enf.TraceabilityEnabled() || !enf.ConfidentialityEnabled() {
+		t.Fatal("metadata machinery not enabled")
+	}
+	if enf.DQModel().Len() != 4 {
+		t.Fatalf("DQ model has %d characteristics", enf.DQModel().Len())
+	}
+	// Checks: 1 completeness + 2 precision (the two numeric score fields).
+	if got := len(enf.Validator().Checks()); got != 3 {
+		t.Fatalf("checks = %d, want 3", got)
+	}
+}
+
+func TestEnforcerValidatesTheCaseStudyRecord(t *testing.T) {
+	enf := buildEnforcer(t)
+	good := Record{
+		"first_name":          "Grace",
+		"last_name":           "Hopper",
+		"email_address":       "grace@navy.mil",
+		"overall_evaluation":  "2",
+		"reviewer_confidence": "3",
+	}
+	rep := enf.CheckInput(good)
+	if !rep.Passed() {
+		t.Fatalf("good record failed: %+v", rep.Failures())
+	}
+
+	// Missing a field: completeness fails.
+	incomplete := good.Clone()
+	delete(incomplete, "last_name")
+	rep = enf.CheckInput(incomplete)
+	if rep.Passed() {
+		t.Fatal("incomplete record passed")
+	}
+	fails := rep.Failures()
+	if len(fails) != 1 || fails[0].Characteristic != iso25012.Completeness {
+		t.Fatalf("failures = %+v", fails)
+	}
+
+	// Score out of the constraint's [-3,3]: precision fails.
+	imprecise := good.Clone()
+	imprecise["overall_evaluation"] = "7"
+	rep = enf.CheckInput(imprecise)
+	if rep.Passed() {
+		t.Fatal("imprecise record passed")
+	}
+	fails = rep.Failures()
+	if len(fails) != 1 || fails[0].Characteristic != iso25012.Precision {
+		t.Fatalf("failures = %+v", fails)
+	}
+}
+
+func TestEnforcerMetadataLifecycle(t *testing.T) {
+	enf := buildEnforcer(t)
+	enf.OnStore("review/42", "alice", 2, []string{"chair"})
+	enf.OnModify("review/42", "alice")
+
+	if !enf.CanAccess("review/42", "alice", 0) {
+		t.Fatal("owner denied")
+	}
+	if !enf.CanAccess("review/42", "chair", 0) {
+		t.Fatal("explicitly available user denied")
+	}
+	if enf.CanAccess("review/42", "stranger", 1) {
+		t.Fatal("stranger with low clearance allowed")
+	}
+	if !enf.CanAccess("review/42", "pc-member", 2) {
+		t.Fatal("sufficient clearance denied")
+	}
+
+	audit := enf.Store().Audit("review/42")
+	// store + modify + 4 access decisions.
+	if len(audit) != 6 {
+		t.Fatalf("audit = %d entries", len(audit))
+	}
+	md, ok := enf.Store().Get("review/42")
+	if !ok || md.StoredBy != "alice" {
+		t.Fatalf("metadata = %+v", md)
+	}
+}
+
+func TestEnforcerAssess(t *testing.T) {
+	enf := buildEnforcer(t)
+	good := Record{
+		"first_name": "G", "last_name": "H", "email_address": "g@h.io",
+		"overall_evaluation": "1", "reviewer_confidence": "4",
+	}
+	as := enf.Assess(good)
+	if len(as) != 4 {
+		t.Fatalf("assessments = %d", len(as))
+	}
+	for _, a := range as {
+		if !a.Satisfied {
+			t.Errorf("%s not satisfied: %+v", a.Characteristic, a)
+		}
+	}
+	bad := Record{"first_name": "G"}
+	as = enf.Assess(bad)
+	satisfied := 0
+	for _, a := range as {
+		if a.Satisfied {
+			satisfied++
+		}
+	}
+	// Traceability and Confidentiality are system-guaranteed; Completeness
+	// and Precision fail on the bad record... except precision checks are
+	// Optional for blank fields, so only Completeness fails.
+	if satisfied != 3 {
+		t.Fatalf("satisfied = %d, want 3: %+v", satisfied, as)
+	}
+}
+
+func TestEnforcerDisabledMetadataIsNoop(t *testing.T) {
+	// A DQSR model with only a Completeness requirement: no metadata
+	// machinery; access is unrestricted and OnStore is a no-op.
+	m := uml.NewModel("mini", transform.DQSRMetamodel())
+	req := m.MustCreate("SoftwareRequirement")
+	req.MustSet("title", str("complete"))
+	req.MustSet("dimension", str("Completeness"))
+	req.MustAppend("fields", str("a"))
+	enf, err := BuildFromDQSR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enf.TraceabilityEnabled() || enf.ConfidentialityEnabled() {
+		t.Fatal("metadata should be disabled")
+	}
+	enf.OnStore("k", "u", 5, nil)
+	enf.OnModify("k", "u")
+	if enf.Store().Len() != 0 {
+		t.Fatal("OnStore should be a no-op")
+	}
+	if !enf.CanAccess("k", "anyone", 0) {
+		t.Fatal("access should be unrestricted")
+	}
+}
+
+func TestBuildFromDQSRRejectsNonDQSRModel(t *testing.T) {
+	m := uml.NewModel("not-dqsr", uml.Metamodel())
+	if _, err := BuildFromDQSR(m); err == nil {
+		t.Fatal("non-DQSR model accepted")
+	}
+}
+
+func TestBuildFromDQSRRejectsUnknownDimension(t *testing.T) {
+	m := uml.NewModel("bad", transform.DQSRMetamodel())
+	req := m.MustCreate("SoftwareRequirement")
+	req.MustSet("title", str("x"))
+	req.MustSet("dimension", str("Velocity"))
+	if _, err := BuildFromDQSR(m); err == nil {
+		t.Fatal("unknown dimension accepted")
+	}
+}
+
+func TestConfidentialityOnlyStripsNothing(t *testing.T) {
+	// Confidentiality without traceability still stores metadata with the
+	// security level.
+	m := uml.NewModel("conf", transform.DQSRMetamodel())
+	req := m.MustCreate("SoftwareRequirement")
+	req.MustSet("title", str("c"))
+	req.MustSet("dimension", str("Confidentiality"))
+	enf, err := BuildFromDQSR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enf.OnStore("k", "owner", 4, []string{"friend"})
+	if enf.CanAccess("k", "rando", 3) {
+		t.Fatal("level 3 < 4 allowed")
+	}
+	if !enf.CanAccess("k", "friend", 0) {
+		t.Fatal("friend denied")
+	}
+}
+
+// str is a test shorthand for metamodel string values.
+func str(s string) metamodel.String { return metamodel.String(s) }
+
+// TestPerFieldBoundsApplied verifies that the case study's per-field ranges
+// are honored: reviewer_confidence accepts 5 (its own [0,5]) but rejects -1,
+// while overall_evaluation uses [-3,3].
+func TestPerFieldBoundsApplied(t *testing.T) {
+	enf := buildEnforcer(t)
+	base := Record{
+		"first_name": "G", "last_name": "H", "email_address": "g@h.io",
+		"overall_evaluation": "-3", "reviewer_confidence": "5",
+	}
+	if rep := enf.CheckInput(base); !rep.Passed() {
+		t.Fatalf("edge values failed: %+v", rep.Failures())
+	}
+	neg := base.Clone()
+	neg["reviewer_confidence"] = "-1"
+	if rep := enf.CheckInput(neg); rep.Passed() {
+		t.Fatal("confidence -1 passed despite [0,5]")
+	}
+}

@@ -1,0 +1,196 @@
+package dqruntime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metadata is the per-record DQ metadata the paper's «DQ_Metadata» elements
+// persist: the Traceability set (stored_by, stored_date, last_modified_by,
+// last_modified_date) and the Confidentiality set (security_level,
+// available_to).
+type Metadata struct {
+	// StoredBy and StoredDate record the original write (Traceability).
+	StoredBy   string
+	StoredDate time.Time
+	// LastModifiedBy and LastModifiedDate record the latest change.
+	LastModifiedBy   string
+	LastModifiedDate time.Time
+	// SecurityLevel is the clearance required to read the record
+	// (Confidentiality); higher means more restricted.
+	SecurityLevel int
+	// AvailableTo lists users always allowed to read the record, regardless
+	// of level.
+	AvailableTo []string
+}
+
+// AuditAction enumerates audited operations.
+type AuditAction string
+
+// Audited operations.
+const (
+	ActionStore  AuditAction = "store"
+	ActionModify AuditAction = "modify"
+	ActionRead   AuditAction = "read"
+	ActionDenied AuditAction = "denied"
+)
+
+// AuditEntry is one line of the audit trail (Traceability: "an audit trail
+// of access to the data and of any changes made to the data").
+type AuditEntry struct {
+	// Key identifies the record.
+	Key string
+	// Action performed.
+	Action AuditAction
+	// User performing it.
+	User string
+	// At is the entry timestamp.
+	At time.Time
+}
+
+// String renders the entry for reports.
+func (e AuditEntry) String() string {
+	return fmt.Sprintf("%s %s %s by %s", e.At.Format(time.RFC3339), e.Action, e.Key, e.User)
+}
+
+// MetadataStore is a thread-safe store of per-record Metadata plus the
+// audit trail — the runtime counterpart of the model's «DQ_Metadata»
+// elements. Keys identify application records (e.g. "review/42").
+type MetadataStore struct {
+	mu    sync.RWMutex
+	byKey map[string]*Metadata
+	audit []AuditEntry
+	clock func() time.Time
+}
+
+// NewMetadataStore creates an empty store using the real clock.
+func NewMetadataStore() *MetadataStore {
+	return &MetadataStore{byKey: make(map[string]*Metadata), clock: time.Now}
+}
+
+// SetClock injects a deterministic clock for tests; nil restores time.Now.
+func (s *MetadataStore) SetClock(clock func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if clock == nil {
+		clock = time.Now
+	}
+	s.clock = clock
+}
+
+// RecordStore captures the Traceability and Confidentiality metadata of an
+// initial write.
+func (s *MetadataStore) RecordStore(key, user string, level int, availableTo []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	s.byKey[key] = &Metadata{
+		StoredBy:         user,
+		StoredDate:       now,
+		LastModifiedBy:   user,
+		LastModifiedDate: now,
+		SecurityLevel:    level,
+		AvailableTo:      append([]string(nil), availableTo...),
+	}
+	s.audit = append(s.audit, AuditEntry{Key: key, Action: ActionStore, User: user, At: now})
+}
+
+// RecordModify captures a subsequent change; it is a no-op with an audit
+// entry if the record was never stored (the caller's bug is still traced).
+func (s *MetadataStore) RecordModify(key, user string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	if md, ok := s.byKey[key]; ok {
+		md.LastModifiedBy = user
+		md.LastModifiedDate = now
+	}
+	s.audit = append(s.audit, AuditEntry{Key: key, Action: ActionModify, User: user, At: now})
+}
+
+// Get returns a copy of the record's metadata.
+func (s *MetadataStore) Get(key string) (Metadata, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	md, ok := s.byKey[key]
+	if !ok {
+		return Metadata{}, false
+	}
+	out := *md
+	out.AvailableTo = append([]string(nil), md.AvailableTo...)
+	return out, true
+}
+
+// Authorize implements the Confidentiality requirement: a user may read the
+// record when their clearance meets the record's security level, or when
+// they are explicitly listed in AvailableTo, or when they stored it. The
+// decision is always audited (read or denied). Unknown keys are denied.
+func (s *MetadataStore) Authorize(key, user string, userLevel int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	md, ok := s.byKey[key]
+	allowed := false
+	if ok {
+		switch {
+		case md.StoredBy == user:
+			allowed = true
+		case userLevel >= md.SecurityLevel:
+			allowed = true
+		default:
+			for _, u := range md.AvailableTo {
+				if u == user {
+					allowed = true
+					break
+				}
+			}
+		}
+	}
+	action := ActionRead
+	if !allowed {
+		action = ActionDenied
+	}
+	s.audit = append(s.audit, AuditEntry{Key: key, Action: action, User: user, At: now})
+	return allowed
+}
+
+// Audit returns the audit entries for one key, oldest first.
+func (s *MetadataStore) Audit(key string) []AuditEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []AuditEntry
+	for _, e := range s.audit {
+		if e.Key == key {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// AuditAll returns the whole audit trail, oldest first.
+func (s *MetadataStore) AuditAll() []AuditEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]AuditEntry(nil), s.audit...)
+}
+
+// Keys returns the stored record keys in sorted order.
+func (s *MetadataStore) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored records.
+func (s *MetadataStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byKey)
+}

@@ -1,0 +1,164 @@
+package dqruntime
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock(start time.Time) func() time.Time {
+	t := start
+	var mu sync.Mutex
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func TestMetadataStoreTraceability(t *testing.T) {
+	s := NewMetadataStore()
+	start := time.Date(2026, 7, 5, 9, 0, 0, 0, time.UTC)
+	s.SetClock(fixedClock(start))
+
+	s.RecordStore("review/1", "alice", 2, []string{"bob"})
+	s.RecordModify("review/1", "carol")
+
+	md, ok := s.Get("review/1")
+	if !ok {
+		t.Fatal("metadata missing")
+	}
+	if md.StoredBy != "alice" || md.LastModifiedBy != "carol" {
+		t.Fatalf("metadata = %+v", md)
+	}
+	if !md.LastModifiedDate.After(md.StoredDate) {
+		t.Fatal("modification date should advance")
+	}
+	if md.SecurityLevel != 2 || len(md.AvailableTo) != 1 || md.AvailableTo[0] != "bob" {
+		t.Fatalf("confidentiality metadata = %+v", md)
+	}
+
+	audit := s.Audit("review/1")
+	if len(audit) != 2 || audit[0].Action != ActionStore || audit[1].Action != ActionModify {
+		t.Fatalf("audit = %v", audit)
+	}
+	if audit[0].String() == "" {
+		t.Fatal("audit entry String empty")
+	}
+}
+
+func TestMetadataStoreGetCopies(t *testing.T) {
+	s := NewMetadataStore()
+	s.RecordStore("k", "u", 1, []string{"x"})
+	md, _ := s.Get("k")
+	md.AvailableTo[0] = "mutated"
+	md2, _ := s.Get("k")
+	if md2.AvailableTo[0] != "x" {
+		t.Fatal("Get leaked internal slice")
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("phantom metadata")
+	}
+}
+
+func TestAuthorizeConfidentiality(t *testing.T) {
+	s := NewMetadataStore()
+	s.RecordStore("review/1", "alice", 3, []string{"bob"})
+
+	cases := []struct {
+		user  string
+		level int
+		want  bool
+	}{
+		{"alice", 0, true},  // owner always reads
+		{"bob", 0, true},    // explicitly available
+		{"carol", 3, true},  // sufficient clearance
+		{"carol", 2, false}, // insufficient clearance
+		{"dave", 0, false},
+	}
+	for _, c := range cases {
+		if got := s.Authorize("review/1", c.user, c.level); got != c.want {
+			t.Errorf("Authorize(%s, %d) = %v, want %v", c.user, c.level, got, c.want)
+		}
+	}
+	// Unknown record denied and audited.
+	if s.Authorize("ghost", "alice", 99) {
+		t.Fatal("unknown record authorized")
+	}
+	audit := s.Audit("review/1")
+	denied := 0
+	for _, e := range audit {
+		if e.Action == ActionDenied {
+			denied++
+		}
+	}
+	if denied != 2 {
+		t.Fatalf("denied entries = %d, want 2", denied)
+	}
+}
+
+func TestModifyUnknownKeyStillAudited(t *testing.T) {
+	s := NewMetadataStore()
+	s.RecordModify("ghost", "alice")
+	if _, ok := s.Get("ghost"); ok {
+		t.Fatal("modify should not create metadata")
+	}
+	if len(s.Audit("ghost")) != 1 {
+		t.Fatal("modify of unknown key not audited")
+	}
+}
+
+func TestKeysAndLen(t *testing.T) {
+	s := NewMetadataStore()
+	s.RecordStore("b", "u", 0, nil)
+	s.RecordStore("a", "u", 0, nil)
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := len(s.AuditAll()); got != 2 {
+		t.Fatalf("audit all = %d", got)
+	}
+}
+
+func TestMetadataStoreConcurrentUse(t *testing.T) {
+	s := NewMetadataStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			key := fmt.Sprintf("rec/%d", n%4)
+			user := fmt.Sprintf("user%d", n)
+			s.RecordStore(key, user, n%3, nil)
+			s.RecordModify(key, user)
+			s.Authorize(key, user, 3)
+			s.Get(key)
+			s.Keys()
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 4 {
+		t.Fatalf("records = %d, want 4", s.Len())
+	}
+	// 16 stores + 16 modifies + 16 reads.
+	if got := len(s.AuditAll()); got != 48 {
+		t.Fatalf("audit = %d, want 48", got)
+	}
+}
+
+func TestSetClockNilRestoresRealClock(t *testing.T) {
+	s := NewMetadataStore()
+	s.SetClock(nil)
+	before := time.Now().Add(-time.Second)
+	s.RecordStore("k", "u", 0, nil)
+	md, _ := s.Get("k")
+	if md.StoredDate.Before(before) {
+		t.Fatal("real clock not in use")
+	}
+}

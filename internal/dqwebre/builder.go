@@ -1,0 +1,359 @@
+package dqwebre
+
+import (
+	"fmt"
+
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/uml"
+	"github.com/modeldriven/dqwebre/internal/validate"
+	"github.com/modeldriven/dqwebre/internal/webre"
+)
+
+// RequirementsModel is the analyst-facing API for building DQ-aware web
+// requirements models: the use-case diagrams (paper Fig. 6) and activity
+// diagrams (paper Fig. 7). Elements are heavyweight instances of the
+// DQ_WebRE metamodel AND carry the matching profile stereotype, mirroring
+// the paper's dual delivery (extended metamodel + UML profile).
+type RequirementsModel struct {
+	*uml.Model
+	b *uml.Builder
+}
+
+// NewRequirementsModel creates an empty model over the DQ_WebRE metamodel
+// with the DQ_WebRE profile applied.
+func NewRequirementsModel(name string) *RequirementsModel {
+	m := uml.NewModel(name, Metamodel())
+	m.ApplyProfile(webre.Profile())
+	m.ApplyProfile(Profile())
+	return &RequirementsModel{Model: m, b: uml.NewBuilder(m)}
+}
+
+// WrapModel wraps an existing DQ_WebRE model (e.g. one loaded from XMI) in
+// the analyst API. The DQ_WebRE profile is applied if it is not already.
+func WrapModel(m *uml.Model) *RequirementsModel {
+	m.ApplyProfile(webre.Profile())
+	m.ApplyProfile(Profile())
+	return &RequirementsModel{Model: m, b: uml.NewBuilder(m)}
+}
+
+// Err returns the first construction error, if any. All builder methods
+// short-circuit once an error occurred.
+func (rm *RequirementsModel) Err() error { return rm.b.Err() }
+
+// Builder exposes the underlying low-level UML builder.
+func (rm *RequirementsModel) Builder() *uml.Builder { return rm.b }
+
+// WebUser creates a WebRE WebUser actor (e.g. "PC member").
+func (rm *RequirementsModel) WebUser(name string) *metamodel.Object {
+	return rm.b.Create(webre.MetaWebUser, name)
+}
+
+// WebProcess creates a WebRE WebProcess use case and associates the given
+// actors with it.
+func (rm *RequirementsModel) WebProcess(name string, actors ...*metamodel.Object) *metamodel.Object {
+	uc := rm.b.UseCase(webre.MetaWebProcess, name)
+	for _, a := range actors {
+		rm.b.Associate(a, uc)
+	}
+	return uc
+}
+
+// InformationCase creates an «InformationCase» use case managing the given
+// contents, and links it to the web process with an include relationship,
+// satisfying the Table 3 constraint.
+func (rm *RequirementsModel) InformationCase(name string, process *metamodel.Object, contents ...*metamodel.Object) *metamodel.Object {
+	ic := rm.b.UseCase(MetaInformationCase, name)
+	if ic == nil {
+		return nil
+	}
+	for _, c := range contents {
+		if err := ic.AppendRef("manages", c); err != nil {
+			rm.b.Fail(err)
+			return nil
+		}
+	}
+	if process != nil {
+		rm.b.Include(process, ic)
+	}
+	rm.b.Apply(ic, MetaInformationCase)
+	return ic
+}
+
+// DQRequirement creates a «DQ_Requirement» use case for one ISO/IEC 25012
+// dimension and links it to the information case with an include
+// relationship (Table 3: DQ_Requirement must be included by an
+// InformationCase).
+func (rm *RequirementsModel) DQRequirement(name string, dim iso25012.Characteristic, infoCase *metamodel.Object) *metamodel.Object {
+	req := rm.b.UseCase(MetaDQRequirement, name)
+	if req == nil {
+		return nil
+	}
+	lit, err := DimensionLit(dim)
+	if err != nil {
+		rm.b.Fail(err)
+		return nil
+	}
+	if err := req.Set("dimension", lit); err != nil {
+		rm.b.Fail(err)
+		return nil
+	}
+	if infoCase != nil {
+		rm.b.Include(infoCase, req)
+	}
+	rm.b.Apply(req, MetaDQRequirement)
+	return req
+}
+
+// Specify attaches a detailed «DQ_Req_Specification» to a DQ requirement,
+// carrying the Table 3 tagged values ID and Text.
+func (rm *RequirementsModel) Specify(req *metamodel.Object, id int64, text string) *metamodel.Object {
+	spec := rm.b.Requirement(MetaDQReqSpecification, id, req.GetString("name"), text)
+	if spec == nil {
+		return nil
+	}
+	if err := req.Set("specification", metamodel.Ref{Target: spec}); err != nil {
+		rm.b.Fail(err)
+		return nil
+	}
+	if app := rm.b.Apply(spec, MetaDQReqSpecification); app != nil {
+		app.MustSetTag("ID", metamodel.Int(id))
+		app.MustSetTag("Text", metamodel.String(text))
+	}
+	return spec
+}
+
+// Content creates a WebRE Content element; fields, when given, are attached
+// both as class attributes and as a comment note, matching the paper's
+// Fig. 6 presentation.
+func (rm *RequirementsModel) Content(name string, fields ...string) *metamodel.Object {
+	c := rm.b.Class(webre.MetaContent, name)
+	if c == nil {
+		return nil
+	}
+	for _, f := range fields {
+		rm.b.Attribute(c, f, "String")
+	}
+	if len(fields) > 0 {
+		body := ""
+		for i, f := range fields {
+			if i > 0 {
+				body += ", "
+			}
+			body += f
+		}
+		rm.b.Comment(body, c)
+	}
+	return c
+}
+
+// Node creates a WebRE Node.
+func (rm *RequirementsModel) Node(name string) *metamodel.Object {
+	return rm.b.Class(webre.MetaNode, name)
+}
+
+// WebUI creates a WebRE WebUI (a web page) element.
+func (rm *RequirementsModel) WebUI(name string) *metamodel.Object {
+	return rm.b.Class(webre.MetaWebUI, name)
+}
+
+// DQMetadata creates a «DQ_Metadata» class holding the given metadata
+// attribute names, associated with the given contents.
+func (rm *RequirementsModel) DQMetadata(name string, metadata []string, contents ...*metamodel.Object) *metamodel.Object {
+	c := rm.b.Class(MetaDQMetadata, name)
+	if c == nil {
+		return nil
+	}
+	for _, md := range metadata {
+		if err := c.Append("dq_metadata", metamodel.String(md)); err != nil {
+			rm.b.Fail(err)
+			return nil
+		}
+		rm.b.Attribute(c, md, "String")
+	}
+	for _, ct := range contents {
+		if err := c.AppendRef("contents", ct); err != nil {
+			rm.b.Fail(err)
+			return nil
+		}
+	}
+	if app := rm.b.Apply(c, MetaDQMetadata); app != nil {
+		items := make([]metamodel.Value, len(metadata))
+		for i, md := range metadata {
+			items[i] = metamodel.String(md)
+		}
+		app.MustSetTag("DQ_metadata", &metamodel.List{Items: items})
+	}
+	return c
+}
+
+// DQValidator creates a «DQ_Validator» class with the given check
+// operations (e.g. "check_completeness", "check_precision"), validating the
+// given WebUI elements.
+func (rm *RequirementsModel) DQValidator(name string, operations []string, uis ...*metamodel.Object) *metamodel.Object {
+	c := rm.b.Class(MetaDQValidator, name)
+	if c == nil {
+		return nil
+	}
+	for _, op := range operations {
+		rm.b.Operation(c, op, "(): Boolean")
+	}
+	for _, ui := range uis {
+		if err := c.AppendRef("validates", ui); err != nil {
+			rm.b.Fail(err)
+			return nil
+		}
+	}
+	rm.b.Apply(c, MetaDQValidator)
+	return c
+}
+
+// DQConstraint creates a «DQConstraint» class with bounds and payload,
+// related to the given validators (Table 3 requires at least one).
+func (rm *RequirementsModel) DQConstraint(name string, lower, upper int64, data []string, validators ...*metamodel.Object) *metamodel.Object {
+	c := rm.b.Class(MetaDQConstraint, name)
+	if c == nil {
+		return nil
+	}
+	if err := c.SetInt("lower_bound", lower); err != nil {
+		rm.b.Fail(err)
+		return nil
+	}
+	if err := c.SetInt("upper_bound", upper); err != nil {
+		rm.b.Fail(err)
+		return nil
+	}
+	for _, dt := range data {
+		if err := c.Append("constraintData", metamodel.String(dt)); err != nil {
+			rm.b.Fail(err)
+			return nil
+		}
+	}
+	for _, v := range validators {
+		if err := c.AppendRef("validator", v); err != nil {
+			rm.b.Fail(err)
+			return nil
+		}
+	}
+	if app := rm.b.Apply(c, MetaDQConstraint); app != nil {
+		items := make([]metamodel.Value, len(data))
+		for i, dt := range data {
+			items[i] = metamodel.String(dt)
+		}
+		app.MustSetTag("DQConstraint", &metamodel.List{Items: items})
+		app.MustSetTag("lower_bound", metamodel.Int(lower))
+		app.MustSetTag("upper_bound", metamodel.Int(upper))
+	}
+	return c
+}
+
+// Activity creates a UML activity (the canvas of the paper's Fig. 7).
+func (rm *RequirementsModel) Activity(name string) *metamodel.Object {
+	return rm.b.Activity(name)
+}
+
+// UserTransaction adds a WebRE UserTransaction node to an activity,
+// touching the given contents.
+func (rm *RequirementsModel) UserTransaction(activity *metamodel.Object, name string, partition *metamodel.Object, contents ...*metamodel.Object) *metamodel.Object {
+	n := rm.b.Node(activity, webre.MetaUserTransaction, name, partition)
+	if n == nil {
+		return nil
+	}
+	for _, c := range contents {
+		if err := n.AppendRef("data", c); err != nil {
+			rm.b.Fail(err)
+			return nil
+		}
+	}
+	return n
+}
+
+// AddDQMetadataActivity adds an «Add_DQ_Metadata» node to an activity,
+// wired to a DQ_Metadata store and/or DQ_Validator and covering the given
+// user transactions.
+func (rm *RequirementsModel) AddDQMetadataActivity(activity *metamodel.Object, name string, partition, store, validator *metamodel.Object, transactions ...*metamodel.Object) *metamodel.Object {
+	n := rm.b.Node(activity, MetaAddDQMetadata, name, partition)
+	if n == nil {
+		return nil
+	}
+	if store != nil {
+		if err := n.Set("metadata", metamodel.Ref{Target: store}); err != nil {
+			rm.b.Fail(err)
+			return nil
+		}
+	}
+	if validator != nil {
+		if err := n.Set("validator", metamodel.Ref{Target: validator}); err != nil {
+			rm.b.Fail(err)
+			return nil
+		}
+	}
+	for _, tx := range transactions {
+		if err := n.AppendRef("transactions", tx); err != nil {
+			rm.b.Fail(err)
+			return nil
+		}
+	}
+	rm.b.Apply(n, MetaAddDQMetadata)
+	return n
+}
+
+// Validate runs the full validation stack on the model: structural
+// conformance, the DQ_WebRE metamodel well-formedness rules and the
+// profile's Table 3 constraints.
+func (rm *RequirementsModel) Validate() *validate.Report {
+	eng := validate.New(rm.Model)
+	for _, r := range Rules() {
+		eng.AddRules(validate.Rule{
+			ID:    r.ID,
+			Class: r.Class,
+			Expr:  r.Expr,
+			Doc:   r.Doc,
+		})
+	}
+	eng.AddProfileConstraints(Profile())
+	return eng.Run()
+}
+
+// DQRequirements returns the model's DQ_Requirement elements with their
+// dimensions, in creation order — the input to the DQR→DQSR transformation.
+func (rm *RequirementsModel) DQRequirements() ([]RequirementInfo, error) {
+	objs, err := rm.Model.AllInstancesOf(MetaDQRequirement)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RequirementInfo, 0, len(objs))
+	for _, o := range objs {
+		info := RequirementInfo{Element: o, Name: o.GetString("name")}
+		if v, ok := o.Get("dimension"); ok {
+			if lit, ok := v.(metamodel.EnumLit); ok {
+				info.Dimension = iso25012.Characteristic(lit.Literal)
+			}
+		}
+		if spec := o.GetRef("specification"); spec != nil {
+			info.SpecID = spec.GetInt("id")
+			info.SpecText = spec.GetString("text")
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// RequirementInfo summarizes one DQ_Requirement for reporting and
+// transformation.
+type RequirementInfo struct {
+	// Element is the underlying model element.
+	Element *metamodel.Object
+	// Name is the requirement's name.
+	Name string
+	// Dimension is the ISO/IEC 25012 characteristic, "" if unset.
+	Dimension iso25012.Characteristic
+	// SpecID and SpecText come from the attached DQ_Req_Specification.
+	SpecID   int64
+	SpecText string
+}
+
+// String renders the requirement for reports.
+func (ri RequirementInfo) String() string {
+	return fmt.Sprintf("«DQ_Requirement» %s [%s] — %s", ri.Name, ri.Dimension, ri.SpecText)
+}

@@ -1,0 +1,435 @@
+package dqwebre
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/ocl"
+	"github.com/modeldriven/dqwebre/internal/uml"
+	"github.com/modeldriven/dqwebre/internal/webre"
+)
+
+func TestMetamodelPackages(t *testing.T) {
+	d := Metamodel()
+	if d.Name() != "DQ_WebRE" {
+		t.Fatalf("name = %q", d.Name())
+	}
+	behavior, ok := d.Package("Behavior")
+	if !ok {
+		t.Fatal("Behavior missing")
+	}
+	structure, ok := d.Package("Structure")
+	if !ok {
+		t.Fatal("Structure missing")
+	}
+	// Paper Fig. 1: four behavior metaclasses, three structure metaclasses.
+	for _, n := range []string{MetaInformationCase, MetaDQRequirement, MetaDQReqSpecification, MetaAddDQMetadata} {
+		if _, ok := behavior.Class(n); !ok {
+			t.Errorf("%s not in Behavior package", n)
+		}
+	}
+	for _, n := range []string{MetaDQMetadata, MetaDQValidator, MetaDQConstraint} {
+		if _, ok := structure.Class(n); !ok {
+			t.Errorf("%s not in Structure package", n)
+		}
+	}
+	if reg, ok := metamodel.Lookup("DQ_WebRE"); !ok || reg != d {
+		t.Fatal("DQ_WebRE not registered")
+	}
+}
+
+// TestExtensionBaseClasses pins the superclass of every DQ metaclass: the
+// heavyweight counterpart of Table 3's base classes.
+func TestExtensionBaseClasses(t *testing.T) {
+	cases := []struct{ sub, super string }{
+		{MetaInformationCase, uml.MetaUseCase},
+		{MetaDQRequirement, uml.MetaUseCase},
+		{MetaDQReqSpecification, uml.MetaRequirement},
+		{MetaDQReqSpecification, uml.MetaElement},
+		{MetaAddDQMetadata, uml.MetaAction},
+		{MetaDQMetadata, uml.MetaClass},
+		{MetaDQValidator, uml.MetaClass},
+		{MetaDQConstraint, uml.MetaClass},
+	}
+	for _, c := range cases {
+		if !MustClass(c.sub).ConformsTo(MustClass(c.super)) {
+			t.Errorf("%s should conform to %s", c.sub, c.super)
+		}
+	}
+}
+
+func TestDQDimensionEnumerationMatchesISO25012(t *testing.T) {
+	e := Dimension()
+	lits := e.Literals()
+	defs := iso25012.All()
+	if len(lits) != len(defs) {
+		t.Fatalf("literals = %d, want %d", len(lits), len(defs))
+	}
+	for i, d := range defs {
+		if lits[i] != string(d.Name) {
+			t.Errorf("literal[%d] = %s, want %s", i, lits[i], d.Name)
+		}
+	}
+	lit := MustDimensionLit(iso25012.Completeness)
+	if lit.Literal != "Completeness" || lit.Enum != e {
+		t.Fatal("MustDimensionLit wrong")
+	}
+	if _, err := DimensionLit("Velocity"); err == nil {
+		t.Fatal("unknown dimension accepted")
+	}
+}
+
+func TestMustDimensionLitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustDimensionLit("Velocity")
+}
+
+func TestProfileMatchesTable3(t *testing.T) {
+	p := Profile()
+	rows := Table3()
+	if len(rows) != 7 {
+		t.Fatalf("Table 3 rows = %d, want 7", len(rows))
+	}
+	if got := len(p.Stereotypes()); got != 7 {
+		t.Fatalf("profile stereotypes = %d, want 7", got)
+	}
+	names := StereotypeNames()
+	for i, row := range rows {
+		if row.Name != names[i] {
+			t.Errorf("row %d name = %s, want %s", i, row.Name, names[i])
+		}
+		s, ok := p.Stereotype(row.Name)
+		if !ok {
+			t.Errorf("stereotype %s missing from profile", row.Name)
+			continue
+		}
+		// The profile's primary base class must match the paper's column.
+		// (DQ_Req_Specification: the paper prints the root metaclass
+		// "Element"; the profile extends Requirement, which IS an Element —
+		// checked via conformance. Add_DQ_Metadata: the paper prints
+		// "Activity"; the profile extends Action and Activity.)
+		base := s.Bases()[0]
+		switch row.Name {
+		case MetaDQReqSpecification:
+			if base.Name() != uml.MetaRequirement {
+				t.Errorf("%s primary base = %s", row.Name, base.Name())
+			}
+			if !base.ConformsTo(uml.MustClass(uml.MetaElement)) {
+				t.Errorf("%s base does not conform to Element", row.Name)
+			}
+		case MetaAddDQMetadata:
+			found := false
+			for _, b := range s.Bases() {
+				if b.Name() == uml.MetaActivity || b.Name() == uml.MetaAction {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s lacks Activity/Action base", row.Name)
+			}
+		default:
+			if base.Name() != row.BaseClass {
+				t.Errorf("%s base = %s, want %s", row.Name, base.Name(), row.BaseClass)
+			}
+		}
+		// Description column matches the stereotype doc.
+		if s.Doc() != row.Description {
+			t.Errorf("%s description out of sync with Table 3", row.Name)
+		}
+		// Constraint column: a non-trivial constraint implies an attached
+		// machine-checkable OCL constraint, and vice versa.
+		hasPaperConstraint := row.Constraints != "" && row.Constraints != "Not mandatory."
+		if hasPaperConstraint != (len(s.Constraints()) > 0) {
+			t.Errorf("%s constraint presence mismatch: paper=%v profile=%d",
+				row.Name, hasPaperConstraint, len(s.Constraints()))
+		}
+		for _, c := range s.Constraints() {
+			if _, err := ocl.Parse(c.OCL); err != nil {
+				t.Errorf("%s constraint %s does not parse: %v", row.Name, c.Name, err)
+			}
+		}
+	}
+}
+
+func TestTable3TaggedValues(t *testing.T) {
+	p := Profile()
+	spec := p.MustStereotype(MetaDQReqSpecification)
+	if tag, ok := spec.Tag("ID"); !ok || tag.TypeString() != "Integer" {
+		t.Error("DQ_Req_Specification ID tag wrong")
+	}
+	if tag, ok := spec.Tag("Text"); !ok || tag.TypeString() != "String" {
+		t.Error("DQ_Req_Specification Text tag wrong")
+	}
+	meta := p.MustStereotype(MetaDQMetadata)
+	if tag, ok := meta.Tag("DQ_metadata"); !ok || tag.TypeString() != "set(String)" {
+		t.Error("DQ_Metadata tag wrong")
+	}
+	con := p.MustStereotype(MetaDQConstraint)
+	if tag, ok := con.Tag("DQConstraint"); !ok || tag.TypeString() != "set(String)" {
+		t.Error("DQConstraint set tag wrong")
+	}
+	if tag, ok := con.Tag("upper_bound"); !ok || tag.TypeString() != "Integer" {
+		t.Error("upper_bound tag wrong")
+	}
+	if tag, ok := con.Tag("lower_bound"); !ok || tag.TypeString() != "Integer" {
+		t.Error("lower_bound tag wrong")
+	}
+	// Stereotypes the paper gives no tags: none defined.
+	for _, name := range []string{MetaInformationCase, MetaDQRequirement, MetaAddDQMetadata, MetaDQValidator} {
+		if n := len(p.MustStereotype(name).Tags()); n != 0 {
+			t.Errorf("%s should have no tags, has %d", name, n)
+		}
+	}
+}
+
+func TestRulesParseAndTargetKnownClasses(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Rules() {
+		if seen[r.ID] {
+			t.Errorf("duplicate rule %s", r.ID)
+		}
+		seen[r.ID] = true
+		if _, err := ocl.Parse(r.Expr); err != nil {
+			t.Errorf("rule %s: %v", r.ID, err)
+		}
+		if _, ok := Metamodel().FindClass(r.Class); !ok {
+			t.Errorf("rule %s targets unknown class %q", r.ID, r.Class)
+		}
+	}
+	// The DQ rules plus the inherited WebRE rules.
+	if len(seen) < 10 {
+		t.Errorf("expected at least 10 rules, got %d", len(seen))
+	}
+}
+
+func TestRequirementsModelHappyPath(t *testing.T) {
+	rm := NewRequirementsModel("easychair-lite")
+	member := rm.WebUser("PC member")
+	process := rm.WebProcess("Add new review to submission", member)
+	reviewerInfo := rm.Content("information of reviewer",
+		"first_name", "last_name", "email_address")
+	scores := rm.Content("evaluation scores",
+		"overall_evaluation", "reviewer_confidence")
+	ic := rm.InformationCase("Add all data as result of review", process, reviewerInfo, scores)
+	req := rm.DQRequirement("check that data will be accessed only by authorized users",
+		iso25012.Confidentiality, ic)
+	rm.Specify(req, 1, "check that data will be accessed only by authorized users")
+	if err := rm.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stereotypes applied.
+	if !rm.HasStereotype(ic, MetaInformationCase) {
+		t.Error("InformationCase stereotype missing")
+	}
+	if !rm.HasStereotype(req, MetaDQRequirement) {
+		t.Error("DQ_Requirement stereotype missing")
+	}
+
+	// Include chain: process includes ic, ic includes req.
+	incs := process.GetRefs("include")
+	if len(incs) != 1 || incs[0].GetRef("addition") != ic {
+		t.Error("process→ic include missing")
+	}
+	incs = ic.GetRefs("include")
+	if len(incs) != 1 || incs[0].GetRef("addition") != req {
+		t.Error("ic→req include missing")
+	}
+
+	// Requirement info extraction.
+	infos, err := rm.DQRequirements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("DQRequirements = %d", len(infos))
+	}
+	if infos[0].Dimension != iso25012.Confidentiality || infos[0].SpecID != 1 {
+		t.Errorf("info = %+v", infos[0])
+	}
+	if !strings.Contains(infos[0].String(), "Confidentiality") {
+		t.Error("info String lacks dimension")
+	}
+
+	// The whole model validates cleanly.
+	rep := rm.Validate()
+	if !rep.OK() {
+		for _, d := range rep.Diagnostics {
+			t.Log(d)
+		}
+		t.Fatal("validation failed on well-formed model")
+	}
+}
+
+func TestValidateCatchesUnrelatedInformationCase(t *testing.T) {
+	rm := NewRequirementsModel("broken")
+	rm.InformationCase("orphan", nil) // no WebProcess includes it
+	if err := rm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rep := rm.Validate()
+	if rep.OK() {
+		t.Fatal("orphan InformationCase should fail validation")
+	}
+	found := false
+	for _, d := range rep.Errors() {
+		if strings.Contains(d.Rule, "informationcase") || strings.Contains(d.Rule, "InformationCase") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no InformationCase diagnostics in %v", rep.Errors())
+	}
+}
+
+func TestValidateCatchesDQRequirementWithoutInclude(t *testing.T) {
+	rm := NewRequirementsModel("broken2")
+	member := rm.WebUser("user")
+	process := rm.WebProcess("proc", member)
+	rm.InformationCase("ic", process)
+	rm.DQRequirement("floating requirement", iso25012.Accuracy, nil) // not included by any IC
+	if err := rm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rep := rm.Validate()
+	if rep.OK() {
+		t.Fatal("floating DQ_Requirement should fail validation")
+	}
+}
+
+func TestValidateCatchesConstraintWithoutValidator(t *testing.T) {
+	rm := NewRequirementsModel("broken3")
+	rm.DQConstraint("range", 0, 10, []string{"score in [0,10]"}) // no validator
+	if err := rm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rep := rm.Validate()
+	if rep.OK() {
+		t.Fatal("DQConstraint without validator should fail validation")
+	}
+}
+
+func TestValidateCatchesInvertedBounds(t *testing.T) {
+	rm := NewRequirementsModel("broken4")
+	ui := rm.WebUI("page")
+	v := rm.DQValidator("v", []string{"check_precision"}, ui)
+	rm.DQConstraint("range", 10, 0, nil, v) // lower > upper
+	if err := rm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rep := rm.Validate()
+	if rep.OK() {
+		t.Fatal("inverted bounds should fail validation")
+	}
+	if len(rep.ByRule("dq-constraint-bounds-ordered")) == 0 {
+		t.Fatal("bounds rule not reported")
+	}
+}
+
+func TestActivityDiagramConstruction(t *testing.T) {
+	rm := NewRequirementsModel("fig7-lite")
+	scores := rm.Content("evaluation scores", "overall_evaluation")
+	store := rm.DQMetadata("metadata of traceability",
+		[]string{"stored_by", "stored_date", "last_modified_by", "last_modified_date"}, scores)
+	page := rm.WebUI("webpage of New Review")
+	val := rm.DQValidator("review validator", []string{"check_precision", "check_completeness"}, page)
+
+	act := rm.Activity("Add new review to submission")
+	lane := rm.Builder().Partition(act, "PC member")
+	start := rm.Builder().Node(act, uml.MetaInitialNode, "", nil)
+	tx := rm.UserTransaction(act, "add evaluation scores", lane, scores)
+	add := rm.AddDQMetadataActivity(act, "store metadata of traceability", lane, store, nil, tx)
+	verify := rm.Builder().Node(act, uml.MetaAction, "Verify Precision of data", lane)
+	end := rm.Builder().Node(act, uml.MetaActivityFinalNode, "", nil)
+	rm.Builder().FlowChain(act, start, tx, add, verify, end)
+	if err := rm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if add.GetRef("metadata") != store {
+		t.Error("Add_DQ_Metadata store link missing")
+	}
+	if got := add.GetRefs("transactions"); len(got) != 1 || got[0] != tx {
+		t.Error("Add_DQ_Metadata transactions link missing")
+	}
+	if !rm.HasStereotype(add, MetaAddDQMetadata) {
+		t.Error("Add_DQ_Metadata stereotype missing")
+	}
+	if got := len(act.GetRefs("nodes")); got != 5 {
+		t.Errorf("activity nodes = %d, want 5", got)
+	}
+	if got := len(act.GetRefs("edges")); got != 4 {
+		t.Errorf("activity edges = %d, want 4", got)
+	}
+	if got := val.GetRefs("validates"); len(got) != 1 || got[0] != page {
+		t.Error("validator→WebUI link missing")
+	}
+
+	rep := rm.Validate()
+	if !rep.OK() {
+		for _, d := range rep.Diagnostics {
+			t.Log(d)
+		}
+		t.Fatal("fig7-lite should validate")
+	}
+}
+
+func TestDQMetadataTaggedValues(t *testing.T) {
+	rm := NewRequirementsModel("tags")
+	store := rm.DQMetadata("m", []string{"a", "b"})
+	if err := rm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	app, ok := rm.Application(store, MetaDQMetadata)
+	if !ok {
+		t.Fatal("application missing")
+	}
+	v, ok := app.Tag("DQ_metadata")
+	if !ok {
+		t.Fatal("tag missing")
+	}
+	l := v.(*metamodel.List)
+	if len(l.Items) != 2 || l.Items[0] != metamodel.String("a") {
+		t.Fatalf("tag items = %v", l.Items)
+	}
+	// Slot mirrors the tag.
+	if got := store.GetList("dq_metadata"); len(got) != 2 {
+		t.Fatalf("slot items = %v", got)
+	}
+}
+
+func TestBuilderErrorPropagation(t *testing.T) {
+	rm := NewRequirementsModel("err")
+	rm.DQRequirement("r", "Velocity", nil) // bad dimension
+	if rm.Err() == nil {
+		t.Fatal("bad dimension should record an error")
+	}
+	// All later calls are no-ops returning nil.
+	if rm.WebUser("u") != nil {
+		t.Fatal("builder should short-circuit")
+	}
+}
+
+func TestWebREElementsUsableInDQModels(t *testing.T) {
+	rm := NewRequirementsModel("mixed")
+	n1 := rm.Node("home")
+	n2 := rm.Node("reviews")
+	b := rm.Builder().Create(webre.MetaBrowse, "to reviews")
+	if err := rm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	b.MustSet("source", metamodel.Ref{Target: n1})
+	b.MustSet("target", metamodel.Ref{Target: n2})
+	rep := rm.Validate()
+	if !rep.OK() {
+		for _, d := range rep.Diagnostics {
+			t.Log(d)
+		}
+		t.Fatal("mixed WebRE model should validate")
+	}
+}

@@ -1,0 +1,223 @@
+// Package dqwebre implements the paper's contribution: the WebRE metamodel
+// extended with data quality concerns, and the DQ_WebRE UML profile.
+//
+// The extension adds seven metaclasses (paper Fig. 1):
+//
+//	Behavior:  InformationCase, DQ_Requirement, DQ_Req_Specification,
+//	           Add_DQ_Metadata
+//	Structure: DQ_Metadata, DQ_Validator, DQConstraint
+//
+// and the DQDimension enumeration whose literals are the fifteen ISO/IEC
+// 25012 characteristics, so a DQ_Requirement can name the dimension it
+// constrains.
+//
+// Both delivery mechanisms of the paper are provided: Metamodel() returns
+// the heavyweight extension (DQ metaclasses specializing WebRE/UML
+// metaclasses), and Profile() returns the lightweight UML profile whose
+// stereotypes, tagged values and constraints reproduce Table 3.
+package dqwebre
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/uml"
+	"github.com/modeldriven/dqwebre/internal/webre"
+)
+
+// Metaclass and stereotype names introduced by DQ_WebRE.
+const (
+	MetaInformationCase    = "InformationCase"
+	MetaDQRequirement      = "DQ_Requirement"
+	MetaDQReqSpecification = "DQ_Req_Specification"
+	MetaAddDQMetadata      = "Add_DQ_Metadata"
+	MetaDQMetadata         = "DQ_Metadata"
+	MetaDQValidator        = "DQ_Validator"
+	MetaDQConstraint       = "DQConstraint"
+
+	// EnumDQDimension is the enumeration of ISO/IEC 25012 characteristics.
+	EnumDQDimension = "DQDimension"
+)
+
+var (
+	once sync.Once
+	pkg  *metamodel.Package
+)
+
+// Metamodel returns the DQ_WebRE extended metamodel (paper Fig. 1). It
+// imports WebRE (and, transitively, the UML subset), is built once, and is
+// registered under "DQ_WebRE".
+func Metamodel() *metamodel.Package {
+	once.Do(func() {
+		pkg = build()
+		metamodel.MustRegister(pkg)
+	})
+	return pkg
+}
+
+func build() *metamodel.Package {
+	w := webre.Metamodel()
+	u := uml.Metamodel()
+	d := metamodel.NewPackage("DQ_WebRE")
+	d.Import(w)
+
+	str, _ := u.DataType("String")
+	intT, _ := u.DataType("Integer")
+
+	behavior := d.AddPackage("Behavior")
+	structure := d.AddPackage("Structure")
+
+	// The DQ dimension enumeration: one literal per ISO/IEC 25012
+	// characteristic, in Table 1 order.
+	litNames := make([]string, 0, 15)
+	for _, def := range iso25012.All() {
+		litNames = append(litNames, string(def.Name))
+	}
+	dim := behavior.AddEnumeration(EnumDQDimension, litNames...)
+
+	// ---- Structure package extensions (paper Fig. 4) ----
+
+	dqMeta := structure.AddClass(MetaDQMetadata).
+		SetDoc("A structural element of the Web application where DQ metadata is managed and stored. The metadata sets are associated with Content elements, letting DQ requirements link directly to stored data.")
+	dqMeta.AddSuper(uml.MustClass(uml.MetaClass))
+	dqMeta.AddProperty("dq_metadata", str, 0, metamodel.Unbounded).
+		SetDoc("The metadata attribute names, e.g. stored_by, stored_date, last_modified_by, last_modified_date, security_level, available_to.")
+	dqMeta.AddRefs("contents", webre.MustClass(webre.MetaContent)).
+		SetDoc("The Content elements this metadata describes.")
+
+	dqValidator := structure.AddClass(MetaDQValidator).
+		SetDoc("A structural element responsible for managing the DQ operations that validate or restrict WebUI elements (e.g. check_completeness(), check_precision()).")
+	dqValidator.AddSuper(uml.MustClass(uml.MetaClass))
+	dqValidator.AddRefs("validates", webre.MustClass(webre.MetaWebUI)).
+		SetDoc("The WebUI elements this validator checks.")
+
+	dqConstraint := structure.AddClass(MetaDQConstraint).
+		SetDoc("A structural element storing the specific data of constraints related to DQ_Validator elements, with its bounds (upper_bound, lower_bound).")
+	dqConstraint.AddSuper(uml.MustClass(uml.MetaClass))
+	dqConstraint.AddProperty("constraintData", str, 0, metamodel.Unbounded).
+		SetDoc("The constraint payload, e.g. the per-field valid score ranges.")
+	dqConstraint.AddAttr("upper_bound", intT).
+		SetDoc("Inclusive upper bound of the constrained value.")
+	dqConstraint.AddAttr("lower_bound", intT).
+		SetDoc("Inclusive lower bound of the constrained value.")
+	dqConstraint.AddRefs("validator", dqValidator).
+		SetDoc("The validators enforcing this constraint; at least one is required (Table 3).")
+
+	// ---- Behavior package extensions (paper Figs. 2, 3, 5) ----
+
+	infoCase := behavior.AddClass(MetaInformationCase).
+		SetDoc("Unlike normal use cases, an InformationCase represents the use case that manages and stores the data involved with WebProcess functionalities; the data are subject to the DQ requirements associated with it.")
+	infoCase.AddSuper(uml.MustClass(uml.MetaUseCase))
+	infoCase.AddRefs("manages", webre.MustClass(webre.MetaContent)).
+		SetDoc("The Content elements whose data this case manages.")
+
+	reqSpec := behavior.AddClass(MetaDQReqSpecification).
+		SetDoc("An element of Requirement type used to specify each DQ requirement in detail through requirements diagrams; carries ID and Text.")
+	reqSpec.AddSuper(uml.MustClass(uml.MetaRequirement))
+
+	dqReq := behavior.AddClass(MetaDQRequirement).
+		SetDoc("A specific use case modeling the DQ requirements (DQ dimensions) related to InformationCase use cases; linked to them through include relationships.")
+	dqReq.AddSuper(uml.MustClass(uml.MetaUseCase))
+	dqReq.AddAttr("dimension", dim).
+		SetDoc("The ISO/IEC 25012 characteristic this requirement constrains.")
+	dqReq.AddRef("specification", reqSpec).
+		SetDoc("The detailed DQ_Req_Specification, if drawn.")
+
+	addMeta := behavior.AddClass(MetaAddDQMetadata).
+		SetDoc("A particular activity, related to UserTransaction activities, responsible for validating and adding the operations and information associated with the attributes of DQ_Metadata or DQ_Validator.")
+	addMeta.AddSuper(uml.MustClass(uml.MetaAction))
+	addMeta.AddRef("metadata", dqMeta).
+		SetDoc("The DQ_Metadata instance receiving the captured metadata.")
+	addMeta.AddRef("validator", dqValidator).
+		SetDoc("The DQ_Validator whose operations this activity wires in.")
+	addMeta.AddRefs("transactions", webre.MustClass(webre.MetaUserTransaction)).
+		SetDoc("The user transactions whose data this activity decorates.")
+
+	return d
+}
+
+// MustClass resolves a DQ_WebRE (or imported WebRE/UML) metaclass by name.
+func MustClass(name string) *metamodel.Class {
+	c, ok := Metamodel().FindClass(name)
+	if !ok {
+		panic(fmt.Errorf("dqwebre: unknown metaclass %q", name))
+	}
+	return c
+}
+
+// Dimension returns the DQDimension enumeration.
+func Dimension() *metamodel.Enumeration {
+	behavior, _ := Metamodel().Package("Behavior")
+	e, ok := behavior.Enumeration(EnumDQDimension)
+	if !ok {
+		panic("dqwebre: DQDimension enumeration missing")
+	}
+	return e
+}
+
+// DimensionLit builds an enumeration literal value for an ISO/IEC 25012
+// characteristic name.
+func DimensionLit(name iso25012.Characteristic) (metamodel.EnumLit, error) {
+	e := Dimension()
+	if !e.Has(string(name)) {
+		return metamodel.EnumLit{}, fmt.Errorf("dqwebre: %q is not a DQ dimension", name)
+	}
+	return metamodel.EnumLit{Enum: e, Literal: string(name)}, nil
+}
+
+// MustDimensionLit is DimensionLit that panics on unknown names.
+func MustDimensionLit(name iso25012.Characteristic) metamodel.EnumLit {
+	l, err := DimensionLit(name)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Rules returns the well-formedness rules of the extended metamodel: the
+// Table 3 constraints restated over the heavyweight metaclasses (where the
+// profile uses hasStereotype, the metamodel uses oclIsKindOf), plus the
+// WebRE rules the extension inherits.
+func Rules() []webre.WellFormednessRule {
+	rules := []webre.WellFormednessRule{
+		{
+			ID:    "dq-informationcase-related-to-webprocess",
+			Class: MetaInformationCase,
+			Expr:  "WebProcess.allInstances()->exists(w | w.include->exists(i | i.addition = self))",
+			Doc:   "An InformationCase must be related to at least one element of WebProcess type (via include).",
+		},
+		{
+			ID:    "dq-requirement-includes-informationcase",
+			Class: MetaDQRequirement,
+			Expr:  "InformationCase.allInstances()->exists(ic | ic.include->exists(i | i.addition = self)) or self.include->exists(i | i.addition.oclIsKindOf(InformationCase))",
+			Doc:   "A DQ_Requirement must be related to (include) at least one element of type InformationCase.",
+		},
+		{
+			ID:    "dq-constraint-has-validator",
+			Class: MetaDQConstraint,
+			Expr:  "self.validator->notEmpty()",
+			Doc:   "A DQConstraint must be related to at least one element of type DQ_Validator.",
+		},
+		{
+			ID:    "dq-constraint-bounds-ordered",
+			Class: MetaDQConstraint,
+			Expr:  "self.lower_bound.oclIsUndefined() or self.upper_bound.oclIsUndefined() or self.lower_bound <= self.upper_bound",
+			Doc:   "When both bounds are set, lower_bound must not exceed upper_bound.",
+		},
+		{
+			ID:    "dq-requirement-has-dimension",
+			Class: MetaDQRequirement,
+			Expr:  "not self.dimension.oclIsUndefined()",
+			Doc:   "A DQ_Requirement names the ISO/IEC 25012 dimension it constrains.",
+		},
+		{
+			ID:    "dq-reqspec-has-text",
+			Class: MetaDQReqSpecification,
+			Expr:  "not self.text.oclIsUndefined() and self.text.size() > 0",
+			Doc:   "A DQ_Req_Specification carries a non-empty requirement text.",
+		},
+	}
+	return append(rules, webre.Rules()...)
+}

@@ -1,0 +1,80 @@
+package dqwebre
+
+import (
+	"sync"
+
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+var (
+	profileOnce sync.Once
+	profilePtr  *uml.Profile
+)
+
+// Profile returns the DQ_WebRE UML profile: the seven stereotypes of the
+// paper's Table 3, with their base classes, tagged values and constraints.
+// Constraints are OCL expressions using the hasStereotype extension, so they
+// apply to plain (WebRE) UML models with the profile applied — the
+// lightweight path. The heavyweight path uses Rules() instead.
+func Profile() *uml.Profile {
+	profileOnce.Do(func() {
+		profilePtr = buildProfile()
+	})
+	return profilePtr
+}
+
+func buildProfile() *uml.Profile {
+	p := uml.NewProfile("DQ_WebRE").
+		SetDoc("UML profile for the management of Data Quality software requirements in Web applications (Guerra-García, Caballero & Piattini).")
+
+	ic := p.AddStereotype(MetaInformationCase, uml.MustClass(uml.MetaUseCase))
+	ic.SetDoc("The IC, unlike normal use cases, has the main function of representing use cases that manage and store the data involved with the functionalities of the \"WebProcess\" type. These data will be subject to the specific requirements of data quality (DQ_Requirement) that are associated with them; we consider that the best way to link them is through a relationship of the \"include\" type, thus allowing them satisfy such DQ requirements.")
+	ic.AddConstraint("related-to-webprocess",
+		"UseCase.allInstances()->exists(w | w.hasStereotype('WebProcess') and w.include->exists(i | i.addition = self)) or WebProcess.allInstances()->exists(w | w.include->exists(i | i.addition = self))",
+		"Must be related to at least one element of \"WebProcess\" type.")
+
+	dqr := p.AddStereotype(MetaDQRequirement, uml.MustClass(uml.MetaUseCase))
+	dqr.SetDoc("This represents a specific use case which is necessary to model the DQ requirements (DQ dimensions) that are related to the \"InformationCase\" use cases.")
+	dqr.AddConstraint("related-to-informationcase",
+		"UseCase.allInstances()->exists(ic | ic.hasStereotype('InformationCase') and ic.include->exists(i | i.addition = self)) or self.include->exists(i | i.addition.hasStereotype('InformationCase'))",
+		"Must be related to (\"include\") at least one element of type \"Information Case\".")
+
+	spec := p.AddStereotype(MetaDQReqSpecification, uml.MustClass(uml.MetaRequirement), uml.MustClass(uml.MetaNamedElement))
+	spec.SetDoc("Abstract class that represents a particular element (\"Requirement\" type). It will be used to specify each of the DQ requirements added through requirements diagrams in detail.")
+	spec.AddTag("ID", uml.IntegerType(), false).SetDoc("Numeric identifier of the specification.")
+	spec.AddTag("Text", uml.StringType(), false).SetDoc("The detailed requirement statement.")
+
+	addMeta := p.AddStereotype(MetaAddDQMetadata, uml.MustClass(uml.MetaAction), uml.MustClass(uml.MetaActivity))
+	addMeta.SetDoc("This represents a particular activity which is related to the different \"UserTransaction\" activities. This metaclass is responsible for validating and adding the operations and information associated with each of the attributes (DQ_metadata) belonging to the \"DQ_Metadata\" or \"DQ_Validator\" metaclasses.")
+
+	meta := p.AddStereotype(MetaDQMetadata, uml.MustClass(uml.MetaClass))
+	meta.SetDoc("This represents a structural element of a Web application, and the DQ metadata will be managed and stored here. These sets of metadata are associated with Content elements. It will thus be possible to specify various DQ requirements (DQ dimensions) directly linked to data stored in the elements of the \"Content\" type.")
+	meta.AddTag("DQ_metadata", uml.StringType(), true).SetDoc("The set of metadata attribute names.")
+
+	validator := p.AddStereotype(MetaDQValidator, uml.MustClass(uml.MetaClass))
+	validator.SetDoc("This represents a structural element. This metaclass will be responsible for managing different DQ operations in order to validate or restrict WebUI elements.")
+
+	constraint := p.AddStereotype(MetaDQConstraint, uml.MustClass(uml.MetaClass))
+	constraint.SetDoc("This represents a structural element of a Web application. In this element are stored the specific data of the different constraints, which will be related to elements of type DQ_Validator. Besides its corresponding bounds (e.g. \"upper_bound\" and \"lower_bound\").")
+	constraint.AddTag("DQConstraint", uml.StringType(), true).SetDoc("The set of constraint payloads.")
+	constraint.AddTag("upper_bound", uml.IntegerType(), false).SetDoc("Inclusive upper bound.")
+	constraint.AddTag("lower_bound", uml.IntegerType(), false).SetDoc("Inclusive lower bound.")
+	constraint.AddConstraint("related-to-validator",
+		"Association.allInstances()->exists(a | a.memberEnd->includes(self) and a.memberEnd->exists(e | e.hasStereotype('DQ_Validator'))) or (self.oclIsKindOf(DQConstraint) and self.validator->notEmpty())",
+		"Must be related to at least one element of type \"DQ_Validator\".")
+
+	return p
+}
+
+// StereotypeNames returns the seven stereotype names in Table 3 order.
+func StereotypeNames() []string {
+	return []string{
+		MetaInformationCase,
+		MetaDQRequirement,
+		MetaDQReqSpecification,
+		MetaAddDQMetadata,
+		MetaDQMetadata,
+		MetaDQValidator,
+		MetaDQConstraint,
+	}
+}

@@ -1,0 +1,38 @@
+package dqwebre
+
+import (
+	"testing"
+
+	"github.com/modeldriven/dqwebre/internal/validate"
+)
+
+// TestShippedRulesStaticallyCheck runs the OCL static checker over every
+// metamodel rule and Table 3 profile constraint the library ships: a
+// misspelled property in a rule definition fails this test rather than
+// surfacing as a runtime diagnostic.
+func TestShippedRulesStaticallyCheck(t *testing.T) {
+	rm := NewRequirementsModel("static-check")
+	eng := validate.New(rm.Model)
+	for _, r := range Rules() {
+		eng.AddRules(validate.Rule{ID: r.ID, Class: r.Class, Expr: r.Expr, Doc: r.Doc})
+	}
+	eng.AddProfileConstraints(Profile())
+	for _, err := range eng.CheckRules() {
+		t.Error(err)
+	}
+}
+
+// TestCheckRulesCatchesBrokenRule proves the static pass actually fires.
+func TestCheckRulesCatchesBrokenRule(t *testing.T) {
+	rm := NewRequirementsModel("broken-rule")
+	eng := validate.New(rm.Model)
+	eng.AddRules(
+		validate.Rule{ID: "typo", Class: MetaDQConstraint, Expr: "self.validatr->notEmpty()"},
+		validate.Rule{ID: "ghost-class", Class: "Ghost", Expr: "true"},
+		validate.Rule{ID: "ghost-stereo", Class: "@stereotype:Ghost", Expr: "true"},
+	)
+	errs := eng.CheckRules()
+	if len(errs) != 3 {
+		t.Fatalf("errors = %v", errs)
+	}
+}

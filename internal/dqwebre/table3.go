@@ -1,0 +1,73 @@
+package dqwebre
+
+// Table3Row is one row of the paper's Table 3: the specification of one
+// DQ_WebRE stereotype.
+type Table3Row struct {
+	// Name is the stereotype name.
+	Name string
+	// BaseClass is the UML base class as printed in the paper.
+	BaseClass string
+	// Description is the paper's description column.
+	Description string
+	// Constraints is the paper's constraints column.
+	Constraints string
+	// TaggedValues is the paper's tagged-values column.
+	TaggedValues string
+}
+
+// Table3 returns the paper's Table 3 verbatim, in row order. The profile
+// built by Profile() carries the same stereotypes; the tests assert the two
+// stay consistent (names, base classes, tags, constraint presence).
+func Table3() []Table3Row {
+	return []Table3Row{
+		{
+			Name:         MetaInformationCase,
+			BaseClass:    "UseCase",
+			Description:  "The IC, unlike normal use cases, has the main function of representing use cases that manage and store the data involved with the functionalities of the \"WebProcess\" type. These data will be subject to the specific requirements of data quality (DQ_Requirement) that are associated with them; we consider that the best way to link them is through a relationship of the \"include\" type, thus allowing them satisfy such DQ requirements.",
+			Constraints:  "Must be related to at least one element of \"WebProcess\" type.",
+			TaggedValues: "None.",
+		},
+		{
+			Name:         MetaDQRequirement,
+			BaseClass:    "UseCase",
+			Description:  "This represents a specific use case which is necessary to model the DQ requirements (DQ dimensions) that are related to the \"InformationCase\" use cases.",
+			Constraints:  "Must be related to (\"include\") at least one element of type \"Information Case\".",
+			TaggedValues: "None.",
+		},
+		{
+			Name:         MetaDQReqSpecification,
+			BaseClass:    "Element",
+			Description:  "Abstract class that represents a particular element (\"Requirement\" type). It will be used to specify each of the DQ requirements added through requirements diagrams in detail.",
+			Constraints:  "",
+			TaggedValues: "ID: Integer. Text: String.",
+		},
+		{
+			Name:         MetaAddDQMetadata,
+			BaseClass:    "Activity",
+			Description:  "This represents a particular activity which is related to the different \"UserTransaction\" activities. This metaclass is responsible for validating and adding the operations and information associated with each of the attributes (DQ_metadata) belonging to the \"DQ_Metadata\" or \"DQ_Validator\" metaclasses.",
+			Constraints:  "Not mandatory.",
+			TaggedValues: "None.",
+		},
+		{
+			Name:         MetaDQMetadata,
+			BaseClass:    "Class",
+			Description:  "This represents a structural element of a Web application, and the DQ metadata will be managed and stored here. These sets of metadata are associated with Content elements. It will thus be possible to specify various DQ requirements (DQ dimensions) directly linked to data stored in the elements of the \"Content\" type.",
+			Constraints:  "Not mandatory.",
+			TaggedValues: "DQ_metadata: set(String)",
+		},
+		{
+			Name:         MetaDQValidator,
+			BaseClass:    "Class",
+			Description:  "This represents a structural element. This metaclass will be responsible for managing different DQ operations in order to validate or restrict WebUI elements.",
+			Constraints:  "Not mandatory.",
+			TaggedValues: "None.",
+		},
+		{
+			Name:         MetaDQConstraint,
+			BaseClass:    "Class",
+			Description:  "This represents a structural element of a Web application. In this element are stored the specific data of the different constraints, which will be related to elements of type DQ_Validator. Besides its corresponding bounds (e.g. \"upper_bound\" and \"lower_bound\").",
+			Constraints:  "Must be related to at least one element of type \"DQ_Validator\".",
+			TaggedValues: "DQConstraint: set (String). upper_bound: Integer. lower_bound: Integer",
+		},
+	}
+}

@@ -1,0 +1,432 @@
+package easychair
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/modeldriven/dqwebre/internal/codegen"
+	"github.com/modeldriven/dqwebre/internal/dqruntime"
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/metrics"
+	"github.com/modeldriven/dqwebre/internal/transform"
+	"github.com/modeldriven/dqwebre/internal/webapp"
+)
+
+// App is the runnable conference-management application of the case study.
+// Its review-submission flow is guarded by a dqruntime.Enforcer assembled
+// from the DQ_WebRE model via the DQR→DQSR transformation, so the four DQ
+// requirements captured in Fig. 6 are enforced on every request:
+//
+//	Completeness    — incomplete review forms are rejected (422)
+//	Precision       — scores outside their constraint ranges are rejected
+//	Traceability    — stored_by/stored_date/last_modified_* captured; audit
+//	                  trail served at /reviews/{id}/audit
+//	Confidentiality — review reads require sufficient clearance
+type App struct {
+	// Router serves the application; mount it on any http.Server.
+	Router *webapp.Router
+
+	store     *webapp.Store
+	enforcer  *dqruntime.Enforcer
+	collector *metrics.Collector
+	// reviewForm is the HTML form generated from the model at startup.
+	reviewForm string
+}
+
+// ReviewFields lists the form fields of the "New Review" page, the union of
+// the case study's two Contents.
+var ReviewFields = []string{
+	"first_name", "last_name", "email_address",
+	"overall_evaluation", "reviewer_confidence",
+}
+
+// NewApp builds the full pipeline: case-study model → validation → DQSR →
+// enforcer → HTTP application.
+func NewApp() (*App, error) {
+	elements, err := BuildModel()
+	if err != nil {
+		return nil, fmt.Errorf("easychair: building model: %w", err)
+	}
+	if rep := elements.Model.Validate(); !rep.OK() {
+		return nil, fmt.Errorf("easychair: model not well-formed: %v", rep.Errors())
+	}
+	dqsr, _, err := transform.RunDQR2DQSR(elements.Model)
+	if err != nil {
+		return nil, fmt.Errorf("easychair: DQR2DQSR: %w", err)
+	}
+	enforcer, err := dqruntime.BuildFromDQSR(dqsr)
+	if err != nil {
+		return nil, fmt.Errorf("easychair: assembling enforcer: %w", err)
+	}
+	collector := metrics.NewCollector()
+	var chs []iso25012.Characteristic
+	for _, r := range enforcer.Requirements() {
+		chs = append(chs, r.Dimension)
+	}
+	if err := collector.RegisterCharacteristics(chs...); err != nil {
+		return nil, fmt.Errorf("easychair: registering measures: %w", err)
+	}
+	// Monitoring policy: mean per-characteristic scores must stay above 0.8
+	// across submitted reviews (accepted or rejected).
+	for _, ch := range chs {
+		if err := collector.AddThreshold(metrics.Threshold{
+			Measure: metrics.MeasureNameFor(ch), MinMean: 0.8,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	form, err := codegen.HTMLForm(elements.Model, "Add all data as result of review")
+	if err != nil {
+		return nil, fmt.Errorf("easychair: generating review form: %w", err)
+	}
+	app := &App{
+		Router:     webapp.NewRouter(),
+		store:      webapp.NewStore(),
+		enforcer:   enforcer,
+		collector:  collector,
+		reviewForm: form,
+	}
+	app.routes()
+	return app, nil
+}
+
+// Collector exposes the DQ measurement collector (for tests and
+// diagnostics).
+func (a *App) Collector() *metrics.Collector { return a.collector }
+
+// Enforcer exposes the DQ enforcer (for tests and diagnostics).
+func (a *App) Enforcer() *dqruntime.Enforcer { return a.enforcer }
+
+// Store exposes the data store (for tests).
+func (a *App) Store() *webapp.Store { return a.store }
+
+func (a *App) routes() {
+	r := a.Router
+	r.GET("/", a.handleHome)
+	r.POST("/login", a.handleLogin)
+	r.GET("/papers", a.handleListPapers)
+	r.POST("/papers", a.handleSubmitPaper)
+	r.POST("/papers/:id/assign", a.handleAssign)
+	r.POST("/papers/:id/reviews", a.handleAddReview)
+	r.GET("/reviews/:id", a.handleGetReview)
+	r.POST("/reviews/:id", a.handleEditReview)
+	r.GET("/reviews/:id/audit", a.handleAudit)
+	r.GET("/dq/requirements", a.handleDQRequirements)
+	r.GET("/dq/assess/:id", a.handleAssess)
+	r.GET("/dq/metrics", a.handleMetrics)
+	r.GET("/dq/violations", a.handleViolations)
+	r.GET("/papers/:id/reviews/new", a.handleNewReviewForm)
+}
+
+// observe records a validation report's scores into the measurement
+// collector; measurement failures must not break the request path, so they
+// are deliberately dropped (the collector only rejects non-finite values).
+func (a *App) observe(rep *dqruntime.Report, entity string) {
+	_ = a.collector.RecordReport(rep, entity)
+}
+
+func (a *App) currentUser(c *webapp.Context) (user string, level int) {
+	user = c.Session.Get("user")
+	level, _ = strconv.Atoi(c.Session.Get("level"))
+	return user, level
+}
+
+func (a *App) handleHome(c *webapp.Context) {
+	user, level := a.currentUser(c)
+	c.Text(http.StatusOK, "EasyChair (DQ_WebRE case study)\nuser=%s level=%d\npapers=%d reviews=%d\n",
+		user, level, a.store.Table("papers").Len(), a.store.Table("reviews").Len())
+}
+
+// handleLogin sets the session's user, role and clearance level. A real
+// deployment would authenticate; the case study only needs identity for
+// traceability and clearance for confidentiality.
+func (a *App) handleLogin(c *webapp.Context) {
+	user := strings.TrimSpace(c.FormValue("user"))
+	if user == "" {
+		c.Text(http.StatusBadRequest, "user is required\n")
+		return
+	}
+	c.Session.Set("user", user)
+	c.Session.Set("role", c.FormValue("role"))
+	c.Session.Set("level", c.FormValue("level"))
+	c.Text(http.StatusOK, "logged in as %s\n", user)
+}
+
+func (a *App) handleSubmitPaper(c *webapp.Context) {
+	user, _ := a.currentUser(c)
+	if user == "" {
+		c.Text(http.StatusUnauthorized, "log in first\n")
+		return
+	}
+	title := strings.TrimSpace(c.FormValue("title"))
+	if title == "" {
+		c.Text(http.StatusBadRequest, "title is required\n")
+		return
+	}
+	id := a.store.Table("papers").Insert(webapp.Row{
+		"title":   title,
+		"authors": c.FormValue("authors"),
+		"by":      user,
+	})
+	c.Text(http.StatusCreated, "paper %d submitted\n", id)
+}
+
+func (a *App) handleListPapers(c *webapp.Context) {
+	papers := a.store.Table("papers")
+	var b strings.Builder
+	for _, id := range papers.IDs() {
+		row, _ := papers.Get(id)
+		fmt.Fprintf(&b, "%d\t%s\t%s\n", id, row["title"], row["authors"])
+	}
+	c.Text(http.StatusOK, "%s", b.String())
+}
+
+func (a *App) handleAssign(c *webapp.Context) {
+	user, _ := a.currentUser(c)
+	if c.Session.Get("role") != "chair" {
+		c.Text(http.StatusForbidden, "only the chair assigns reviewers\n")
+		return
+	}
+	paperID, err := strconv.ParseInt(c.Param("id"), 10, 64)
+	if err != nil {
+		c.Text(http.StatusBadRequest, "bad paper id\n")
+		return
+	}
+	if _, ok := a.store.Table("papers").Get(paperID); !ok {
+		c.Text(http.StatusNotFound, "no such paper\n")
+		return
+	}
+	reviewer := strings.TrimSpace(c.FormValue("reviewer"))
+	if reviewer == "" {
+		c.Text(http.StatusBadRequest, "reviewer is required\n")
+		return
+	}
+	a.store.Table("assignments").Insert(webapp.Row{
+		"paper":    c.Param("id"),
+		"reviewer": reviewer,
+		"by":       user,
+	})
+	c.Text(http.StatusCreated, "assigned %s to paper %d\n", reviewer, paperID)
+}
+
+// handleAddReview is the paper's "Add new review to submission" web process
+// with DQ enforcement: input checks first (Completeness, Precision), then
+// storage with metadata capture (Traceability, Confidentiality).
+func (a *App) handleAddReview(c *webapp.Context) {
+	user, _ := a.currentUser(c)
+	if user == "" {
+		c.Text(http.StatusUnauthorized, "log in first\n")
+		return
+	}
+	paperID, err := strconv.ParseInt(c.Param("id"), 10, 64)
+	if err != nil {
+		c.Text(http.StatusBadRequest, "bad paper id\n")
+		return
+	}
+	if _, ok := a.store.Table("papers").Get(paperID); !ok {
+		c.Text(http.StatusNotFound, "no such paper\n")
+		return
+	}
+
+	record := dqruntime.Record{}
+	for _, f := range ReviewFields {
+		record[f] = c.FormValue(f)
+	}
+	report := a.enforcer.CheckInput(record)
+	a.observe(report, "papers/"+c.Param("id"))
+	if !report.Passed() {
+		var b strings.Builder
+		b.WriteString("review rejected by DQ checks:\n")
+		for _, f := range report.Failures() {
+			fmt.Fprintf(&b, "  %s\n", f)
+		}
+		c.Text(http.StatusUnprocessableEntity, "%s", b.String())
+		return
+	}
+
+	row := webapp.Row{"paper": c.Param("id")}
+	for k, v := range record {
+		row[k] = v
+	}
+	id := a.store.Table("reviews").Insert(row)
+	// Reviews are confidential to the PC: clearance 2, plus the chair.
+	a.enforcer.OnStore(reviewKey(id), user, 2, []string{"chair"})
+	c.Text(http.StatusCreated, "review %d stored\n", id)
+}
+
+func (a *App) handleGetReview(c *webapp.Context) {
+	user, level := a.currentUser(c)
+	if user == "" {
+		c.Text(http.StatusUnauthorized, "log in first\n")
+		return
+	}
+	id, err := strconv.ParseInt(c.Param("id"), 10, 64)
+	if err != nil {
+		c.Text(http.StatusBadRequest, "bad review id\n")
+		return
+	}
+	row, ok := a.store.Table("reviews").Get(id)
+	if !ok {
+		c.Text(http.StatusNotFound, "no such review\n")
+		return
+	}
+	if !a.enforcer.CanAccess(reviewKey(id), user, level) {
+		c.Text(http.StatusForbidden, "confidentiality: access denied (level %d insufficient)\n", level)
+		return
+	}
+	var b strings.Builder
+	for _, f := range ReviewFields {
+		fmt.Fprintf(&b, "%s: %s\n", f, row[f])
+	}
+	if md, ok := a.enforcer.Store().Get(reviewKey(id)); ok {
+		fmt.Fprintf(&b, "stored_by: %s\nstored_date: %s\nlast_modified_by: %s\nlast_modified_date: %s\n",
+			md.StoredBy, md.StoredDate.Format("2006-01-02T15:04:05Z07:00"),
+			md.LastModifiedBy, md.LastModifiedDate.Format("2006-01-02T15:04:05Z07:00"))
+	}
+	c.Text(http.StatusOK, "%s", b.String())
+}
+
+func (a *App) handleEditReview(c *webapp.Context) {
+	user, level := a.currentUser(c)
+	if user == "" {
+		c.Text(http.StatusUnauthorized, "log in first\n")
+		return
+	}
+	id, err := strconv.ParseInt(c.Param("id"), 10, 64)
+	if err != nil {
+		c.Text(http.StatusBadRequest, "bad review id\n")
+		return
+	}
+	row, ok := a.store.Table("reviews").Get(id)
+	if !ok {
+		c.Text(http.StatusNotFound, "no such review\n")
+		return
+	}
+	if !a.enforcer.CanAccess(reviewKey(id), user, level) {
+		c.Text(http.StatusForbidden, "confidentiality: access denied\n")
+		return
+	}
+	record := dqruntime.Record{}
+	for _, f := range ReviewFields {
+		v := c.FormValue(f)
+		if v == "" {
+			v = row[f] // partial edits keep existing values
+		}
+		record[f] = v
+	}
+	report := a.enforcer.CheckInput(record)
+	a.observe(report, "reviews/"+c.Param("id"))
+	if !report.Passed() {
+		var b strings.Builder
+		b.WriteString("edit rejected by DQ checks:\n")
+		for _, f := range report.Failures() {
+			fmt.Fprintf(&b, "  %s\n", f)
+		}
+		c.Text(http.StatusUnprocessableEntity, "%s", b.String())
+		return
+	}
+	for k, v := range record {
+		row[k] = v
+	}
+	a.store.Table("reviews").Update(id, row)
+	a.enforcer.OnModify(reviewKey(id), user)
+	c.Text(http.StatusOK, "review %d updated\n", id)
+}
+
+// handleAudit serves the Traceability requirement's audit trail.
+func (a *App) handleAudit(c *webapp.Context) {
+	user, level := a.currentUser(c)
+	if user == "" {
+		c.Text(http.StatusUnauthorized, "log in first\n")
+		return
+	}
+	id, err := strconv.ParseInt(c.Param("id"), 10, 64)
+	if err != nil {
+		c.Text(http.StatusBadRequest, "bad review id\n")
+		return
+	}
+	if !a.enforcer.CanAccess(reviewKey(id), user, level) {
+		c.Text(http.StatusForbidden, "confidentiality: access denied\n")
+		return
+	}
+	var b strings.Builder
+	for _, e := range a.enforcer.Store().Audit(reviewKey(id)) {
+		fmt.Fprintf(&b, "%s\n", e)
+	}
+	c.Text(http.StatusOK, "%s", b.String())
+}
+
+// handleDQRequirements reports the DQ software requirements in force.
+func (a *App) handleDQRequirements(c *webapp.Context) {
+	var b strings.Builder
+	for _, r := range a.enforcer.Requirements() {
+		fmt.Fprintf(&b, "DQSR-%d [%s/%s] %s\n", r.ID, r.Dimension, r.Mechanism, r.Title)
+	}
+	c.Text(http.StatusOK, "%s", b.String())
+}
+
+// handleAssess measures a stored review against the DQ model.
+func (a *App) handleAssess(c *webapp.Context) {
+	id, err := strconv.ParseInt(c.Param("id"), 10, 64)
+	if err != nil {
+		c.Text(http.StatusBadRequest, "bad review id\n")
+		return
+	}
+	row, ok := a.store.Table("reviews").Get(id)
+	if !ok {
+		c.Text(http.StatusNotFound, "no such review\n")
+		return
+	}
+	record := dqruntime.Record{}
+	for _, f := range ReviewFields {
+		record[f] = row[f]
+	}
+	var b strings.Builder
+	for _, as := range a.enforcer.Assess(record) {
+		fmt.Fprintf(&b, "%s\n", as)
+	}
+	c.Text(http.StatusOK, "%s", b.String())
+}
+
+// handleMetrics serves the measurement snapshot: per-characteristic score
+// aggregates across all observed submissions.
+func (a *App) handleMetrics(c *webapp.Context) {
+	var b strings.Builder
+	for _, line := range a.collector.Snapshot() {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	c.Text(http.StatusOK, "%s", b.String())
+}
+
+// handleViolations reports measures whose mean has fallen below the
+// monitoring thresholds.
+func (a *App) handleViolations(c *webapp.Context) {
+	vs := a.collector.Violations(time.Time{})
+	if len(vs) == 0 {
+		c.Text(http.StatusOK, "all DQ thresholds satisfied\n")
+		return
+	}
+	var b strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&b, "%s\n", v)
+	}
+	c.Text(http.StatusOK, "%s", b.String())
+}
+
+// handleNewReviewForm serves the review form generated from the model by
+// the codegen layer: required fields and score ranges come straight from
+// the captured DQ requirements, so the form and the server-side checks
+// cannot drift apart.
+func (a *App) handleNewReviewForm(c *webapp.Context) {
+	if _, err := strconv.ParseInt(c.Param("id"), 10, 64); err != nil {
+		c.Text(http.StatusBadRequest, "bad paper id\n")
+		return
+	}
+	c.HTML(http.StatusOK, a.reviewForm)
+}
+
+func reviewKey(id int64) string { return fmt.Sprintf("review/%d", id) }

@@ -1,0 +1,397 @@
+package easychair
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// client is a test HTTP client with its own cookie jar (session identity).
+type client struct {
+	t    *testing.T
+	base string
+	http *http.Client
+}
+
+func newClient(t *testing.T, base string) *client {
+	return &client{t: t, base: base, http: &http.Client{Jar: &jar{cookies: map[string][]*http.Cookie{}}}}
+}
+
+type jar struct {
+	mu      sync.Mutex
+	cookies map[string][]*http.Cookie
+}
+
+func (j *jar) SetCookies(u *url.URL, cs []*http.Cookie) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cookies[u.Host] = append(j.cookies[u.Host], cs...)
+}
+
+func (j *jar) Cookies(u *url.URL) []*http.Cookie {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cookies[u.Host]
+}
+
+func (c *client) post(path string, form url.Values) (int, string) {
+	c.t.Helper()
+	resp, err := c.http.PostForm(c.base+path, form)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func (c *client) get(path string) (int, string) {
+	c.t.Helper()
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func (c *client) login(user, role, level string) {
+	c.t.Helper()
+	status, body := c.post("/login", url.Values{"user": {user}, "role": {role}, "level": {level}})
+	if status != 200 {
+		c.t.Fatalf("login failed: %d %s", status, body)
+	}
+}
+
+func goodReview() url.Values {
+	return url.Values{
+		"first_name":          {"Grace"},
+		"last_name":           {"Hopper"},
+		"email_address":       {"grace@navy.mil"},
+		"overall_evaluation":  {"2"},
+		"reviewer_confidence": {"4"},
+	}
+}
+
+func startApp(t *testing.T) (*App, *httptest.Server) {
+	t.Helper()
+	app, err := NewApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(app.Router)
+	t.Cleanup(srv.Close)
+	return app, srv
+}
+
+func TestFullReviewFlow(t *testing.T) {
+	_, srv := startApp(t)
+	author := newClient(t, srv.URL)
+	author.login("ada", "author", "0")
+	status, body := author.post("/papers", url.Values{"title": {"On Computable Numbers"}, "authors": {"A. Turing"}})
+	if status != http.StatusCreated {
+		t.Fatalf("submit: %d %s", status, body)
+	}
+
+	chair := newClient(t, srv.URL)
+	chair.login("chair", "chair", "3")
+	status, body = chair.post("/papers/1/assign", url.Values{"reviewer": {"grace"}})
+	if status != http.StatusCreated {
+		t.Fatalf("assign: %d %s", status, body)
+	}
+
+	reviewer := newClient(t, srv.URL)
+	reviewer.login("grace", "pc", "2")
+	status, body = reviewer.post("/papers/1/reviews", goodReview())
+	if status != http.StatusCreated {
+		t.Fatalf("review: %d %s", status, body)
+	}
+
+	// The reviewer reads their review, with traceability metadata rendered.
+	status, body = reviewer.get("/reviews/1")
+	if status != 200 {
+		t.Fatalf("read: %d %s", status, body)
+	}
+	for _, want := range []string{"first_name: Grace", "stored_by: grace", "last_modified_by: grace"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("review body lacks %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestCompletenessEnforced: the paper's requirement 2 — a review with
+// missing fields is rejected.
+func TestCompletenessEnforced(t *testing.T) {
+	_, srv := startApp(t)
+	c := newClient(t, srv.URL)
+	c.login("ada", "author", "0")
+	c.post("/papers", url.Values{"title": {"P"}})
+	reviewer := newClient(t, srv.URL)
+	reviewer.login("grace", "pc", "2")
+
+	form := goodReview()
+	form.Del("last_name")
+	status, body := reviewer.post("/papers/1/reviews", form)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("incomplete review: %d %s", status, body)
+	}
+	if !strings.Contains(body, "check_completeness") || !strings.Contains(body, "missing last_name") {
+		t.Fatalf("body = %s", body)
+	}
+}
+
+// TestPrecisionEnforced: the paper's requirement 4 — scores outside the
+// DQConstraint ranges are rejected.
+func TestPrecisionEnforced(t *testing.T) {
+	_, srv := startApp(t)
+	c := newClient(t, srv.URL)
+	c.login("ada", "author", "0")
+	c.post("/papers", url.Values{"title": {"P"}})
+	reviewer := newClient(t, srv.URL)
+	reviewer.login("grace", "pc", "2")
+
+	form := goodReview()
+	form.Set("overall_evaluation", "7") // outside [-3,3]
+	status, body := reviewer.post("/papers/1/reviews", form)
+	if status != http.StatusUnprocessableEntity || !strings.Contains(body, "check_precision") {
+		t.Fatalf("imprecise review: %d %s", status, body)
+	}
+}
+
+// TestConfidentialityEnforced: the paper's requirement 1 — only authorized
+// users read reviews.
+func TestConfidentialityEnforced(t *testing.T) {
+	_, srv := startApp(t)
+	author := newClient(t, srv.URL)
+	author.login("ada", "author", "0")
+	author.post("/papers", url.Values{"title": {"P"}})
+	reviewer := newClient(t, srv.URL)
+	reviewer.login("grace", "pc", "2")
+	reviewer.post("/papers/1/reviews", goodReview())
+
+	// The submitting author (level 0, not chair, not owner) is denied.
+	status, body := author.get("/reviews/1")
+	if status != http.StatusForbidden {
+		t.Fatalf("author read: %d %s", status, body)
+	}
+	// The chair (in available_to) is allowed regardless of level.
+	chair := newClient(t, srv.URL)
+	chair.login("chair", "chair", "0")
+	status, _ = chair.get("/reviews/1")
+	if status != 200 {
+		t.Fatalf("chair read: %d", status)
+	}
+	// A PC member with clearance 2 is allowed.
+	pc := newClient(t, srv.URL)
+	pc.login("peer", "pc", "2")
+	status, _ = pc.get("/reviews/1")
+	if status != 200 {
+		t.Fatalf("pc read: %d", status)
+	}
+}
+
+// TestTraceabilityEnforced: the paper's requirement 3 — the audit trail
+// records who stored and modified the review and who accessed it.
+func TestTraceabilityEnforced(t *testing.T) {
+	_, srv := startApp(t)
+	author := newClient(t, srv.URL)
+	author.login("ada", "author", "0")
+	author.post("/papers", url.Values{"title": {"P"}})
+	reviewer := newClient(t, srv.URL)
+	reviewer.login("grace", "pc", "2")
+	reviewer.post("/papers/1/reviews", goodReview())
+
+	// Edit the review.
+	form := url.Values{"overall_evaluation": {"3"}}
+	status, body := reviewer.post("/reviews/1", form)
+	if status != 200 {
+		t.Fatalf("edit: %d %s", status, body)
+	}
+
+	status, body = reviewer.get("/reviews/1/audit")
+	if status != 200 {
+		t.Fatalf("audit: %d %s", status, body)
+	}
+	for _, want := range []string{"store review/1 by grace", "modify review/1 by grace"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("audit lacks %q:\n%s", want, body)
+		}
+	}
+	// Denied accesses are audited too.
+	author.get("/reviews/1")
+	_, body = reviewer.get("/reviews/1/audit")
+	if !strings.Contains(body, "denied review/1 by ada") {
+		t.Errorf("audit lacks denial:\n%s", body)
+	}
+}
+
+func TestEditRejectsBadData(t *testing.T) {
+	_, srv := startApp(t)
+	c := newClient(t, srv.URL)
+	c.login("ada", "author", "0")
+	c.post("/papers", url.Values{"title": {"P"}})
+	reviewer := newClient(t, srv.URL)
+	reviewer.login("grace", "pc", "2")
+	reviewer.post("/papers/1/reviews", goodReview())
+
+	status, body := reviewer.post("/reviews/1", url.Values{"overall_evaluation": {"99"}})
+	if status != http.StatusUnprocessableEntity || !strings.Contains(body, "check_precision") {
+		t.Fatalf("bad edit: %d %s", status, body)
+	}
+	// The stored review is unchanged.
+	_, body = reviewer.get("/reviews/1")
+	if !strings.Contains(body, "overall_evaluation: 2") {
+		t.Fatalf("review mutated by rejected edit:\n%s", body)
+	}
+}
+
+func TestDQEndpoints(t *testing.T) {
+	_, srv := startApp(t)
+	c := newClient(t, srv.URL)
+	status, body := c.get("/dq/requirements")
+	if status != 200 {
+		t.Fatalf("requirements: %d", status)
+	}
+	for _, want := range []string{"Confidentiality", "Completeness", "Traceability", "Precision"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("requirements lack %s:\n%s", want, body)
+		}
+	}
+
+	c.login("ada", "author", "0")
+	c.post("/papers", url.Values{"title": {"P"}})
+	reviewer := newClient(t, srv.URL)
+	reviewer.login("grace", "pc", "2")
+	reviewer.post("/papers/1/reviews", goodReview())
+
+	status, body = c.get("/dq/assess/1")
+	if status != 200 {
+		t.Fatalf("assess: %d %s", status, body)
+	}
+	if strings.Contains(body, "FAIL") {
+		t.Fatalf("good review assessed as failing:\n%s", body)
+	}
+	if got := strings.Count(body, "\n"); got != 4 {
+		t.Fatalf("assessment lines = %d, want 4:\n%s", got, body)
+	}
+}
+
+func TestAuthAndValidationGuards(t *testing.T) {
+	_, srv := startApp(t)
+	anon := newClient(t, srv.URL)
+
+	if status, _ := anon.post("/papers", url.Values{"title": {"X"}}); status != http.StatusUnauthorized {
+		t.Errorf("anonymous submit: %d", status)
+	}
+	if status, _ := anon.post("/papers/1/reviews", goodReview()); status != http.StatusUnauthorized {
+		t.Errorf("anonymous review: %d", status)
+	}
+	if status, _ := anon.get("/reviews/1"); status != http.StatusUnauthorized {
+		t.Errorf("anonymous read: %d", status)
+	}
+	if status, _ := anon.post("/login", url.Values{}); status != http.StatusBadRequest {
+		t.Errorf("empty login: %d", status)
+	}
+
+	user := newClient(t, srv.URL)
+	user.login("u", "author", "0")
+	if status, _ := user.post("/papers", url.Values{}); status != http.StatusBadRequest {
+		t.Errorf("untitled paper: %d", status)
+	}
+	if status, _ := user.post("/papers/999/reviews", goodReview()); status != http.StatusNotFound {
+		t.Errorf("review of missing paper: %d", status)
+	}
+	if status, _ := user.post("/papers/abc/reviews", goodReview()); status != http.StatusBadRequest {
+		t.Errorf("review of bad id: %d", status)
+	}
+	if status, _ := user.get("/reviews/999"); status != http.StatusNotFound {
+		t.Errorf("missing review: %d", status)
+	}
+	if status, _ := user.post("/papers/1/assign", url.Values{"reviewer": {"x"}}); status != http.StatusForbidden {
+		t.Errorf("non-chair assign: %d", status)
+	}
+}
+
+func TestHomePage(t *testing.T) {
+	_, srv := startApp(t)
+	c := newClient(t, srv.URL)
+	status, body := c.get("/")
+	if status != 200 || !strings.Contains(body, "EasyChair") {
+		t.Fatalf("home: %d %s", status, body)
+	}
+}
+
+// TestMetricsEndpoints: submitting reviews feeds the measurement collector;
+// the metrics and violations endpoints expose the aggregates.
+func TestMetricsEndpoints(t *testing.T) {
+	_, srv := startApp(t)
+	author := newClient(t, srv.URL)
+	author.login("ada", "author", "0")
+	author.post("/papers", url.Values{"title": {"P"}})
+	reviewer := newClient(t, srv.URL)
+	reviewer.login("grace", "pc", "2")
+
+	// Two good reviews, one bad: completeness mean = 2/3-ish of records at
+	// 1.0 plus one partial.
+	reviewer.post("/papers/1/reviews", goodReview())
+	reviewer.post("/papers/1/reviews", goodReview())
+	bad := goodReview()
+	bad.Del("last_name")
+	bad.Del("email_address")
+	reviewer.post("/papers/1/reviews", bad)
+
+	status, body := reviewer.get("/dq/metrics")
+	if status != 200 {
+		t.Fatalf("metrics: %d", status)
+	}
+	for _, want := range []string{"dq/Completeness", "dq/Precision", "n=3"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics lack %q:\n%s", want, body)
+		}
+	}
+
+	status, body = reviewer.get("/dq/violations")
+	if status != 200 {
+		t.Fatalf("violations: %d", status)
+	}
+	// Completeness mean = (1 + 1 + 0.6)/3 ≈ 0.867 ≥ 0.8: no violation yet.
+	if !strings.Contains(body, "all DQ thresholds satisfied") {
+		t.Fatalf("unexpected violations:\n%s", body)
+	}
+	// Three more bad submissions push the mean below 0.8.
+	for i := 0; i < 3; i++ {
+		reviewer.post("/papers/1/reviews", bad)
+	}
+	_, body = reviewer.get("/dq/violations")
+	if !strings.Contains(body, "dq/Completeness") || !strings.Contains(body, "below threshold") {
+		t.Fatalf("violation not reported:\n%s", body)
+	}
+}
+
+// TestGeneratedReviewForm: the review form served by the app is generated
+// from the model, carrying the constraint ranges and required markers.
+func TestGeneratedReviewForm(t *testing.T) {
+	_, srv := startApp(t)
+	c := newClient(t, srv.URL)
+	status, body := c.get("/papers/1/reviews/new")
+	if status != 200 {
+		t.Fatalf("form: %d", status)
+	}
+	for _, want := range []string{
+		`<input type="number" name="overall_evaluation" min="-3" max="3" required`,
+		`<input type="number" name="reviewer_confidence" min="0" max="5" required`,
+		`<input type="email" name="email_address" required`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("form lacks %q:\n%s", want, body)
+		}
+	}
+	if status, _ := c.get("/papers/abc/reviews/new"); status != http.StatusBadRequest {
+		t.Errorf("bad id form: %d", status)
+	}
+}

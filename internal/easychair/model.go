@@ -1,0 +1,193 @@
+// Package easychair reproduces the paper's case study (Section 4): the
+// EasyChair conference system's "Add new review to submission" web process,
+// modeled with DQ_WebRE. BuildModel constructs the use-case diagram of
+// Fig. 6 and the activity diagram of Fig. 7; the runtime half of the package
+// (app.go) implements the corresponding conference-management domain so the
+// captured DQ software requirements can be executed against a live
+// (simulated) web application.
+package easychair
+
+import (
+	"github.com/modeldriven/dqwebre/internal/dqwebre"
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+// Elements bundles the named elements of the case-study model so tests and
+// the diagram generators can address them directly.
+type Elements struct {
+	// Model is the underlying requirements model.
+	Model *dqwebre.RequirementsModel
+
+	// --- Fig. 6 (use-case view) ---
+
+	// PCMember is the WebUser actor.
+	PCMember *metamodel.Object
+	// AddReview is the WebProcess "Add new review to submission".
+	AddReview *metamodel.Object
+	// ReviewerInfo and EvaluationScores are the Contents with the data items
+	// the paper lists in its comment notes.
+	ReviewerInfo     *metamodel.Object
+	EvaluationScores *metamodel.Object
+	// InfoCase is the «InformationCase» "Add all data as result of review".
+	InfoCase *metamodel.Object
+	// The four «DQ_Requirement» use cases of Section 4.
+	ReqConfidentiality *metamodel.Object
+	ReqCompleteness    *metamodel.Object
+	ReqTraceability    *metamodel.Object
+	ReqPrecision       *metamodel.Object
+
+	// --- Fig. 7 (activity view) ---
+
+	// Activity is the "Add new review to submission" activity.
+	Activity *metamodel.Object
+	// UserTransactions holds the five «UserTransaction» steps in Fig. 7
+	// order.
+	UserTransactions []*metamodel.Object
+	// StoreTraceability and AddConfidentiality are the two
+	// «Add_DQ_Metadata» activities.
+	StoreTraceability  *metamodel.Object
+	AddConfidentiality *metamodel.Object
+	// VerifyPrecision and CheckCompleteness are the validation actions.
+	VerifyPrecision   *metamodel.Object
+	CheckCompleteness *metamodel.Object
+	// TraceMetadata and ConfMetadata are the «DQ_Metadata» stores.
+	TraceMetadata *metamodel.Object
+	ConfMetadata  *metamodel.Object
+	// Validator is the «DQ_Validator» carrying check_precision() and
+	// check_completeness().
+	Validator *metamodel.Object
+	// ScoreConstraint is the «DQConstraint» bounding evaluation scores.
+	ScoreConstraint *metamodel.Object
+	// ReviewPage is the «WebUI» "webpage of New Review".
+	ReviewPage *metamodel.Object
+}
+
+// The paper's data items (Section 4): fields of the two Contents.
+var (
+	// ReviewerInfoFields are the data of "information of reviewer".
+	ReviewerInfoFields = []string{"first_name", "last_name", "email_address"}
+	// EvaluationScoreFields are the data of "evaluation scores".
+	EvaluationScoreFields = []string{"overall_evaluation", "reviewer_confidence"}
+	// TraceabilityMetadata are the Traceability metadata of requirement 3.
+	TraceabilityMetadata = []string{"stored_by", "stored_date", "last_modified_by", "last_modified_date"}
+	// ConfidentialityMetadata are the Confidentiality metadata.
+	ConfidentialityMetadata = []string{"security_level", "available_to"}
+)
+
+// BuildModel constructs the paper's Section 4 case study. The returned
+// model validates cleanly against the DQ_WebRE metamodel rules and the
+// Table 3 profile constraints.
+func BuildModel() (*Elements, error) {
+	rm := dqwebre.NewRequirementsModel("EasyChair")
+	e := &Elements{Model: rm}
+
+	// ---- Fig. 6: use-case diagram with DQ requirements ----
+
+	e.PCMember = rm.WebUser("PC member")
+	e.AddReview = rm.WebProcess("Add new review to submission", e.PCMember)
+	e.ReviewerInfo = rm.Content("information of reviewer", ReviewerInfoFields...)
+	e.EvaluationScores = rm.Content("evaluation scores", EvaluationScoreFields...)
+	e.InfoCase = rm.InformationCase("Add all data as result of review",
+		e.AddReview, e.ReviewerInfo, e.EvaluationScores)
+
+	e.ReqConfidentiality = rm.DQRequirement(
+		"check that data will be accessed only by authorized users",
+		iso25012.Confidentiality, e.InfoCase)
+	rm.Specify(e.ReqConfidentiality, 1,
+		"Identify the piece of software responsible for capturing metadata ensuring the stored information is only accessed by users who meet the security level defined in the application.")
+
+	e.ReqCompleteness = rm.DQRequirement(
+		"verify that all data have been completed by reviewer",
+		iso25012.Completeness, e.InfoCase)
+	rm.Specify(e.ReqCompleteness, 2,
+		"Ensure all the data entered by the reviewer are completed in every available field, via a check_completeness function implemented in a DQ_Validator class.")
+
+	e.ReqTraceability = rm.DQRequirement(
+		"check who is able to add or change a revision",
+		iso25012.Traceability, e.InfoCase)
+	rm.Specify(e.ReqTraceability, 3,
+		"Add metadata keeping records about who stored the data (stored_by, last_modified_by) and when (stored_date, last_modified_date), stored in a DQ_Metadata class.")
+
+	e.ReqPrecision = rm.DQRequirement(
+		"validate the score assigned to each topic of revision",
+		iso25012.Precision, e.InfoCase)
+	rm.Specify(e.ReqPrecision, 4,
+		"Validate that all fields related to Evaluation scores fulfill the precision requirement, via a check_precision function in a DQ_Validator class.")
+
+	// ---- Structural elements shared by Fig. 7 ----
+
+	e.ReviewPage = rm.WebUI("webpage of New Review")
+	e.TraceMetadata = rm.DQMetadata("traceability metadata",
+		TraceabilityMetadata, e.ReviewerInfo, e.EvaluationScores)
+	e.ConfMetadata = rm.DQMetadata("confidentiality metadata",
+		ConfidentialityMetadata, e.ReviewerInfo, e.EvaluationScores)
+	e.Validator = rm.DQValidator("review DQ validator",
+		[]string{"check_precision", "check_completeness"}, e.ReviewPage)
+	e.ScoreConstraint = rm.DQConstraint("evaluation score range", -3, 3,
+		[]string{"overall_evaluation in [-3,3]", "reviewer_confidence in [0,5]"},
+		e.Validator)
+
+	// ---- Fig. 7: activity diagram with DQ management ----
+
+	e.Activity = rm.Activity("Add new review to submission")
+	b := rm.Builder()
+	lane := b.Partition(e.Activity, "PC member")
+	sysLane := b.Partition(e.Activity, "EasyChair")
+
+	start := b.Node(e.Activity, uml.MetaInitialNode, "", nil)
+
+	txNames := []struct {
+		name    string
+		content *metamodel.Object
+	}{
+		{"add reviewer information", e.ReviewerInfo},
+		{"add evaluation scores", e.EvaluationScores},
+		{"add additional scores", e.EvaluationScores},
+		{"add detailed information of review", e.ReviewerInfo},
+		{"add comments for PC", e.ReviewerInfo},
+	}
+	var txs []*metamodel.Object
+	for _, spec := range txNames {
+		txs = append(txs, rm.UserTransaction(e.Activity, spec.name, lane, spec.content))
+	}
+	e.UserTransactions = txs
+
+	e.StoreTraceability = rm.AddDQMetadataActivity(e.Activity,
+		"store metadata of traceability", sysLane, e.TraceMetadata, nil, txs...)
+	e.AddConfidentiality = rm.AddDQMetadataActivity(e.Activity,
+		"add metadata about confidentiality", sysLane, e.ConfMetadata, nil, txs...)
+	e.VerifyPrecision = rm.AddDQMetadataActivity(e.Activity,
+		"Verify Precision of data", sysLane, nil, e.Validator)
+	e.CheckCompleteness = rm.AddDQMetadataActivity(e.Activity,
+		"Check Completeness of entered data", sysLane, nil, e.Validator)
+
+	decision := b.Node(e.Activity, uml.MetaDecisionNode, "all checks pass?", nil)
+	end := b.Node(e.Activity, uml.MetaActivityFinalNode, "", nil)
+
+	// Control flow: start → the five transactions in sequence → the two
+	// metadata captures → the two verifications → decision → end (or back
+	// to the first transaction on failure).
+	b.FlowChain(e.Activity, append([]*metamodel.Object{start}, txs...)...)
+	b.FlowChain(e.Activity, txs[len(txs)-1],
+		e.StoreTraceability, e.AddConfidentiality,
+		e.VerifyPrecision, e.CheckCompleteness, decision)
+	b.Flow(e.Activity, decision, end, "yes")
+	b.Flow(e.Activity, decision, txs[0], "no: fix input")
+
+	if err := rm.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustBuildModel is BuildModel that panics on error, for fixtures and
+// benchmarks.
+func MustBuildModel() *Elements {
+	e, err := BuildModel()
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

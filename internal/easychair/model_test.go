@@ -1,0 +1,268 @@
+package easychair
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/modeldriven/dqwebre/internal/dqwebre"
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/uml"
+	"github.com/modeldriven/dqwebre/internal/webre"
+	"github.com/modeldriven/dqwebre/internal/xmi"
+)
+
+func metamodelString(s string) metamodel.Value { return metamodel.String(s) }
+
+func TestBuildModelValidates(t *testing.T) {
+	e, err := BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := e.Model.Validate()
+	if !rep.OK() {
+		for _, d := range rep.Diagnostics {
+			t.Log(d)
+		}
+		t.Fatal("case study model must validate cleanly")
+	}
+}
+
+// TestFig6Elements pins the element inventory of the paper's Fig. 6: one
+// actor, one WebProcess, one InformationCase, four DQ_Requirements with the
+// right dimensions, and the two Contents with the paper's data items.
+func TestFig6Elements(t *testing.T) {
+	e := MustBuildModel()
+	m := e.Model
+
+	if got := m.StereotypedBy(dqwebre.MetaInformationCase); len(got) != 1 {
+		t.Fatalf("InformationCases = %d, want 1", len(got))
+	}
+	reqs := m.StereotypedBy(dqwebre.MetaDQRequirement)
+	if len(reqs) != 4 {
+		t.Fatalf("DQ_Requirements = %d, want 4", len(reqs))
+	}
+
+	infos, err := m.DQRequirements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDims := map[iso25012.Characteristic]bool{
+		iso25012.Confidentiality: true,
+		iso25012.Completeness:    true,
+		iso25012.Traceability:    true,
+		iso25012.Precision:       true,
+	}
+	for _, info := range infos {
+		if !wantDims[info.Dimension] {
+			t.Errorf("unexpected dimension %s", info.Dimension)
+		}
+		delete(wantDims, info.Dimension)
+		if info.SpecText == "" || info.SpecID == 0 {
+			t.Errorf("requirement %q lacks specification", info.Name)
+		}
+	}
+	if len(wantDims) != 0 {
+		t.Errorf("missing dimensions: %v", wantDims)
+	}
+
+	// The include chain of Fig. 6.
+	incs := e.AddReview.GetRefs("include")
+	if len(incs) != 1 || incs[0].GetRef("addition") != e.InfoCase {
+		t.Error("WebProcess must include the InformationCase")
+	}
+	icIncs := e.InfoCase.GetRefs("include")
+	if len(icIncs) != 4 {
+		t.Errorf("InformationCase includes %d requirements, want 4", len(icIncs))
+	}
+
+	// The paper's data items.
+	gotAttrs := []string{}
+	for _, a := range e.ReviewerInfo.GetRefs("attributes") {
+		gotAttrs = append(gotAttrs, a.GetString("name"))
+	}
+	if strings.Join(gotAttrs, ",") != strings.Join(ReviewerInfoFields, ",") {
+		t.Errorf("reviewer info fields = %v", gotAttrs)
+	}
+}
+
+// TestFig7Elements pins the activity diagram inventory: five
+// UserTransactions, two metadata-capturing and two verification
+// Add_DQ_Metadata activities, the metadata stores with the paper's
+// attribute names, the validator operations and the score constraint.
+func TestFig7Elements(t *testing.T) {
+	e := MustBuildModel()
+	m := e.Model
+
+	if len(e.UserTransactions) != 5 {
+		t.Fatalf("UserTransactions = %d, want 5", len(e.UserTransactions))
+	}
+	wantTx := []string{
+		"add reviewer information", "add evaluation scores", "add additional scores",
+		"add detailed information of review", "add comments for PC",
+	}
+	for i, tx := range e.UserTransactions {
+		if tx.GetString("name") != wantTx[i] {
+			t.Errorf("tx[%d] = %q, want %q", i, tx.GetString("name"), wantTx[i])
+		}
+		if !tx.IsA(webre.MustClass(webre.MetaUserTransaction)) {
+			t.Errorf("tx[%d] wrong metaclass", i)
+		}
+	}
+
+	addMetas := m.StereotypedBy(dqwebre.MetaAddDQMetadata)
+	if len(addMetas) != 4 {
+		t.Fatalf("Add_DQ_Metadata nodes = %d, want 4", len(addMetas))
+	}
+
+	// Traceability metadata names match the paper.
+	md := e.TraceMetadata.GetList("dq_metadata")
+	if len(md) != 4 {
+		t.Fatalf("traceability metadata = %d items", len(md))
+	}
+	for i, want := range TraceabilityMetadata {
+		if md[i] != metamodelString(want) {
+			t.Errorf("metadata[%d] = %v, want %s", i, md[i], want)
+		}
+	}
+
+	// Validator operations.
+	ops := []string{}
+	for _, op := range e.Validator.GetRefs("operations") {
+		ops = append(ops, op.GetString("name"))
+	}
+	if strings.Join(ops, ",") != "check_precision,check_completeness" {
+		t.Errorf("validator ops = %v", ops)
+	}
+	vals := e.Validator.GetRefs("validates")
+	if len(vals) != 1 || vals[0] != e.ReviewPage {
+		t.Error("validator must validate the review page")
+	}
+
+	// Score constraint bounds.
+	if e.ScoreConstraint.GetInt("lower_bound") != -3 || e.ScoreConstraint.GetInt("upper_bound") != 3 {
+		t.Error("score constraint bounds wrong")
+	}
+	cvals := e.ScoreConstraint.GetRefs("validator")
+	if len(cvals) != 1 || cvals[0] != e.Validator {
+		t.Error("constraint→validator link missing")
+	}
+
+	// Activity graph shape: 1 initial + 5 tx + 4 addmeta + 1 decision +
+	// 1 final = 12 nodes; edges: 5 (start+tx chain) + 5 (tail chain) +
+	// 2 (decision outcomes) = 12.
+	nodes := e.Activity.GetRefs("nodes")
+	if len(nodes) != 12 {
+		t.Errorf("activity nodes = %d, want 12", len(nodes))
+	}
+	edges := e.Activity.GetRefs("edges")
+	if len(edges) != 12 {
+		t.Errorf("activity edges = %d, want 12", len(edges))
+	}
+
+	// Swimlanes.
+	parts := e.Activity.GetRefs("partitions")
+	if len(parts) != 2 {
+		t.Fatalf("partitions = %d", len(parts))
+	}
+	if e.UserTransactions[0].GetRef("inPartition") != parts[0] {
+		t.Error("transactions should sit in the PC member lane")
+	}
+	if e.StoreTraceability.GetRef("inPartition") != parts[1] {
+		t.Error("metadata capture should sit in the EasyChair lane")
+	}
+}
+
+func TestModelRoundTripsThroughXMI(t *testing.T) {
+	e := MustBuildModel()
+	data, err := xmi.Marshal(e.Model.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := xmi.Unmarshal(data, xmi.Options{
+		Profiles: []*uml.Profile{webre.Profile(), dqwebre.Profile()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, diff := xmi.Equivalent(e.Model.Model, back); !ok {
+		t.Fatalf("round trip: %s", diff)
+	}
+}
+
+func TestCaseStudyStats(t *testing.T) {
+	e := MustBuildModel()
+	stats := e.Model.Stats()
+	byClass := map[string]int{}
+	for _, s := range stats {
+		byClass[s.Class] = s.Count
+	}
+	want := map[string]int{
+		"WebUser":         1,
+		"WebProcess":      1,
+		"InformationCase": 1,
+		"DQ_Requirement":  4,
+		"UserTransaction": 5,
+		"Add_DQ_Metadata": 4,
+		"DQ_Metadata":     2,
+		"DQ_Validator":    1,
+		"DQConstraint":    1,
+		"Content":         2,
+		"WebUI":           1,
+	}
+	for class, n := range want {
+		if byClass[class] != n {
+			t.Errorf("%s = %d, want %d", class, byClass[class], n)
+		}
+	}
+}
+
+// TestNavigationModel exercises the WebRE navigation vocabulary
+// (Navigation, Browse, Search, Node) on the case-study substrate and
+// checks it against the WebRE well-formedness rules.
+func TestNavigationModel(t *testing.T) {
+	n, err := BuildNavigationModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := n.Model.Validate()
+	if !rep.OK() {
+		for _, d := range rep.Diagnostics {
+			t.Log(d)
+		}
+		t.Fatal("navigation model must validate")
+	}
+	// The navigation reaches its declared target via a browse.
+	browses := n.Navigation.GetRefs("browses")
+	if len(browses) != 3 {
+		t.Fatalf("browses = %d, want 3", len(browses))
+	}
+	if n.Navigation.GetRef("targetNode") != n.ReviewForm {
+		t.Fatal("target node wrong")
+	}
+	reached := false
+	for _, b := range browses {
+		if b.GetRef("target") == n.ReviewForm {
+			reached = true
+		}
+	}
+	if !reached {
+		t.Fatal("no browse reaches the target node")
+	}
+	// The search is parameterized and queries the submissions content.
+	params := n.FindSubmission.GetList("parameters")
+	if len(params) != 2 {
+		t.Fatalf("search params = %v", params)
+	}
+	if n.FindSubmission.GetRef("queriedContent") != n.SubmissionsContent {
+		t.Fatal("search content wrong")
+	}
+	// The search is a Browse too (WebRE: Search specializes Browse).
+	if !n.FindSubmission.IsA(webre.MustClass(webre.MetaBrowse)) {
+		t.Fatal("Search must conform to Browse")
+	}
+	// Node→WebUI presentation link.
+	if ui := n.ReviewForm.GetRef("ui"); ui == nil || ui.GetString("name") != "webpage of New Review" {
+		t.Fatal("review form node lacks its WebUI")
+	}
+}

@@ -1,0 +1,101 @@
+package easychair
+
+import (
+	"github.com/modeldriven/dqwebre/internal/dqwebre"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/webre"
+)
+
+// NavigationElements bundles the WebRE navigation view of EasyChair: how a
+// PC member reaches the review form. The paper's case study concentrates
+// on the WebProcess (Figs. 6-7); this model exercises the other half of
+// WebRE — Navigation, Browse, Search, Node — against the same substrate,
+// so the full Table 2 vocabulary is used somewhere real.
+type NavigationElements struct {
+	// Model is the underlying requirements model.
+	Model *dqwebre.RequirementsModel
+	// Navigation is the "Reach the review form" navigation use case.
+	Navigation *metamodel.Object
+	// Nodes of the navigation path, in order: login, submissions, review.
+	Login, Submissions, ReviewForm *metamodel.Object
+	// ToSubmissions and ToReview are the Browse steps.
+	ToSubmissions, ToReview *metamodel.Object
+	// FindSubmission is the Search refining the submissions browse.
+	FindSubmission *metamodel.Object
+	// Submissions content searched over.
+	SubmissionsContent *metamodel.Object
+}
+
+// BuildNavigationModel constructs the navigation view: a WebUser navigates
+// login → "my submissions" → the review form, with a parameterized Search
+// (by title, by author) over the submissions content on the way.
+func BuildNavigationModel() (*NavigationElements, error) {
+	rm := dqwebre.NewRequirementsModel("EasyChair-navigation")
+	n := &NavigationElements{Model: rm}
+	b := rm.Builder()
+
+	rm.WebUser("PC member")
+	n.Login = rm.Node("login page")
+	n.Submissions = rm.Node("assigned submissions")
+	n.ReviewForm = rm.Node("new review form")
+	n.SubmissionsContent = rm.Content("submissions", "title", "authors", "track")
+
+	// The submissions node displays the submissions content; the review
+	// form is presented by the WebUI of Figs. 6-7.
+	if n.Submissions != nil {
+		if err := n.Submissions.AppendRef("contents", n.SubmissionsContent); err != nil {
+			b.Fail(err)
+		}
+	}
+	ui := rm.WebUI("webpage of New Review")
+	if n.ReviewForm != nil && ui != nil {
+		if err := n.ReviewForm.Set("ui", metamodel.Ref{Target: ui}); err != nil {
+			b.Fail(err)
+		}
+	}
+
+	n.ToSubmissions = b.Create(webre.MetaBrowse, "browse to submissions")
+	n.FindSubmission = b.Create(webre.MetaSearch, "search submissions")
+	n.ToReview = b.Create(webre.MetaBrowse, "browse to review form")
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	wire := func(browse, src, dst *metamodel.Object) {
+		if err := browse.Set("source", metamodel.Ref{Target: src}); err != nil {
+			b.Fail(err)
+		}
+		if err := browse.Set("target", metamodel.Ref{Target: dst}); err != nil {
+			b.Fail(err)
+		}
+	}
+	wire(n.ToSubmissions, n.Login, n.Submissions)
+	wire(n.FindSubmission, n.Submissions, n.Submissions)
+	wire(n.ToReview, n.Submissions, n.ReviewForm)
+	// A Search browses "within" the submissions node but must still move
+	// the user somewhere: its result list is the same node, which the
+	// Browse well-formedness rule (source <> target) flags. Model it as
+	// landing on the review form instead, as EasyChair's search does.
+	wire(n.FindSubmission, n.Submissions, n.ReviewForm)
+	for _, param := range []string{"title", "authors"} {
+		if err := n.FindSubmission.Append("parameters", metamodel.String(param)); err != nil {
+			b.Fail(err)
+		}
+	}
+	if err := n.FindSubmission.Set("queriedContent", metamodel.Ref{Target: n.SubmissionsContent}); err != nil {
+		b.Fail(err)
+	}
+
+	n.Navigation = b.Create(webre.MetaNavigation, "Reach the review form")
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	for _, browse := range []*metamodel.Object{n.ToSubmissions, n.FindSubmission, n.ToReview} {
+		if err := n.Navigation.AppendRef("browses", browse); err != nil {
+			b.Fail(err)
+		}
+	}
+	if err := n.Navigation.Set("targetNode", metamodel.Ref{Target: n.ReviewForm}); err != nil {
+		b.Fail(err)
+	}
+	return n, b.Err()
+}

@@ -1,0 +1,265 @@
+// Package iso25012 models the ISO/IEC 25012 data quality standard the paper
+// builds on: fifteen data quality characteristics grouped into three
+// categories (inherent, inherent-and-system-dependent, system-dependent),
+// exactly as reproduced in the paper's Table 1.
+//
+// A DQModel is a user-selected subset of characteristics for a task at hand —
+// the paper's "Data Quality Requirement" names characteristics from this
+// catalog (the EasyChair case study uses Confidentiality, Completeness,
+// Traceability and Precision).
+package iso25012
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category groups characteristics per ISO/IEC 25012.
+type Category int
+
+// The three ISO/IEC 25012 categories.
+const (
+	// Inherent quality is intrinsic to the data itself.
+	Inherent Category = iota
+	// InherentAndSystem quality depends on both the data and the system.
+	InherentAndSystem
+	// SystemDependent quality is obtained and preserved by the system.
+	SystemDependent
+)
+
+// String renders the category as in the paper's Table 1 section headers.
+func (c Category) String() string {
+	switch c {
+	case Inherent:
+		return "Inherent"
+	case InherentAndSystem:
+		return "Inherent and System dependent"
+	case SystemDependent:
+		return "System dependent"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Characteristic identifies one of the fifteen ISO/IEC 25012 data quality
+// characteristics.
+type Characteristic string
+
+// The fifteen ISO/IEC 25012 characteristics (paper Table 1).
+const (
+	Accuracy          Characteristic = "Accuracy"
+	Completeness      Characteristic = "Completeness"
+	Consistency       Characteristic = "Consistency"
+	Credibility       Characteristic = "Credibility"
+	Currentness       Characteristic = "Currentness"
+	Accessibility     Characteristic = "Accessibility"
+	Compliance        Characteristic = "Compliance"
+	Confidentiality   Characteristic = "Confidentiality"
+	Efficiency        Characteristic = "Efficiency"
+	Precision         Characteristic = "Precision"
+	Traceability      Characteristic = "Traceability"
+	Understandability Characteristic = "Understandability"
+	Availability      Characteristic = "Availability"
+	Portability       Characteristic = "Portability"
+	Recoverability    Characteristic = "Recoverability"
+)
+
+// Definition describes a characteristic: its category and the standard's
+// definition text as quoted in the paper's Table 1.
+type Definition struct {
+	// Name is the characteristic.
+	Name Characteristic
+	// Category is its ISO/IEC 25012 grouping.
+	Category Category
+	// Text is the definition as given in Table 1.
+	Text string
+}
+
+// catalog lists all fifteen characteristics in the paper's Table 1 order.
+var catalog = []Definition{
+	{Accuracy, Inherent, "The degree to which data have attributes that correctly represent the true value of the intended attribute of a concept or event in a specific context of use."},
+	{Completeness, Inherent, "The degree to which subject data associated with an entity have values for all expected attributes and related entity instances in a specific context of use."},
+	{Consistency, Inherent, "The degree to which data have attributes that are free from contradiction and are coherent with other data in a specific context of use."},
+	{Credibility, Inherent, "The degree to which data have attributes that are regarded as true and believable by users in a specific context of use."},
+	{Currentness, Inherent, "The degree to which data have attributes that are of the right age in a specific context of use."},
+	{Accessibility, InherentAndSystem, "The degree to which data can be accessed in a specific context of use, particularly by people who need supporting technology or special configuration because of some disability."},
+	{Compliance, InherentAndSystem, "The degree to which data have attributes that adhere to standards, conventions or regulations in force and similar rules relating to data quality in a specific context of use."},
+	{Confidentiality, InherentAndSystem, "The degree to which data have attributes that ensure that they are only accessible and interpretable by authorized users in a specific context of use."},
+	{Efficiency, InherentAndSystem, "The degree to which data have attributes that can be processed and provide the expected levels of performance by using the appropriate amounts and types of resources in a specific context of use."},
+	{Precision, InherentAndSystem, "The degree to which data have attributes that are exact or that provide discrimination in a specific context of use."},
+	{Traceability, InherentAndSystem, "The degree to which data have attributes that provide an audit trail of access to the data and of any changes made to the data in a specific context of use."},
+	{Understandability, InherentAndSystem, "The degree to which data have attributes that enable it to be read and interpreted by users, and are expressed in appropriate languages, symbols and units in a specific context of use."},
+	{Availability, SystemDependent, "The degree to which data have attributes that enable them to be retrieved by authorized users and/or applications in a specific context."},
+	{Portability, SystemDependent, "The degree to which data have attributes that enable them to be installed, replaced or moved from one system to another while preserving the existing quality in a specific context of use."},
+	{Recoverability, SystemDependent, "The degree to which data have attributes that enable them to maintain and preserve a specified level of operations and quality, even in the event of failure, in a specific context of use."},
+}
+
+var byName = func() map[Characteristic]Definition {
+	m := make(map[Characteristic]Definition, len(catalog))
+	for _, d := range catalog {
+		m[d.Name] = d
+	}
+	return m
+}()
+
+// All returns the fifteen definitions in the standard's (and Table 1's)
+// order: inherent first, then inherent-and-system, then system-dependent.
+func All() []Definition { return append([]Definition(nil), catalog...) }
+
+// Lookup returns the definition for a characteristic name, matching
+// case-insensitively so user input like "completeness" resolves.
+func Lookup(name string) (Definition, bool) {
+	if d, ok := byName[Characteristic(name)]; ok {
+		return d, true
+	}
+	for _, d := range catalog {
+		if strings.EqualFold(string(d.Name), name) {
+			return d, true
+		}
+	}
+	return Definition{}, false
+}
+
+// MustLookup is Lookup that panics on unknown names, for fixture code.
+func MustLookup(name string) Definition {
+	d, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Errorf("iso25012: unknown characteristic %q", name))
+	}
+	return d
+}
+
+// ByCategory returns the characteristics of one category in Table 1 order.
+func ByCategory(c Category) []Definition {
+	var out []Definition
+	for _, d := range catalog {
+		if d.Category == c {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Names returns all characteristic names in Table 1 order.
+func Names() []Characteristic {
+	out := make([]Characteristic, len(catalog))
+	for i, d := range catalog {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// IsValid reports whether name (case-insensitive) is a characteristic.
+func IsValid(name string) bool {
+	_, ok := Lookup(name)
+	return ok
+}
+
+// DQModel is a named selection of characteristics with per-characteristic
+// minimum acceptable levels — the paper's "DQ Model": "the set of several
+// data quality dimensions".
+type DQModel struct {
+	name   string
+	levels map[Characteristic]float64
+}
+
+// NewDQModel creates an empty DQ model.
+func NewDQModel(name string) *DQModel {
+	return &DQModel{name: name, levels: make(map[Characteristic]float64)}
+}
+
+// Name returns the model's name.
+func (m *DQModel) Name() string { return m.name }
+
+// Require adds a characteristic with a minimum acceptable level in [0, 1].
+func (m *DQModel) Require(c Characteristic, minLevel float64) error {
+	if _, ok := byName[c]; !ok {
+		return fmt.Errorf("iso25012: unknown characteristic %q", c)
+	}
+	if minLevel < 0 || minLevel > 1 {
+		return fmt.Errorf("iso25012: level %v out of [0,1] for %s", minLevel, c)
+	}
+	m.levels[c] = minLevel
+	return nil
+}
+
+// MustRequire is Require that panics on error.
+func (m *DQModel) MustRequire(c Characteristic, minLevel float64) *DQModel {
+	if err := m.Require(c, minLevel); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Level returns the required minimum level for a characteristic, if present.
+func (m *DQModel) Level(c Characteristic) (float64, bool) {
+	l, ok := m.levels[c]
+	return l, ok
+}
+
+// Characteristics returns the selected characteristics in Table 1 order.
+func (m *DQModel) Characteristics() []Characteristic {
+	var out []Characteristic
+	for _, d := range catalog {
+		if _, ok := m.levels[d.Name]; ok {
+			out = append(out, d.Name)
+		}
+	}
+	return out
+}
+
+// Len returns the number of selected characteristics.
+func (m *DQModel) Len() int { return len(m.levels) }
+
+// Assess compares measured scores against the model's required levels and
+// returns per-characteristic results sorted by characteristic name.
+// Characteristics without a measured score fail with a score of 0.
+func (m *DQModel) Assess(scores map[Characteristic]float64) []Assessment {
+	out := make([]Assessment, 0, len(m.levels))
+	for c, min := range m.levels {
+		got := scores[c]
+		out = append(out, Assessment{
+			Characteristic: c,
+			Required:       min,
+			Measured:       got,
+			Satisfied:      got >= min,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Characteristic < out[j].Characteristic
+	})
+	return out
+}
+
+// Satisfied reports whether all required levels are met by the scores.
+func (m *DQModel) Satisfied(scores map[Characteristic]float64) bool {
+	for _, a := range m.Assess(scores) {
+		if !a.Satisfied {
+			return false
+		}
+	}
+	return true
+}
+
+// Assessment is one characteristic's required-vs-measured comparison.
+type Assessment struct {
+	// Characteristic under assessment.
+	Characteristic Characteristic
+	// Required minimum level from the DQ model.
+	Required float64
+	// Measured level from the runtime.
+	Measured float64
+	// Satisfied reports Measured >= Required.
+	Satisfied bool
+}
+
+// String renders the assessment for reports.
+func (a Assessment) String() string {
+	verdict := "FAIL"
+	if a.Satisfied {
+		verdict = "ok"
+	}
+	return fmt.Sprintf("%-18s required %.2f measured %.2f  %s",
+		a.Characteristic, a.Required, a.Measured, verdict)
+}

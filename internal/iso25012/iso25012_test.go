@@ -1,0 +1,210 @@
+package iso25012
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogHasFifteenCharacteristics(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("len(All()) = %d, want 15", len(all))
+	}
+	seen := map[Characteristic]bool{}
+	for _, d := range all {
+		if seen[d.Name] {
+			t.Errorf("duplicate characteristic %s", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Text == "" {
+			t.Errorf("%s has empty definition", d.Name)
+		}
+		if !strings.HasPrefix(d.Text, "The degree to which") {
+			t.Errorf("%s definition does not follow the standard's phrasing", d.Name)
+		}
+	}
+}
+
+// TestTable1Grouping pins the exact category membership of the paper's
+// Table 1: 5 inherent, 7 inherent-and-system, 3 system-dependent.
+func TestTable1Grouping(t *testing.T) {
+	wantByCat := map[Category][]Characteristic{
+		Inherent: {Accuracy, Completeness, Consistency, Credibility, Currentness},
+		InherentAndSystem: {Accessibility, Compliance, Confidentiality, Efficiency,
+			Precision, Traceability, Understandability},
+		SystemDependent: {Availability, Portability, Recoverability},
+	}
+	for cat, want := range wantByCat {
+		got := ByCategory(cat)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d characteristics, want %d", cat, len(got), len(want))
+		}
+		for i, d := range got {
+			if d.Name != want[i] {
+				t.Errorf("%s[%d] = %s, want %s", cat, i, d.Name, want[i])
+			}
+			if d.Category != cat {
+				t.Errorf("%s filed under %s", d.Name, d.Category)
+			}
+		}
+	}
+}
+
+func TestTable1Order(t *testing.T) {
+	names := Names()
+	want := []Characteristic{
+		Accuracy, Completeness, Consistency, Credibility, Currentness,
+		Accessibility, Compliance, Confidentiality, Efficiency, Precision,
+		Traceability, Understandability,
+		Availability, Portability, Recoverability,
+	}
+	if len(names) != len(want) {
+		t.Fatalf("names = %d", len(names))
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names()[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"Completeness", "completeness", "COMPLETENESS"} {
+		d, ok := Lookup(name)
+		if !ok || d.Name != Completeness {
+			t.Errorf("Lookup(%q) failed", name)
+		}
+	}
+	if _, ok := Lookup("Velocity"); ok {
+		t.Error("Lookup of unknown characteristic succeeded")
+	}
+	if !IsValid("traceability") || IsValid("nope") {
+		t.Error("IsValid misbehaves")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustLookup("Velocity")
+}
+
+func TestCategoryString(t *testing.T) {
+	if Inherent.String() != "Inherent" {
+		t.Error("Inherent string")
+	}
+	if InherentAndSystem.String() != "Inherent and System dependent" {
+		t.Error("InherentAndSystem string")
+	}
+	if SystemDependent.String() != "System dependent" {
+		t.Error("SystemDependent string")
+	}
+}
+
+func TestDQModelRequireValidation(t *testing.T) {
+	m := NewDQModel("review-dq")
+	if err := m.Require(Completeness, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Require("Velocity", 0.5); err == nil {
+		t.Fatal("unknown characteristic accepted")
+	}
+	if err := m.Require(Precision, 1.5); err == nil {
+		t.Fatal("out-of-range level accepted")
+	}
+	if err := m.Require(Precision, -0.1); err == nil {
+		t.Fatal("negative level accepted")
+	}
+	if m.Name() != "review-dq" || m.Len() != 1 {
+		t.Fatal("model state wrong")
+	}
+}
+
+func TestDQModelCharacteristicsInCatalogOrder(t *testing.T) {
+	m := NewDQModel("x").
+		MustRequire(Traceability, 0.5).
+		MustRequire(Completeness, 0.9).
+		MustRequire(Confidentiality, 1.0)
+	got := m.Characteristics()
+	want := []Characteristic{Completeness, Confidentiality, Traceability}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("order[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if l, ok := m.Level(Completeness); !ok || l != 0.9 {
+		t.Fatal("Level lookup failed")
+	}
+	if _, ok := m.Level(Accuracy); ok {
+		t.Fatal("Level of unselected characteristic found")
+	}
+}
+
+func TestAssess(t *testing.T) {
+	m := NewDQModel("x").
+		MustRequire(Completeness, 0.9).
+		MustRequire(Precision, 0.8)
+	scores := map[Characteristic]float64{
+		Completeness: 0.95,
+		Precision:    0.7,
+	}
+	as := m.Assess(scores)
+	if len(as) != 2 {
+		t.Fatalf("assessments = %d", len(as))
+	}
+	// Sorted by name: Completeness before Precision.
+	if as[0].Characteristic != Completeness || !as[0].Satisfied {
+		t.Errorf("completeness assessment wrong: %+v", as[0])
+	}
+	if as[1].Characteristic != Precision || as[1].Satisfied {
+		t.Errorf("precision assessment wrong: %+v", as[1])
+	}
+	if m.Satisfied(scores) {
+		t.Error("Satisfied should be false")
+	}
+	scores[Precision] = 0.85
+	if !m.Satisfied(scores) {
+		t.Error("Satisfied should be true")
+	}
+	// Missing score counts as zero.
+	m2 := NewDQModel("y").MustRequire(Accuracy, 0.1)
+	if m2.Satisfied(map[Characteristic]float64{}) {
+		t.Error("missing score should fail")
+	}
+	if !strings.Contains(as[1].String(), "FAIL") {
+		t.Error("assessment String should flag failures")
+	}
+	if !strings.Contains(as[0].String(), "ok") {
+		t.Error("assessment String should mark passes")
+	}
+}
+
+// TestQuickAssessConsistency: for random required/measured levels, Satisfied
+// agrees with every individual assessment.
+func TestQuickAssessConsistency(t *testing.T) {
+	f := func(reqRaw, measRaw uint8, pick uint8) bool {
+		c := catalog[int(pick)%len(catalog)].Name
+		req := float64(reqRaw) / 255
+		meas := float64(measRaw) / 255
+		m := NewDQModel("q")
+		if err := m.Require(c, req); err != nil {
+			return false
+		}
+		scores := map[Characteristic]float64{c: meas}
+		as := m.Assess(scores)
+		if len(as) != 1 {
+			return false
+		}
+		return as[0].Satisfied == (meas >= req) && m.Satisfied(scores) == as[0].Satisfied
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package metamodel
+
+import (
+	"fmt"
+)
+
+// Violation describes one way an object fails to conform to its metamodel.
+type Violation struct {
+	// Object is the non-conforming instance.
+	Object *Object
+	// Property is the offending property name, or "" for object-level issues.
+	Property string
+	// Rule identifies the conformance rule that failed.
+	Rule ConformanceRule
+	// Message is a human-readable description.
+	Message string
+}
+
+// String renders the violation for logs and reports.
+func (v Violation) String() string {
+	loc := v.Object.Label()
+	if v.Property != "" {
+		loc += "." + v.Property
+	}
+	return fmt.Sprintf("%s: [%s] %s", loc, v.Rule, v.Message)
+}
+
+// ConformanceRule identifies a structural conformance rule.
+type ConformanceRule string
+
+// Structural conformance rules checked by CheckConformance.
+const (
+	// RuleLowerBound fires when a required slot is unset or underfilled.
+	RuleLowerBound ConformanceRule = "lower-bound"
+	// RuleUpperBound fires when a multi-valued slot exceeds its upper bound.
+	RuleUpperBound ConformanceRule = "upper-bound"
+	// RuleDangling fires when a reference targets an object outside the model.
+	RuleDangling ConformanceRule = "dangling-reference"
+	// RuleAbstract fires when an instance's class is abstract.
+	RuleAbstract ConformanceRule = "abstract-class"
+)
+
+// CheckConformance verifies every object in the model against the structural
+// rules of its class: multiplicities and referential integrity. Type
+// conformance of slot values is enforced eagerly by Object.Set/Append, so it
+// cannot be violated here.
+func CheckConformance(m *Model) []Violation {
+	var out []Violation
+	objs := m.Objects()
+	inModel := make(map[*Object]bool, len(objs))
+	for _, o := range objs {
+		inModel[o] = true
+	}
+	for _, o := range objs {
+		out = append(out, checkObject(m, o, inModel)...)
+	}
+	return out
+}
+
+func checkObject(m *Model, o *Object, inModel map[*Object]bool) []Violation {
+	var out []Violation
+	if o.Class().IsAbstract() {
+		out = append(out, Violation{
+			Object: o,
+			Rule:   RuleAbstract,
+			Message: fmt.Sprintf("instance of abstract class %q",
+				o.Class().QualifiedName()),
+		})
+	}
+	for _, p := range o.Class().AllProperties() {
+		if p.IsDerived() {
+			continue
+		}
+		v, ok := o.Get(p.Name())
+		n := 0
+		if ok {
+			if l, isList := v.(*List); isList {
+				n = len(l.Items)
+			} else {
+				n = 1
+			}
+		}
+		if n < p.Lower() {
+			out = append(out, Violation{
+				Object:   o,
+				Property: p.Name(),
+				Rule:     RuleLowerBound,
+				Message: fmt.Sprintf("requires at least %d value(s), has %d",
+					p.Lower(), n),
+			})
+		}
+		if p.Upper() != Unbounded && n > p.Upper() {
+			out = append(out, Violation{
+				Object:   o,
+				Property: p.Name(),
+				Rule:     RuleUpperBound,
+				Message: fmt.Sprintf("allows at most %d value(s), has %d",
+					p.Upper(), n),
+			})
+		}
+		if !ok {
+			continue
+		}
+		for _, target := range refTargets(v) {
+			if !inModel[target] {
+				out = append(out, Violation{
+					Object:   o,
+					Property: p.Name(),
+					Rule:     RuleDangling,
+					Message: fmt.Sprintf("references %s which is not part of model %q",
+						target.Label(), m.Name()),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func refTargets(v Value) []*Object {
+	switch t := v.(type) {
+	case Ref:
+		if t.Target != nil {
+			return []*Object{t.Target}
+		}
+	case *List:
+		var out []*Object
+		for _, item := range t.Items {
+			if r, ok := item.(Ref); ok && r.Target != nil {
+				out = append(out, r.Target)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// Conforms reports whether the model has no structural violations.
+func Conforms(m *Model) bool { return len(CheckConformance(m)) == 0 }

@@ -1,0 +1,712 @@
+// Package metamodel implements a small reflective metamodeling kernel in the
+// spirit of OMG's MOF / Eclipse EMF. It is the substrate on which the UML
+// subset, the WebRE metamodel and the DQ_WebRE extension are defined.
+//
+// The kernel is meta-circular in the practical sense: metamodels (packages of
+// classes, properties, associations and enumerations) are plain Go values,
+// and models are graphs of Objects whose slots are typed by those classes.
+// Everything downstream — validation, OCL evaluation, XMI serialization,
+// diagram emission and model transformation — works reflectively against
+// this kernel and therefore applies to any registered metamodel.
+package metamodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Named is implemented by every named metamodel element.
+type Named interface {
+	// Name returns the element's simple (unqualified) name.
+	Name() string
+	// QualifiedName returns the dotted path from the root package,
+	// e.g. "WebRE.Behavior.WebProcess".
+	QualifiedName() string
+}
+
+// Classifier is the common interface of everything that can type a Property:
+// classes, enumerations and primitive data types.
+type Classifier interface {
+	Named
+	// IsClassifier is a marker; it reports the concrete kind.
+	ClassifierKind() Kind
+}
+
+// Kind discriminates the concrete classifier sorts.
+type Kind int
+
+// Classifier kinds.
+const (
+	KindClass Kind = iota
+	KindEnumeration
+	KindDataType
+)
+
+// String returns the human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindClass:
+		return "Class"
+	case KindEnumeration:
+		return "Enumeration"
+	case KindDataType:
+		return "DataType"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Package groups classifiers and nested packages, mirroring UML packages.
+type Package struct {
+	name     string
+	parent   *Package
+	packages map[string]*Package
+	classes  map[string]*Class
+	enums    map[string]*Enumeration
+	types    map[string]*DataType
+
+	// order preserves insertion order for deterministic iteration.
+	order []Named
+
+	// imports are packages whose classifiers are visible to name resolution
+	// in this package, mirroring UML package import. Lookup order is local
+	// first, then imports in declaration order.
+	imports []*Package
+}
+
+// NewPackage creates a root package with the given name.
+func NewPackage(name string) *Package {
+	return &Package{
+		name:     name,
+		packages: make(map[string]*Package),
+		classes:  make(map[string]*Class),
+		enums:    make(map[string]*Enumeration),
+		types:    make(map[string]*DataType),
+	}
+}
+
+// Name returns the package's simple name.
+func (p *Package) Name() string { return p.name }
+
+// QualifiedName returns the dotted path from the root package.
+func (p *Package) QualifiedName() string {
+	if p.parent == nil {
+		return p.name
+	}
+	return p.parent.QualifiedName() + "." + p.name
+}
+
+// Parent returns the owning package, or nil for a root package.
+func (p *Package) Parent() *Package { return p.parent }
+
+// AddPackage creates (or returns an existing) nested package.
+func (p *Package) AddPackage(name string) *Package {
+	if sub, ok := p.packages[name]; ok {
+		return sub
+	}
+	sub := NewPackage(name)
+	sub.parent = p
+	p.packages[name] = sub
+	p.order = append(p.order, sub)
+	return sub
+}
+
+// Packages returns the nested packages in insertion order.
+func (p *Package) Packages() []*Package {
+	var out []*Package
+	for _, n := range p.order {
+		if sub, ok := n.(*Package); ok {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// Classes returns the classes owned directly by this package, in insertion
+// order.
+func (p *Package) Classes() []*Class {
+	var out []*Class
+	for _, n := range p.order {
+		if c, ok := n.(*Class); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Enumerations returns the enumerations owned directly by this package.
+func (p *Package) Enumerations() []*Enumeration {
+	var out []*Enumeration
+	for _, n := range p.order {
+		if e, ok := n.(*Enumeration); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DataTypes returns the data types owned directly by this package.
+func (p *Package) DataTypes() []*DataType {
+	var out []*DataType
+	for _, n := range p.order {
+		if d, ok := n.(*DataType); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AddClass creates a class in this package. It panics if the name is already
+// taken: metamodels are built by library code at init time, so a clash is a
+// programming error, not a runtime condition.
+func (p *Package) AddClass(name string) *Class {
+	if err := p.checkFresh(name); err != nil {
+		panic(err)
+	}
+	c := &Class{
+		name:       name,
+		pkg:        p,
+		properties: make(map[string]*Property),
+	}
+	p.classes[name] = c
+	p.order = append(p.order, c)
+	return c
+}
+
+// AddAbstractClass creates an abstract class in this package.
+func (p *Package) AddAbstractClass(name string) *Class {
+	c := p.AddClass(name)
+	c.abstract = true
+	return c
+}
+
+// AddEnumeration creates an enumeration with the given literals.
+func (p *Package) AddEnumeration(name string, literals ...string) *Enumeration {
+	if err := p.checkFresh(name); err != nil {
+		panic(err)
+	}
+	e := &Enumeration{name: name, pkg: p, literals: append([]string(nil), literals...)}
+	p.enums[name] = e
+	p.order = append(p.order, e)
+	return e
+}
+
+// AddDataType creates a named primitive data type in this package.
+func (p *Package) AddDataType(name string, base Primitive) *DataType {
+	if err := p.checkFresh(name); err != nil {
+		panic(err)
+	}
+	d := &DataType{name: name, pkg: p, base: base}
+	p.types[name] = d
+	p.order = append(p.order, d)
+	return d
+}
+
+func (p *Package) checkFresh(name string) error {
+	if name == "" {
+		return fmt.Errorf("metamodel: empty classifier name in package %q", p.QualifiedName())
+	}
+	if _, ok := p.classes[name]; ok {
+		return fmt.Errorf("metamodel: %q already defined in package %q", name, p.QualifiedName())
+	}
+	if _, ok := p.enums[name]; ok {
+		return fmt.Errorf("metamodel: %q already defined in package %q", name, p.QualifiedName())
+	}
+	if _, ok := p.types[name]; ok {
+		return fmt.Errorf("metamodel: %q already defined in package %q", name, p.QualifiedName())
+	}
+	if _, ok := p.packages[name]; ok {
+		return fmt.Errorf("metamodel: %q already a subpackage of %q", name, p.QualifiedName())
+	}
+	return nil
+}
+
+// Class looks a class up by simple name in this package only.
+func (p *Package) Class(name string) (*Class, bool) {
+	c, ok := p.classes[name]
+	return c, ok
+}
+
+// Enumeration looks an enumeration up by simple name in this package only.
+func (p *Package) Enumeration(name string) (*Enumeration, bool) {
+	e, ok := p.enums[name]
+	return e, ok
+}
+
+// DataType looks a data type up by simple name in this package only.
+func (p *Package) DataType(name string) (*DataType, bool) {
+	d, ok := p.types[name]
+	return d, ok
+}
+
+// Package looks a nested package up by simple name.
+func (p *Package) Package(name string) (*Package, bool) {
+	sub, ok := p.packages[name]
+	return sub, ok
+}
+
+// FindClass resolves a class anywhere under this package by simple or dotted
+// name ("WebProcess" or "Behavior.WebProcess"). Simple names are resolved by
+// depth-first search; the first match in insertion order wins.
+func (p *Package) FindClass(name string) (*Class, bool) {
+	if strings.Contains(name, ".") {
+		parts := strings.Split(name, ".")
+		cur := p
+		for _, part := range parts[:len(parts)-1] {
+			sub, ok := cur.packages[part]
+			if !ok {
+				return nil, false
+			}
+			cur = sub
+		}
+		c, ok := cur.classes[parts[len(parts)-1]]
+		return c, ok
+	}
+	if c, ok := p.classes[name]; ok {
+		return c, true
+	}
+	for _, n := range p.order {
+		if sub, ok := n.(*Package); ok {
+			if c, ok := sub.FindClass(name); ok {
+				return c, true
+			}
+		}
+	}
+	for _, imp := range p.imports {
+		if c, ok := imp.FindClass(name); ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Import makes the classifiers of another package visible to name resolution
+// in this package (UML package import). Self-imports and duplicates are
+// ignored.
+func (p *Package) Import(other *Package) *Package {
+	if other == nil || other == p {
+		return p
+	}
+	for _, imp := range p.imports {
+		if imp == other {
+			return p
+		}
+	}
+	p.imports = append(p.imports, other)
+	return p
+}
+
+// Imports returns the imported packages in declaration order.
+func (p *Package) Imports() []*Package { return append([]*Package(nil), p.imports...) }
+
+// FindClassifier resolves any classifier (class, enumeration or data type)
+// under this package by simple or dotted name.
+func (p *Package) FindClassifier(name string) (Classifier, bool) {
+	if c, ok := p.FindClass(name); ok {
+		return c, true
+	}
+	if e, ok := p.enums[name]; ok {
+		return e, true
+	}
+	if d, ok := p.types[name]; ok {
+		return d, true
+	}
+	for _, n := range p.order {
+		if sub, ok := n.(*Package); ok {
+			if c, ok := sub.FindClassifier(name); ok {
+				return c, true
+			}
+		}
+	}
+	for _, imp := range p.imports {
+		if c, ok := imp.FindClassifier(name); ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// AllClasses returns every class under this package, depth first, in
+// insertion order.
+func (p *Package) AllClasses() []*Class {
+	out := p.Classes()
+	for _, sub := range p.Packages() {
+		out = append(out, sub.AllClasses()...)
+	}
+	return out
+}
+
+// AllClassifiers returns every classifier under this package, depth first.
+func (p *Package) AllClassifiers() []Classifier {
+	var out []Classifier
+	for _, n := range p.order {
+		switch v := n.(type) {
+		case *Class:
+			out = append(out, v)
+		case *Enumeration:
+			out = append(out, v)
+		case *DataType:
+			out = append(out, v)
+		case *Package:
+			out = append(out, v.AllClassifiers()...)
+		}
+	}
+	return out
+}
+
+// Class is a metaclass: a named, possibly abstract classifier with typed
+// properties and zero or more superclasses.
+type Class struct {
+	name       string
+	pkg        *Package
+	abstract   bool
+	supers     []*Class
+	properties map[string]*Property
+	propOrder  []*Property
+	doc        string
+}
+
+// Name returns the class's simple name.
+func (c *Class) Name() string { return c.name }
+
+// QualifiedName returns the dotted path from the root package.
+func (c *Class) QualifiedName() string { return c.pkg.QualifiedName() + "." + c.name }
+
+// ClassifierKind reports KindClass.
+func (c *Class) ClassifierKind() Kind { return KindClass }
+
+// Package returns the owning package.
+func (c *Class) Package() *Package { return c.pkg }
+
+// IsAbstract reports whether the class can be instantiated.
+func (c *Class) IsAbstract() bool { return c.abstract }
+
+// SetAbstract marks the class abstract and returns it for chaining.
+func (c *Class) SetAbstract() *Class {
+	c.abstract = true
+	return c
+}
+
+// SetDoc attaches a documentation string and returns the class for chaining.
+func (c *Class) SetDoc(doc string) *Class {
+	c.doc = doc
+	return c
+}
+
+// Doc returns the documentation string attached with SetDoc.
+func (c *Class) Doc() string { return c.doc }
+
+// AddSuper declares sup as a superclass. Cycles are rejected with a panic,
+// again because metamodels are constructed by library code at init time.
+func (c *Class) AddSuper(sup *Class) *Class {
+	if sup == nil {
+		panic(fmt.Errorf("metamodel: nil superclass for %q", c.QualifiedName()))
+	}
+	if sup == c || sup.ConformsTo(c) {
+		panic(fmt.Errorf("metamodel: inheritance cycle between %q and %q",
+			c.QualifiedName(), sup.QualifiedName()))
+	}
+	c.supers = append(c.supers, sup)
+	return c
+}
+
+// Supers returns the direct superclasses.
+func (c *Class) Supers() []*Class { return append([]*Class(nil), c.supers...) }
+
+// ConformsTo reports whether c is other or a (transitive) subclass of other.
+func (c *Class) ConformsTo(other *Class) bool {
+	if c == other {
+		return true
+	}
+	for _, s := range c.supers {
+		if s.ConformsTo(other) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllSupers returns the transitive superclasses in linearized order
+// (depth first, duplicates removed).
+func (c *Class) AllSupers() []*Class {
+	var out []*Class
+	seen := map[*Class]bool{}
+	var walk func(*Class)
+	walk = func(k *Class) {
+		for _, s := range k.supers {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+				walk(s)
+			}
+		}
+	}
+	walk(c)
+	return out
+}
+
+// AddProperty declares a property with the given name, type and multiplicity.
+// upper == Unbounded (-1) means "*".
+func (c *Class) AddProperty(name string, typ Classifier, lower, upper int) *Property {
+	if name == "" {
+		panic(fmt.Errorf("metamodel: empty property name on %q", c.QualifiedName()))
+	}
+	if _, ok := c.properties[name]; ok {
+		panic(fmt.Errorf("metamodel: property %q already defined on %q", name, c.QualifiedName()))
+	}
+	if typ == nil {
+		panic(fmt.Errorf("metamodel: nil type for property %s.%s", c.QualifiedName(), name))
+	}
+	p := &Property{name: name, owner: c, typ: typ, lower: lower, upper: upper}
+	c.properties[name] = p
+	c.propOrder = append(c.propOrder, p)
+	return p
+}
+
+// AddAttr declares a single-valued optional attribute (0..1) of a primitive
+// or enumeration type. It is the common case for tagged values and metadata.
+func (c *Class) AddAttr(name string, typ Classifier) *Property {
+	return c.AddProperty(name, typ, 0, 1)
+}
+
+// AddRef declares an optional single-valued reference (0..1) to another class.
+func (c *Class) AddRef(name string, typ *Class) *Property {
+	return c.AddProperty(name, typ, 0, 1)
+}
+
+// AddRefs declares an unbounded multi-valued reference (0..*).
+func (c *Class) AddRefs(name string, typ *Class) *Property {
+	return c.AddProperty(name, typ, 0, Unbounded)
+}
+
+// Property returns the property with the given name, searching superclasses.
+func (c *Class) Property(name string) (*Property, bool) {
+	if p, ok := c.properties[name]; ok {
+		return p, true
+	}
+	for _, s := range c.supers {
+		if p, ok := s.Property(name); ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// OwnProperties returns the properties declared directly on this class,
+// in declaration order.
+func (c *Class) OwnProperties() []*Property {
+	return append([]*Property(nil), c.propOrder...)
+}
+
+// AllProperties returns inherited then own properties, deduplicated by name
+// with the most-derived declaration winning, in a stable order.
+func (c *Class) AllProperties() []*Property {
+	byName := map[string]*Property{}
+	var names []string
+	var visit func(*Class)
+	visit = func(k *Class) {
+		for _, s := range k.supers {
+			visit(s)
+		}
+		for _, p := range k.propOrder {
+			if _, ok := byName[p.name]; !ok {
+				names = append(names, p.name)
+			}
+			byName[p.name] = p
+		}
+	}
+	visit(c)
+	out := make([]*Property, 0, len(names))
+	for _, n := range names {
+		out = append(out, byName[n])
+	}
+	return out
+}
+
+// Unbounded is the upper multiplicity bound meaning "*".
+const Unbounded = -1
+
+// Property is a typed, multiplicity-bounded structural feature of a Class.
+type Property struct {
+	name      string
+	owner     *Class
+	typ       Classifier
+	lower     int
+	upper     int // Unbounded for *
+	composite bool
+	opposite  *Property
+	derived   bool
+	doc       string
+	dflt      Value
+}
+
+// Name returns the property's name.
+func (p *Property) Name() string { return p.name }
+
+// QualifiedName returns Owner.QualifiedName() + "." + name.
+func (p *Property) QualifiedName() string { return p.owner.QualifiedName() + "." + p.name }
+
+// Owner returns the declaring class.
+func (p *Property) Owner() *Class { return p.owner }
+
+// Type returns the property's classifier type.
+func (p *Property) Type() Classifier { return p.typ }
+
+// Lower returns the lower multiplicity bound.
+func (p *Property) Lower() int { return p.lower }
+
+// Upper returns the upper multiplicity bound; Unbounded means "*".
+func (p *Property) Upper() int { return p.upper }
+
+// IsMany reports whether the property can hold more than one value.
+func (p *Property) IsMany() bool { return p.upper == Unbounded || p.upper > 1 }
+
+// IsRequired reports whether at least one value must be present.
+func (p *Property) IsRequired() bool { return p.lower >= 1 }
+
+// IsComposite reports whether the property owns its values (containment).
+func (p *Property) IsComposite() bool { return p.composite }
+
+// SetComposite marks the property as a containment reference.
+func (p *Property) SetComposite() *Property {
+	p.composite = true
+	return p
+}
+
+// IsDerived reports whether the property is computed rather than stored.
+func (p *Property) IsDerived() bool { return p.derived }
+
+// SetDerived marks the property derived.
+func (p *Property) SetDerived() *Property {
+	p.derived = true
+	return p
+}
+
+// SetDoc attaches a documentation string.
+func (p *Property) SetDoc(doc string) *Property {
+	p.doc = doc
+	return p
+}
+
+// Doc returns the documentation string.
+func (p *Property) Doc() string { return p.doc }
+
+// SetDefault sets the default value used when a slot is unset.
+func (p *Property) SetDefault(v Value) *Property {
+	p.dflt = v
+	return p
+}
+
+// Default returns the default value, which may be nil.
+func (p *Property) Default() Value { return p.dflt }
+
+// Opposite returns the other end of a bidirectional association, if any.
+func (p *Property) Opposite() *Property { return p.opposite }
+
+// MultiplicityString renders the multiplicity in UML notation, e.g. "0..1",
+// "1", "0..*", "1..*".
+func (p *Property) MultiplicityString() string {
+	up := "*"
+	if p.upper != Unbounded {
+		up = fmt.Sprintf("%d", p.upper)
+	}
+	if p.upper != Unbounded && p.lower == p.upper {
+		return up
+	}
+	return fmt.Sprintf("%d..%s", p.lower, up)
+}
+
+// Association links two properties as opposite ends of a bidirectional
+// association. Either end may be nil-opposite beforehand; both are updated.
+func Associate(a, b *Property) {
+	a.opposite = b
+	b.opposite = a
+}
+
+// Enumeration is a classifier whose values are drawn from a fixed literal set.
+type Enumeration struct {
+	name     string
+	pkg      *Package
+	literals []string
+}
+
+// Name returns the enumeration's simple name.
+func (e *Enumeration) Name() string { return e.name }
+
+// QualifiedName returns the dotted path from the root package.
+func (e *Enumeration) QualifiedName() string { return e.pkg.QualifiedName() + "." + e.name }
+
+// ClassifierKind reports KindEnumeration.
+func (e *Enumeration) ClassifierKind() Kind { return KindEnumeration }
+
+// Literals returns the literal names in declaration order.
+func (e *Enumeration) Literals() []string { return append([]string(nil), e.literals...) }
+
+// Has reports whether lit is one of the enumeration's literals.
+func (e *Enumeration) Has(lit string) bool {
+	for _, l := range e.literals {
+		if l == lit {
+			return true
+		}
+	}
+	return false
+}
+
+// Primitive enumerates the built-in value kinds a DataType can be based on.
+type Primitive int
+
+// Built-in primitive kinds.
+const (
+	PrimString Primitive = iota
+	PrimInteger
+	PrimBoolean
+	PrimReal
+)
+
+// String returns the OCL-style primitive name.
+func (p Primitive) String() string {
+	switch p {
+	case PrimString:
+		return "String"
+	case PrimInteger:
+		return "Integer"
+	case PrimBoolean:
+		return "Boolean"
+	case PrimReal:
+		return "Real"
+	default:
+		return fmt.Sprintf("Primitive(%d)", int(p))
+	}
+}
+
+// DataType is a named primitive type (e.g. "String" or a domain alias such
+// as "EmailAddress" based on String).
+type DataType struct {
+	name string
+	pkg  *Package
+	base Primitive
+}
+
+// Name returns the data type's simple name.
+func (d *DataType) Name() string { return d.name }
+
+// QualifiedName returns the dotted path from the root package.
+func (d *DataType) QualifiedName() string { return d.pkg.QualifiedName() + "." + d.name }
+
+// ClassifierKind reports KindDataType.
+func (d *DataType) ClassifierKind() Kind { return KindDataType }
+
+// Base returns the underlying primitive kind.
+func (d *DataType) Base() Primitive { return d.base }
+
+// SortedNames is a helper used by deterministic emitters: it returns the
+// keys of a string-keyed map in sorted order.
+func SortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

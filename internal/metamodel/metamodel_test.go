@@ -1,0 +1,251 @@
+package metamodel
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixture builds a small metamodel used across the kernel tests:
+//
+//	package Zoo
+//	  enum Diet { Herbivore, Carnivore, Omnivore }
+//	  abstract class Animal { name: String[1]; age: Integer[0..1]; diet: Diet }
+//	  class Lion extends Animal { prey: Animal[0..*] }
+//	  class Gazelle extends Animal {}
+//	  class Enclosure { name: String[1]; occupants: Animal[0..*]; keeper: String }
+func fixture(t testing.TB) (*Package, *DataType, *DataType) {
+	t.Helper()
+	zoo := NewPackage("Zoo")
+	str := zoo.AddDataType("String", PrimString)
+	intT := zoo.AddDataType("Integer", PrimInteger)
+	diet := zoo.AddEnumeration("Diet", "Herbivore", "Carnivore", "Omnivore")
+
+	animal := zoo.AddAbstractClass("Animal")
+	animal.AddProperty("name", str, 1, 1)
+	animal.AddProperty("age", intT, 0, 1)
+	animal.AddAttr("diet", diet)
+
+	lion := zoo.AddClass("Lion")
+	lion.AddSuper(animal)
+	lion.AddRefs("prey", animal)
+
+	gazelle := zoo.AddClass("Gazelle")
+	gazelle.AddSuper(animal)
+
+	encl := zoo.AddClass("Enclosure")
+	encl.AddProperty("name", str, 1, 1)
+	encl.AddRefs("occupants", animal)
+	encl.AddAttr("keeper", str)
+	return zoo, str, intT
+}
+
+func TestPackageQualifiedNames(t *testing.T) {
+	root := NewPackage("WebRE")
+	sub := root.AddPackage("Behavior")
+	c := sub.AddClass("WebProcess")
+	if got := c.QualifiedName(); got != "WebRE.Behavior.WebProcess" {
+		t.Fatalf("QualifiedName = %q, want WebRE.Behavior.WebProcess", got)
+	}
+	if sub.Parent() != root {
+		t.Fatal("Parent not set")
+	}
+	if root.QualifiedName() != "WebRE" {
+		t.Fatalf("root QualifiedName = %q", root.QualifiedName())
+	}
+}
+
+func TestAddPackageIdempotent(t *testing.T) {
+	root := NewPackage("M")
+	a := root.AddPackage("Sub")
+	b := root.AddPackage("Sub")
+	if a != b {
+		t.Fatal("AddPackage should return the existing subpackage")
+	}
+	if len(root.Packages()) != 1 {
+		t.Fatalf("Packages len = %d, want 1", len(root.Packages()))
+	}
+}
+
+func TestDuplicateClassifierPanics(t *testing.T) {
+	root := NewPackage("M")
+	root.AddClass("A")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate classifier name")
+		}
+	}()
+	root.AddEnumeration("A", "x")
+}
+
+func TestFindClassDottedAndSimple(t *testing.T) {
+	root := NewPackage("M")
+	sub := root.AddPackage("Inner")
+	c := sub.AddClass("Thing")
+	if got, ok := root.FindClass("Thing"); !ok || got != c {
+		t.Fatal("simple-name lookup failed")
+	}
+	if got, ok := root.FindClass("Inner.Thing"); !ok || got != c {
+		t.Fatal("dotted lookup failed")
+	}
+	if _, ok := root.FindClass("Inner.Missing"); ok {
+		t.Fatal("lookup of missing class succeeded")
+	}
+	if _, ok := root.FindClass("Nope.Thing"); ok {
+		t.Fatal("lookup through missing package succeeded")
+	}
+}
+
+func TestInheritanceConformance(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	animal, _ := zoo.Class("Animal")
+	lion, _ := zoo.Class("Lion")
+	gazelle, _ := zoo.Class("Gazelle")
+	if !lion.ConformsTo(animal) {
+		t.Fatal("Lion should conform to Animal")
+	}
+	if animal.ConformsTo(lion) {
+		t.Fatal("Animal should not conform to Lion")
+	}
+	if lion.ConformsTo(gazelle) {
+		t.Fatal("Lion should not conform to Gazelle")
+	}
+	if !lion.ConformsTo(lion) {
+		t.Fatal("class should conform to itself")
+	}
+}
+
+func TestInheritanceCyclePanics(t *testing.T) {
+	p := NewPackage("M")
+	a := p.AddClass("A")
+	b := p.AddClass("B")
+	b.AddSuper(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inheritance cycle")
+		}
+	}()
+	a.AddSuper(b)
+}
+
+func TestPropertyInheritanceAndOverride(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	lion, _ := zoo.Class("Lion")
+	if _, ok := lion.Property("name"); !ok {
+		t.Fatal("inherited property not found")
+	}
+	props := lion.AllProperties()
+	var names []string
+	for _, p := range props {
+		names = append(names, p.Name())
+	}
+	joined := strings.Join(names, ",")
+	if joined != "name,age,diet,prey" {
+		t.Fatalf("AllProperties order = %q, want name,age,diet,prey", joined)
+	}
+}
+
+func TestMultiplicityString(t *testing.T) {
+	zoo, str, _ := fixture(t)
+	animal, _ := zoo.Class("Animal")
+	nameP, _ := animal.Property("name")
+	ageP, _ := animal.Property("age")
+	lion, _ := zoo.Class("Lion")
+	preyP, _ := lion.Property("prey")
+
+	cases := []struct {
+		p    *Property
+		want string
+	}{
+		{nameP, "1"},
+		{ageP, "0..1"},
+		{preyP, "0..*"},
+	}
+	for _, c := range cases {
+		if got := c.p.MultiplicityString(); got != c.want {
+			t.Errorf("%s multiplicity = %q, want %q", c.p.Name(), got, c.want)
+		}
+	}
+	// 1..* case
+	tmp := zoo.AddClass("Tmp")
+	p := tmp.AddProperty("xs", str, 1, Unbounded)
+	if got := p.MultiplicityString(); got != "1..*" {
+		t.Fatalf("1..* rendered as %q", got)
+	}
+}
+
+func TestEnumerationLiterals(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	diet, ok := zoo.Enumeration("Diet")
+	if !ok {
+		t.Fatal("Diet not found")
+	}
+	if !diet.Has("Carnivore") || diet.Has("Vegan") {
+		t.Fatal("Has misbehaves")
+	}
+	if len(diet.Literals()) != 3 {
+		t.Fatalf("Literals len = %d", len(diet.Literals()))
+	}
+}
+
+func TestAllClassesDepthFirst(t *testing.T) {
+	root := NewPackage("M")
+	root.AddClass("A")
+	sub := root.AddPackage("S")
+	sub.AddClass("B")
+	all := root.AllClasses()
+	if len(all) != 2 || all[0].Name() != "A" || all[1].Name() != "B" {
+		t.Fatalf("AllClasses = %v", all)
+	}
+}
+
+func TestAllClassifiersIncludesEnumsAndTypes(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	kinds := map[Kind]int{}
+	for _, c := range zoo.AllClassifiers() {
+		kinds[c.ClassifierKind()]++
+	}
+	if kinds[KindClass] != 4 {
+		t.Errorf("classes = %d, want 4", kinds[KindClass])
+	}
+	if kinds[KindEnumeration] != 1 {
+		t.Errorf("enums = %d, want 1", kinds[KindEnumeration])
+	}
+	if kinds[KindDataType] != 2 {
+		t.Errorf("datatypes = %d, want 2", kinds[KindDataType])
+	}
+}
+
+func TestAssociateOpposites(t *testing.T) {
+	p := NewPackage("M")
+	a := p.AddClass("A")
+	b := p.AddClass("B")
+	ab := a.AddRefs("bs", b)
+	ba := b.AddRef("a", a)
+	Associate(ab, ba)
+	if ab.Opposite() != ba || ba.Opposite() != ab {
+		t.Fatal("opposites not linked")
+	}
+}
+
+func TestKindAndPrimitiveStrings(t *testing.T) {
+	if KindClass.String() != "Class" || KindEnumeration.String() != "Enumeration" || KindDataType.String() != "DataType" {
+		t.Fatal("Kind.String wrong")
+	}
+	if PrimString.String() != "String" || PrimInteger.String() != "Integer" ||
+		PrimBoolean.String() != "Boolean" || PrimReal.String() != "Real" {
+		t.Fatal("Primitive.String wrong")
+	}
+}
+
+func TestSetDocAndDerived(t *testing.T) {
+	p := NewPackage("M")
+	c := p.AddClass("C").SetDoc("a class")
+	if c.Doc() != "a class" {
+		t.Fatal("class doc lost")
+	}
+	str := p.AddDataType("String", PrimString)
+	prop := c.AddAttr("x", str).SetDoc("an attr").SetDerived()
+	if prop.Doc() != "an attr" || !prop.IsDerived() {
+		t.Fatal("property doc/derived lost")
+	}
+}

@@ -1,0 +1,501 @@
+package metamodel
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Value is the runtime representation of a slot value. The concrete types are
+// String, Int, Bool, Real, EnumLit, Ref (a reference to another Object) and
+// List (an ordered collection of Values).
+type Value interface {
+	// Kind reports the value's runtime sort.
+	Kind() ValueKind
+	// String renders the value for diagnostics and diagrams.
+	String() string
+	// Equal reports deep value equality.
+	Equal(other Value) bool
+}
+
+// ValueKind discriminates the runtime value sorts.
+type ValueKind int
+
+// Runtime value sorts.
+const (
+	VString ValueKind = iota
+	VInt
+	VBool
+	VReal
+	VEnum
+	VRef
+	VList
+)
+
+// String returns the kind name.
+func (k ValueKind) String() string {
+	switch k {
+	case VString:
+		return "String"
+	case VInt:
+		return "Integer"
+	case VBool:
+		return "Boolean"
+	case VReal:
+		return "Real"
+	case VEnum:
+		return "EnumLiteral"
+	case VRef:
+		return "Reference"
+	case VList:
+		return "List"
+	default:
+		return fmt.Sprintf("ValueKind(%d)", int(k))
+	}
+}
+
+// String is a string-valued slot value.
+type String string
+
+// Kind reports VString.
+func (String) Kind() ValueKind { return VString }
+
+// String renders the value quoted.
+func (s String) String() string { return strconv.Quote(string(s)) }
+
+// Equal reports equality with another String.
+func (s String) Equal(o Value) bool { t, ok := o.(String); return ok && s == t }
+
+// Int is an integer-valued slot value.
+type Int int64
+
+// Kind reports VInt.
+func (Int) Kind() ValueKind { return VInt }
+
+// String renders the integer in base 10.
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// Equal reports equality with another Int.
+func (i Int) Equal(o Value) bool { t, ok := o.(Int); return ok && i == t }
+
+// Bool is a boolean-valued slot value.
+type Bool bool
+
+// Kind reports VBool.
+func (Bool) Kind() ValueKind { return VBool }
+
+// String renders "true" or "false".
+func (b Bool) String() string { return strconv.FormatBool(bool(b)) }
+
+// Equal reports equality with another Bool.
+func (b Bool) Equal(o Value) bool { t, ok := o.(Bool); return ok && b == t }
+
+// Real is a floating-point slot value.
+type Real float64
+
+// Kind reports VReal.
+func (Real) Kind() ValueKind { return VReal }
+
+// String renders the float with minimal digits.
+func (r Real) String() string { return strconv.FormatFloat(float64(r), 'g', -1, 64) }
+
+// Equal reports equality with another Real.
+func (r Real) Equal(o Value) bool { t, ok := o.(Real); return ok && r == t }
+
+// EnumLit is an enumeration literal value.
+type EnumLit struct {
+	// Enum is the owning enumeration.
+	Enum *Enumeration
+	// Literal is the literal name; it must be one of Enum.Literals().
+	Literal string
+}
+
+// Kind reports VEnum.
+func (EnumLit) Kind() ValueKind { return VEnum }
+
+// String renders Enum::Literal.
+func (e EnumLit) String() string {
+	if e.Enum == nil {
+		return e.Literal
+	}
+	return e.Enum.Name() + "::" + e.Literal
+}
+
+// Equal reports equality of enumeration and literal.
+func (e EnumLit) Equal(o Value) bool {
+	t, ok := o.(EnumLit)
+	return ok && e.Enum == t.Enum && e.Literal == t.Literal
+}
+
+// Ref is a reference to another model object.
+type Ref struct {
+	// Target is the referenced object; never nil in a well-formed model.
+	Target *Object
+}
+
+// Kind reports VRef.
+func (Ref) Kind() ValueKind { return VRef }
+
+// String renders the target's class and id.
+func (r Ref) String() string {
+	if r.Target == nil {
+		return "<nil-ref>"
+	}
+	return r.Target.Label()
+}
+
+// Equal reports identity of the referenced object.
+func (r Ref) Equal(o Value) bool { t, ok := o.(Ref); return ok && r.Target == t.Target }
+
+// List is an ordered collection of values, used for multi-valued slots.
+type List struct {
+	// Items holds the elements in order.
+	Items []Value
+}
+
+// Kind reports VList.
+func (*List) Kind() ValueKind { return VList }
+
+// String renders the list as {a, b, c}.
+func (l *List) String() string {
+	parts := make([]string, len(l.Items))
+	for i, v := range l.Items {
+		parts[i] = v.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Equal reports elementwise equality.
+func (l *List) Equal(o Value) bool {
+	t, ok := o.(*List)
+	if !ok || len(l.Items) != len(t.Items) {
+		return false
+	}
+	for i := range l.Items {
+		if !l.Items[i].Equal(t.Items[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// NewList builds a List from the given items.
+func NewList(items ...Value) *List { return &List{Items: items} }
+
+// objectSeq supplies process-unique object ids.
+var objectSeq atomic.Uint64
+
+// Object is an instance of a metamodel Class. Slots are keyed by property
+// name; absent keys mean "unset". Objects carry a process-unique id and an
+// optional stable external id used by XMI.
+type Object struct {
+	id    uint64
+	xid   string // external (serialization) id; may be empty
+	class *Class
+	slots map[string]Value
+}
+
+// NewObject instantiates the given class. Instantiating an abstract class is
+// rejected because no well-formed model may contain such an instance.
+func NewObject(class *Class) (*Object, error) {
+	if class == nil {
+		return nil, fmt.Errorf("metamodel: NewObject with nil class")
+	}
+	if class.IsAbstract() {
+		return nil, fmt.Errorf("metamodel: cannot instantiate abstract class %q", class.QualifiedName())
+	}
+	return &Object{
+		id:    objectSeq.Add(1),
+		class: class,
+		slots: make(map[string]Value),
+	}, nil
+}
+
+// MustNewObject is NewObject that panics on error, for model-construction
+// code where the class is statically known to be concrete.
+func MustNewObject(class *Class) *Object {
+	o, err := NewObject(class)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// ID returns the process-unique numeric id.
+func (o *Object) ID() uint64 { return o.id }
+
+// XID returns the stable external id used for serialization, or "".
+func (o *Object) XID() string { return o.xid }
+
+// SetXID sets the stable external id used for serialization.
+func (o *Object) SetXID(id string) { o.xid = id }
+
+// Class returns the object's metaclass.
+func (o *Object) Class() *Class { return o.class }
+
+// IsA reports whether the object's class conforms to the given class.
+func (o *Object) IsA(c *Class) bool { return o.class.ConformsTo(c) }
+
+// Label renders a short human-readable identifier: the "name" slot if set,
+// otherwise the class name and numeric id.
+func (o *Object) Label() string {
+	if v, ok := o.slots["name"]; ok {
+		if s, ok := v.(String); ok && s != "" {
+			return fmt.Sprintf("%s(%s)", o.class.Name(), string(s))
+		}
+	}
+	return fmt.Sprintf("%s#%d", o.class.Name(), o.id)
+}
+
+// Set assigns a slot value after checking that the property exists on the
+// object's class and that the value's kind conforms to the property's type
+// and multiplicity.
+func (o *Object) Set(property string, v Value) error {
+	p, ok := o.class.Property(property)
+	if !ok {
+		return fmt.Errorf("metamodel: class %q has no property %q", o.class.QualifiedName(), property)
+	}
+	if v == nil {
+		delete(o.slots, property)
+		return nil
+	}
+	if err := checkAssignable(p, v); err != nil {
+		return err
+	}
+	o.slots[property] = v
+	return nil
+}
+
+// MustSet is Set that panics on error, for construction of statically-known
+// well-typed models (e.g. the built-in metamodel fixtures).
+func (o *Object) MustSet(property string, v Value) *Object {
+	if err := o.Set(property, v); err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// SetString assigns a String slot.
+func (o *Object) SetString(property, s string) error { return o.Set(property, String(s)) }
+
+// SetInt assigns an Int slot.
+func (o *Object) SetInt(property string, i int64) error { return o.Set(property, Int(i)) }
+
+// SetBool assigns a Bool slot.
+func (o *Object) SetBool(property string, b bool) error { return o.Set(property, Bool(b)) }
+
+// Get returns the slot value, falling back to the property default; the
+// boolean reports whether any value (set or default) was found.
+func (o *Object) Get(property string) (Value, bool) {
+	if v, ok := o.slots[property]; ok {
+		return v, true
+	}
+	if p, ok := o.class.Property(property); ok && p.Default() != nil {
+		return p.Default(), true
+	}
+	return nil, false
+}
+
+// GetString returns a string slot, or "" if unset or of another kind.
+func (o *Object) GetString(property string) string {
+	if v, ok := o.Get(property); ok {
+		if s, ok := v.(String); ok {
+			return string(s)
+		}
+	}
+	return ""
+}
+
+// GetInt returns an integer slot, or 0 if unset or of another kind.
+func (o *Object) GetInt(property string) int64 {
+	if v, ok := o.Get(property); ok {
+		if i, ok := v.(Int); ok {
+			return int64(i)
+		}
+	}
+	return 0
+}
+
+// GetBool returns a boolean slot, or false if unset or of another kind.
+func (o *Object) GetBool(property string) bool {
+	if v, ok := o.Get(property); ok {
+		if b, ok := v.(Bool); ok {
+			return bool(b)
+		}
+	}
+	return false
+}
+
+// GetRef returns the object referenced by a single-valued reference slot,
+// or nil if unset.
+func (o *Object) GetRef(property string) *Object {
+	if v, ok := o.Get(property); ok {
+		if r, ok := v.(Ref); ok {
+			return r.Target
+		}
+	}
+	return nil
+}
+
+// GetList returns the items of a multi-valued slot, or nil if unset. The
+// returned slice is the live backing slice; callers must not mutate it.
+func (o *Object) GetList(property string) []Value {
+	if v, ok := o.Get(property); ok {
+		if l, ok := v.(*List); ok {
+			return l.Items
+		}
+	}
+	return nil
+}
+
+// GetRefs returns the objects referenced by a multi-valued reference slot.
+func (o *Object) GetRefs(property string) []*Object {
+	items := o.GetList(property)
+	out := make([]*Object, 0, len(items))
+	for _, v := range items {
+		if r, ok := v.(Ref); ok && r.Target != nil {
+			out = append(out, r.Target)
+		}
+	}
+	return out
+}
+
+// Append adds a value to a multi-valued slot, creating the list on first use.
+func (o *Object) Append(property string, v Value) error {
+	p, ok := o.class.Property(property)
+	if !ok {
+		return fmt.Errorf("metamodel: class %q has no property %q", o.class.QualifiedName(), property)
+	}
+	if !p.IsMany() {
+		return fmt.Errorf("metamodel: property %q is single-valued; use Set", p.QualifiedName())
+	}
+	if err := checkElementAssignable(p, v); err != nil {
+		return err
+	}
+	cur, _ := o.slots[property].(*List)
+	if cur == nil {
+		cur = &List{}
+		o.slots[property] = cur
+	}
+	if p.Upper() != Unbounded && len(cur.Items) >= p.Upper() {
+		return fmt.Errorf("metamodel: property %q exceeds upper bound %d", p.QualifiedName(), p.Upper())
+	}
+	cur.Items = append(cur.Items, v)
+	return nil
+}
+
+// MustAppend is Append that panics on error.
+func (o *Object) MustAppend(property string, v Value) *Object {
+	if err := o.Append(property, v); err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// AppendRef appends a reference to a multi-valued slot.
+func (o *Object) AppendRef(property string, target *Object) error {
+	return o.Append(property, Ref{Target: target})
+}
+
+// Unset removes a slot value.
+func (o *Object) Unset(property string) { delete(o.slots, property) }
+
+// IsSet reports whether the slot holds an explicit value (defaults excluded).
+func (o *Object) IsSet(property string) bool {
+	_, ok := o.slots[property]
+	return ok
+}
+
+// SetProperties returns the names of explicitly set slots in sorted order.
+func (o *Object) SetProperties() []string {
+	out := make([]string, 0, len(o.slots))
+	for k := range o.slots {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkAssignable verifies that v conforms to p's type and shape (single vs
+// multi-valued).
+func checkAssignable(p *Property, v Value) error {
+	if p.IsMany() {
+		l, ok := v.(*List)
+		if !ok {
+			return fmt.Errorf("metamodel: property %q is multi-valued; expected List, got %s",
+				p.QualifiedName(), v.Kind())
+		}
+		if p.Upper() != Unbounded && len(l.Items) > p.Upper() {
+			return fmt.Errorf("metamodel: property %q exceeds upper bound %d", p.QualifiedName(), p.Upper())
+		}
+		for _, item := range l.Items {
+			if err := checkElementAssignable(p, item); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return checkElementAssignable(p, v)
+}
+
+// checkElementAssignable verifies a single element against p's type.
+func checkElementAssignable(p *Property, v Value) error {
+	if v == nil {
+		return fmt.Errorf("metamodel: nil value for property %q", p.QualifiedName())
+	}
+	switch t := p.Type().(type) {
+	case *Class:
+		r, ok := v.(Ref)
+		if !ok {
+			return fmt.Errorf("metamodel: property %q expects a reference to %q, got %s",
+				p.QualifiedName(), t.QualifiedName(), v.Kind())
+		}
+		if r.Target == nil {
+			return fmt.Errorf("metamodel: nil reference for property %q", p.QualifiedName())
+		}
+		if !r.Target.IsA(t) {
+			return fmt.Errorf("metamodel: property %q expects %q, got instance of %q",
+				p.QualifiedName(), t.QualifiedName(), r.Target.Class().QualifiedName())
+		}
+	case *Enumeration:
+		e, ok := v.(EnumLit)
+		if !ok {
+			return fmt.Errorf("metamodel: property %q expects enumeration %q, got %s",
+				p.QualifiedName(), t.QualifiedName(), v.Kind())
+		}
+		if e.Enum != t {
+			return fmt.Errorf("metamodel: property %q expects enumeration %q, got %q",
+				p.QualifiedName(), t.QualifiedName(), e.String())
+		}
+		if !t.Has(e.Literal) {
+			return fmt.Errorf("metamodel: %q is not a literal of enumeration %q",
+				e.Literal, t.QualifiedName())
+		}
+	case *DataType:
+		want := primKind(t.Base())
+		if v.Kind() != want {
+			return fmt.Errorf("metamodel: property %q expects %s, got %s",
+				p.QualifiedName(), want, v.Kind())
+		}
+	default:
+		return fmt.Errorf("metamodel: property %q has unsupported type kind", p.QualifiedName())
+	}
+	return nil
+}
+
+func primKind(p Primitive) ValueKind {
+	switch p {
+	case PrimString:
+		return VString
+	case PrimInteger:
+		return VInt
+	case PrimBoolean:
+		return VBool
+	case PrimReal:
+		return VReal
+	default:
+		return VString
+	}
+}

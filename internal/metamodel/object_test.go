@@ -1,0 +1,239 @@
+package metamodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewObjectRejectsAbstract(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	animal, _ := zoo.Class("Animal")
+	if _, err := NewObject(animal); err == nil {
+		t.Fatal("instantiating abstract class should fail")
+	}
+	if _, err := NewObject(nil); err == nil {
+		t.Fatal("instantiating nil class should fail")
+	}
+}
+
+func TestSetGetPrimitiveSlots(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	lion, _ := zoo.Class("Lion")
+	o := MustNewObject(lion)
+	if err := o.SetString("name", "Simba"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetInt("age", 4); err != nil {
+		t.Fatal(err)
+	}
+	if o.GetString("name") != "Simba" || o.GetInt("age") != 4 {
+		t.Fatal("round trip failed")
+	}
+	if o.GetString("missing") != "" || o.GetInt("missing") != 0 || o.GetBool("missing") {
+		t.Fatal("zero values for unset slots expected")
+	}
+}
+
+func TestSetUnknownProperty(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	lion, _ := zoo.Class("Lion")
+	o := MustNewObject(lion)
+	err := o.SetString("color", "golden")
+	if err == nil || !strings.Contains(err.Error(), "no property") {
+		t.Fatalf("err = %v, want unknown-property error", err)
+	}
+}
+
+func TestSetWrongKind(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	lion, _ := zoo.Class("Lion")
+	o := MustNewObject(lion)
+	if err := o.Set("name", Int(3)); err == nil {
+		t.Fatal("Int into String slot should fail")
+	}
+	if err := o.Set("age", String("four")); err == nil {
+		t.Fatal("String into Integer slot should fail")
+	}
+}
+
+func TestEnumSlots(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	lion, _ := zoo.Class("Lion")
+	diet, _ := zoo.Enumeration("Diet")
+	o := MustNewObject(lion)
+	if err := o.Set("diet", EnumLit{Enum: diet, Literal: "Carnivore"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Set("diet", EnumLit{Enum: diet, Literal: "Vegan"}); err == nil {
+		t.Fatal("unknown literal should fail")
+	}
+	other := NewPackage("X").AddEnumeration("Diet", "Carnivore")
+	if err := o.Set("diet", EnumLit{Enum: other, Literal: "Carnivore"}); err == nil {
+		t.Fatal("literal of foreign enumeration should fail")
+	}
+	if err := o.Set("diet", String("Carnivore")); err == nil {
+		t.Fatal("string into enum slot should fail")
+	}
+}
+
+func TestReferenceSlots(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	lion, _ := zoo.Class("Lion")
+	gazelle, _ := zoo.Class("Gazelle")
+	encl, _ := zoo.Class("Enclosure")
+
+	l := MustNewObject(lion)
+	g := MustNewObject(gazelle)
+	e := MustNewObject(encl)
+
+	if err := l.AppendRef("prey", g); err != nil {
+		t.Fatal(err)
+	}
+	// Lion conforms to Animal, so a lion can prey on a lion.
+	if err := l.AppendRef("prey", l); err != nil {
+		t.Fatal(err)
+	}
+	// An enclosure is not an Animal.
+	if err := l.AppendRef("prey", e); err == nil {
+		t.Fatal("Enclosure into Animal-typed slot should fail")
+	}
+	refs := l.GetRefs("prey")
+	if len(refs) != 2 || refs[0] != g || refs[1] != l {
+		t.Fatalf("GetRefs = %v", refs)
+	}
+}
+
+func TestAppendOnSingleValuedFails(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	lion, _ := zoo.Class("Lion")
+	o := MustNewObject(lion)
+	if err := o.Append("name", String("x")); err == nil {
+		t.Fatal("Append on single-valued property should fail")
+	}
+}
+
+func TestSetNilDeletes(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	lion, _ := zoo.Class("Lion")
+	o := MustNewObject(lion)
+	o.MustSet("name", String("Simba"))
+	if !o.IsSet("name") {
+		t.Fatal("name should be set")
+	}
+	if err := o.Set("name", nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.IsSet("name") {
+		t.Fatal("name should be unset after Set(nil)")
+	}
+}
+
+func TestUpperBoundEnforced(t *testing.T) {
+	p := NewPackage("M")
+	str := p.AddDataType("String", PrimString)
+	c := p.AddClass("C")
+	c.AddProperty("pair", str, 0, 2)
+	o := MustNewObject(c)
+	if err := o.Append("pair", String("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Append("pair", String("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Append("pair", String("c")); err == nil {
+		t.Fatal("third element should exceed upper bound 2")
+	}
+	// Set with oversized list also fails.
+	if err := o.Set("pair", NewList(String("a"), String("b"), String("c"))); err == nil {
+		t.Fatal("oversized list should fail")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := NewPackage("M")
+	str := p.AddDataType("String", PrimString)
+	c := p.AddClass("C")
+	c.AddAttr("status", str).SetDefault(String("open"))
+	o := MustNewObject(c)
+	if got := o.GetString("status"); got != "open" {
+		t.Fatalf("default = %q, want open", got)
+	}
+	o.MustSet("status", String("closed"))
+	if got := o.GetString("status"); got != "closed" {
+		t.Fatalf("after set = %q", got)
+	}
+	if o.IsSet("status") != true {
+		t.Fatal("IsSet should be true after explicit set")
+	}
+	o.Unset("status")
+	if got := o.GetString("status"); got != "open" {
+		t.Fatalf("after unset = %q, want default open", got)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	lion, _ := zoo.Class("Lion")
+	o := MustNewObject(lion)
+	if !strings.HasPrefix(o.Label(), "Lion#") {
+		t.Fatalf("unnamed label = %q", o.Label())
+	}
+	o.MustSet("name", String("Simba"))
+	if o.Label() != "Lion(Simba)" {
+		t.Fatalf("named label = %q", o.Label())
+	}
+}
+
+func TestValueEqualAndString(t *testing.T) {
+	cases := []struct {
+		a, b  Value
+		equal bool
+	}{
+		{String("x"), String("x"), true},
+		{String("x"), String("y"), false},
+		{String("x"), Int(1), false},
+		{Int(1), Int(1), true},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Real(1.5), Real(1.5), true},
+		{Real(1.5), Real(2.5), false},
+		{NewList(Int(1), Int(2)), NewList(Int(1), Int(2)), true},
+		{NewList(Int(1)), NewList(Int(1), Int(2)), false},
+		{NewList(Int(1)), NewList(Int(2)), false},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.equal {
+			t.Errorf("case %d: Equal = %v, want %v", i, got, c.equal)
+		}
+	}
+	if NewList(Int(1), String("a")).String() != `{1, "a"}` {
+		t.Fatalf("List.String = %q", NewList(Int(1), String("a")).String())
+	}
+	if (Ref{}).String() != "<nil-ref>" {
+		t.Fatal("nil ref string")
+	}
+}
+
+func TestValueKindStrings(t *testing.T) {
+	kinds := map[ValueKind]string{
+		VString: "String", VInt: "Integer", VBool: "Boolean",
+		VReal: "Real", VEnum: "EnumLiteral", VRef: "Reference", VList: "List",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestSetPropertiesSorted(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	lion, _ := zoo.Class("Lion")
+	o := MustNewObject(lion)
+	o.MustSet("name", String("a"))
+	o.MustSet("age", Int(1))
+	got := o.SetProperties()
+	if len(got) != 2 || got[0] != "age" || got[1] != "name" {
+		t.Fatalf("SetProperties = %v", got)
+	}
+}

@@ -1,0 +1,148 @@
+package metamodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickValueEqualReflexive checks that every primitive Value is equal to
+// itself and renders a non-empty string.
+func TestQuickValueEqualReflexive(t *testing.T) {
+	f := func(s string, i int64, b bool, r float64) bool {
+		vals := []Value{String(s), Int(i), Bool(b), Real(r)}
+		for _, v := range vals {
+			if !v.Equal(v) {
+				return false
+			}
+			if v.String() == "" && v.Kind() != VString {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickValueEqualSymmetric checks a.Equal(b) == b.Equal(a) across kinds.
+func TestQuickValueEqualSymmetric(t *testing.T) {
+	f := func(a, b string, i, j int64) bool {
+		vals := []Value{String(a), String(b), Int(i), Int(j)}
+		for _, x := range vals {
+			for _, y := range vals {
+				if x.Equal(y) != y.Equal(x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStringSlotRoundTrip checks that arbitrary strings survive the
+// slot set/get round trip unchanged.
+func TestQuickStringSlotRoundTrip(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	lion, _ := zoo.Class("Lion")
+	f := func(s string) bool {
+		o := MustNewObject(lion)
+		if err := o.SetString("name", s); err != nil {
+			return false
+		}
+		return o.GetString("name") == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickListAppendPreservesOrder checks that Append preserves insertion
+// order for arbitrary string sequences.
+func TestQuickListAppendPreservesOrder(t *testing.T) {
+	p := NewPackage("Q")
+	str := p.AddDataType("String", PrimString)
+	c := p.AddClass("C")
+	c.AddProperty("items", str, 0, Unbounded)
+	f := func(items []string) bool {
+		o := MustNewObject(c)
+		for _, s := range items {
+			if err := o.Append("items", String(s)); err != nil {
+				return false
+			}
+		}
+		got := o.GetList("items")
+		if len(got) != len(items) {
+			return false
+		}
+		for i, s := range items {
+			if got[i] != String(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMultiplicityNeverViolatedByAPI checks that no sequence of Append
+// calls can push a bounded slot past its upper bound: the kernel rejects the
+// overflow instead.
+func TestQuickMultiplicityNeverViolatedByAPI(t *testing.T) {
+	p := NewPackage("Q")
+	str := p.AddDataType("String", PrimString)
+	c := p.AddClass("C")
+	c.AddProperty("capped", str, 0, 3)
+	m := NewModel("q", p)
+	f := func(n uint8) bool {
+		o := MustNewObject(c)
+		m.Add(o)
+		defer m.Remove(o)
+		count := int(n%8) + 1
+		okCount := 0
+		for i := 0; i < count; i++ {
+			if err := o.Append("capped", String("x")); err == nil {
+				okCount++
+			}
+		}
+		if okCount > 3 {
+			return false
+		}
+		return len(checkObject(m, o, map[*Object]bool{o: true})) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickXIDAssignmentUnique checks that AssignXIDs never produces
+// duplicate ids regardless of how many objects exist.
+func TestQuickXIDAssignmentUnique(t *testing.T) {
+	zoo, _, _ := fixture(t)
+	f := func(nLions, nGazelles uint8) bool {
+		m := NewModel("q", zoo)
+		for i := 0; i < int(nLions%32); i++ {
+			m.MustCreate("Lion")
+		}
+		for i := 0; i < int(nGazelles%32); i++ {
+			m.MustCreate("Gazelle")
+		}
+		m.AssignXIDs()
+		seen := map[string]bool{}
+		for _, o := range m.Objects() {
+			if o.XID() == "" || seen[o.XID()] {
+				return false
+			}
+			seen[o.XID()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package metamodel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry maps metamodel names to packages so tools (CLI, XMI reader) can
+// resolve a model's metamodel by name. It is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	packages map[string]*Package
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{packages: make(map[string]*Package)}
+}
+
+// Register adds a metamodel package under its own name. Re-registering the
+// same package is a no-op; registering a different package under an existing
+// name is an error.
+func (r *Registry) Register(p *Package) error {
+	if p == nil {
+		return fmt.Errorf("metamodel: register nil package")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.packages[p.Name()]; ok {
+		if existing == p {
+			return nil
+		}
+		return fmt.Errorf("metamodel: metamodel %q already registered", p.Name())
+	}
+	r.packages[p.Name()] = p
+	return nil
+}
+
+// Lookup returns the metamodel with the given name.
+func (r *Registry) Lookup(name string) (*Package, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.packages[name]
+	return p, ok
+}
+
+// Names returns the registered metamodel names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.packages))
+	for name := range r.packages {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// defaultRegistry is the process-wide registry used by the package-level
+// functions below.
+var defaultRegistry = NewRegistry()
+
+// Register adds a metamodel to the process-wide registry.
+func Register(p *Package) error { return defaultRegistry.Register(p) }
+
+// MustRegister is Register that panics on error, for init-time registration.
+func MustRegister(p *Package) {
+	if err := defaultRegistry.Register(p); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a metamodel by name in the process-wide registry.
+func Lookup(name string) (*Package, bool) { return defaultRegistry.Lookup(name) }
+
+// RegisteredNames lists the process-wide registry's metamodel names.
+func RegisteredNames() []string { return defaultRegistry.Names() }

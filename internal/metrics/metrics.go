@@ -1,0 +1,345 @@
+// Package metrics implements a data quality measurement and monitoring
+// substrate in the spirit of the measurement information model of ISO/IEC
+// 15939 that the paper's research line builds on (Caballero et al. 2007)
+// and of the assessment-and-monitoring frameworks it cites (Batini et al.
+// 2007): measures bound to ISO/IEC 25012 characteristics, time series of
+// measurements per entity, windowed aggregation, and threshold-based
+// monitoring. The EasyChair application feeds it from every validation
+// report, so the DQ level of the data flowing through the system is
+// observable over time — the "continuous process of living" the paper
+// contrasts with one-shot data cleansing.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/modeldriven/dqwebre/internal/dqruntime"
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+)
+
+// Scale classifies a measure's scale per ISO/IEC 15939.
+type Scale int
+
+// Measurement scales.
+const (
+	// Ratio scales have a true zero (all [0,1] DQ scores are ratio).
+	Ratio Scale = iota
+	// Interval scales have meaningful differences but arbitrary zero.
+	Interval
+	// Ordinal scales are ordered categories.
+	Ordinal
+	// Nominal scales are unordered categories.
+	Nominal
+)
+
+// String renders the scale name.
+func (s Scale) String() string {
+	switch s {
+	case Ratio:
+		return "ratio"
+	case Interval:
+		return "interval"
+	case Ordinal:
+		return "ordinal"
+	case Nominal:
+		return "nominal"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// Measure is a named way of quantifying one DQ characteristic.
+type Measure struct {
+	// Name identifies the measure, e.g. "review completeness ratio".
+	Name string
+	// Characteristic is the ISO/IEC 25012 characteristic measured.
+	Characteristic iso25012.Characteristic
+	// Scale classifies the measure.
+	Scale Scale
+	// Unit describes the value unit, e.g. "fraction" or "violations/day".
+	Unit string
+	// Doc describes the measurement method.
+	Doc string
+}
+
+// Measurement is one recorded value of a measure for one entity.
+type Measurement struct {
+	// Measure is the measure's name.
+	Measure string
+	// Entity identifies the measured thing, e.g. "review/42" or "reviews".
+	Entity string
+	// Value is the measured value.
+	Value float64
+	// At is the measurement timestamp.
+	At time.Time
+}
+
+// Summary aggregates a set of measurements.
+type Summary struct {
+	// Count is the number of measurements aggregated.
+	Count int
+	// Mean, Min and Max summarize the values; zero when Count is 0.
+	Mean, Min, Max float64
+	// P50 is the median value.
+	P50 float64
+}
+
+// Threshold declares the minimum acceptable aggregate level of a measure.
+type Threshold struct {
+	// Measure is the constrained measure's name.
+	Measure string
+	// MinMean is the minimum acceptable mean over the evaluation window.
+	MinMean float64
+}
+
+// Violation reports a threshold not met.
+type Violation struct {
+	// Threshold violated.
+	Threshold Threshold
+	// Observed is the aggregate that failed.
+	Observed Summary
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("measure %q: mean %.3f below threshold %.3f (n=%d)",
+		v.Threshold.Measure, v.Observed.Mean, v.Threshold.MinMean, v.Observed.Count)
+}
+
+type seriesKey struct{ measure, entity string }
+
+// Collector registers measures and stores their measurement series. It is
+// safe for concurrent use.
+type Collector struct {
+	mu         sync.RWMutex
+	measures   map[string]Measure
+	series     map[seriesKey][]Measurement
+	thresholds []Threshold
+	clock      func() time.Time
+	// maxPerSeries bounds memory: older measurements are dropped FIFO.
+	maxPerSeries int
+}
+
+// NewCollector creates an empty collector keeping at most 4096 measurements
+// per (measure, entity) series.
+func NewCollector() *Collector {
+	return &Collector{
+		measures:     make(map[string]Measure),
+		series:       make(map[seriesKey][]Measurement),
+		clock:        time.Now,
+		maxPerSeries: 4096,
+	}
+}
+
+// SetClock injects a deterministic clock for tests; nil restores time.Now.
+func (c *Collector) SetClock(clock func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if clock == nil {
+		clock = time.Now
+	}
+	c.clock = clock
+}
+
+// SetSeriesLimit bounds each series' length; n < 1 is rejected.
+func (c *Collector) SetSeriesLimit(n int) error {
+	if n < 1 {
+		return fmt.Errorf("metrics: series limit must be positive, got %d", n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxPerSeries = n
+	return nil
+}
+
+// Register declares a measure. Re-registering the same name with different
+// content is an error.
+func (c *Collector) Register(m Measure) error {
+	if m.Name == "" {
+		return fmt.Errorf("metrics: measure needs a name")
+	}
+	if !iso25012.IsValid(string(m.Characteristic)) {
+		return fmt.Errorf("metrics: measure %q has unknown characteristic %q", m.Name, m.Characteristic)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.measures[m.Name]; ok {
+		if existing != m {
+			return fmt.Errorf("metrics: measure %q already registered with different definition", m.Name)
+		}
+		return nil
+	}
+	c.measures[m.Name] = m
+	return nil
+}
+
+// Measures returns the registered measures sorted by name.
+func (c *Collector) Measures() []Measure {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Measure, 0, len(c.measures))
+	for _, m := range c.measures {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Record stores one measurement; the measure must be registered.
+func (c *Collector) Record(measure, entity string, value float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("metrics: non-finite value for %q", measure)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.measures[measure]; !ok {
+		return fmt.Errorf("metrics: unregistered measure %q", measure)
+	}
+	k := seriesKey{measure, entity}
+	s := append(c.series[k], Measurement{
+		Measure: measure, Entity: entity, Value: value, At: c.clock(),
+	})
+	if len(s) > c.maxPerSeries {
+		s = s[len(s)-c.maxPerSeries:]
+	}
+	c.series[k] = s
+	return nil
+}
+
+// Latest returns the most recent measurement of a series.
+func (c *Collector) Latest(measure, entity string) (Measurement, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := c.series[seriesKey{measure, entity}]
+	if len(s) == 0 {
+		return Measurement{}, false
+	}
+	return s[len(s)-1], true
+}
+
+// Series returns a copy of one series, oldest first.
+func (c *Collector) Series(measure, entity string) []Measurement {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]Measurement(nil), c.series[seriesKey{measure, entity}]...)
+}
+
+// Aggregate summarizes every measurement of one measure (across entities)
+// newer than since. A zero since aggregates everything.
+func (c *Collector) Aggregate(measure string, since time.Time) Summary {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var values []float64
+	for k, s := range c.series {
+		if k.measure != measure {
+			continue
+		}
+		for _, m := range s {
+			if since.IsZero() || !m.At.Before(since) {
+				values = append(values, m.Value)
+			}
+		}
+	}
+	return summarize(values)
+}
+
+func summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  sum / float64(len(sorted)),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   sorted[len(sorted)/2],
+	}
+}
+
+// AddThreshold installs a minimum-mean threshold for a measure.
+func (c *Collector) AddThreshold(t Threshold) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.measures[t.Measure]; !ok {
+		return fmt.Errorf("metrics: threshold on unregistered measure %q", t.Measure)
+	}
+	c.thresholds = append(c.thresholds, t)
+	return nil
+}
+
+// Violations evaluates every threshold against the aggregate since the
+// given time; measures with no data do not violate (nothing to judge).
+func (c *Collector) Violations(since time.Time) []Violation {
+	c.mu.RLock()
+	thresholds := append([]Threshold(nil), c.thresholds...)
+	c.mu.RUnlock()
+	var out []Violation
+	for _, t := range thresholds {
+		s := c.Aggregate(t.Measure, since)
+		if s.Count > 0 && s.Mean < t.MinMean {
+			out = append(out, Violation{Threshold: t, Observed: s})
+		}
+	}
+	return out
+}
+
+// MeasureNameFor names the standard per-characteristic score measure used
+// by RecordReport.
+func MeasureNameFor(ch iso25012.Characteristic) string {
+	return "dq/" + string(ch)
+}
+
+// RegisterCharacteristics registers the standard [0,1] score measure for
+// each given characteristic.
+func (c *Collector) RegisterCharacteristics(chs ...iso25012.Characteristic) error {
+	for _, ch := range chs {
+		err := c.Register(Measure{
+			Name:           MeasureNameFor(ch),
+			Characteristic: ch,
+			Scale:          Ratio,
+			Unit:           "fraction",
+			Doc:            "per-record " + string(ch) + " score from the runtime validator",
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecordReport records every per-characteristic score of a validation
+// report against the given entity. Unregistered characteristics are
+// registered on first use.
+func (c *Collector) RecordReport(rep *dqruntime.Report, entity string) error {
+	for ch, score := range rep.Scores() {
+		if err := c.RegisterCharacteristics(ch); err != nil {
+			return err
+		}
+		if err := c.Record(MeasureNameFor(ch), entity, score); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot renders a sorted, human-readable view of all measures' overall
+// aggregates, for diagnostics endpoints.
+func (c *Collector) Snapshot() []string {
+	var out []string
+	for _, m := range c.Measures() {
+		s := c.Aggregate(m.Name, time.Time{})
+		out = append(out, fmt.Sprintf("%-28s [%s/%s] n=%d mean=%.3f min=%.3f max=%.3f",
+			m.Name, m.Characteristic, m.Scale, s.Count, s.Mean, s.Min, s.Max))
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/modeldriven/dqwebre/internal/dqruntime"
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+)
+
+func tick(start time.Time) func() time.Time {
+	var mu sync.Mutex
+	t := start
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func completenessMeasure() Measure {
+	return Measure{
+		Name:           "dq/Completeness",
+		Characteristic: iso25012.Completeness,
+		Scale:          Ratio,
+		Unit:           "fraction",
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	c := NewCollector()
+	if err := c.Register(Measure{Name: "", Characteristic: iso25012.Accuracy}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := c.Register(Measure{Name: "x", Characteristic: "Velocity"}); err == nil {
+		t.Fatal("bad characteristic accepted")
+	}
+	m := completenessMeasure()
+	if err := c.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-registration.
+	if err := c.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	// Conflicting redefinition rejected.
+	m2 := m
+	m2.Unit = "percent"
+	if err := c.Register(m2); err == nil {
+		t.Fatal("conflicting redefinition accepted")
+	}
+	if got := c.Measures(); len(got) != 1 || got[0].Name != "dq/Completeness" {
+		t.Fatalf("measures = %v", got)
+	}
+}
+
+func TestRecordAndSeries(t *testing.T) {
+	c := NewCollector()
+	c.SetClock(tick(time.Date(2026, 7, 5, 0, 0, 0, 0, time.UTC)))
+	if err := c.Register(completenessMeasure()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Record("dq/Completeness", "reviews", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Record("dq/Completeness", "reviews", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Record("unregistered", "reviews", 1.0); err == nil {
+		t.Fatal("unregistered measure accepted")
+	}
+	if err := c.Record("dq/Completeness", "reviews", mathNaN()); err == nil {
+		t.Fatal("NaN accepted")
+	}
+
+	s := c.Series("dq/Completeness", "reviews")
+	if len(s) != 2 || s[0].Value != 0.5 || s[1].Value != 1.0 {
+		t.Fatalf("series = %v", s)
+	}
+	if !s[1].At.After(s[0].At) {
+		t.Fatal("timestamps not monotonic")
+	}
+	latest, ok := c.Latest("dq/Completeness", "reviews")
+	if !ok || latest.Value != 1.0 {
+		t.Fatalf("latest = %v", latest)
+	}
+	if _, ok := c.Latest("dq/Completeness", "ghost"); ok {
+		t.Fatal("phantom series")
+	}
+}
+
+func mathNaN() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestSeriesLimit(t *testing.T) {
+	c := NewCollector()
+	if err := c.SetSeriesLimit(0); err == nil {
+		t.Fatal("zero limit accepted")
+	}
+	if err := c.SetSeriesLimit(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(completenessMeasure()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Record("dq/Completeness", "e", float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Series("dq/Completeness", "e")
+	if len(s) != 3 || s[0].Value != 7 || s[2].Value != 9 {
+		t.Fatalf("series after limit = %v", s)
+	}
+}
+
+func TestAggregateAndWindow(t *testing.T) {
+	c := NewCollector()
+	start := time.Date(2026, 7, 5, 0, 0, 0, 0, time.UTC)
+	c.SetClock(tick(start))
+	if err := c.Register(completenessMeasure()); err != nil {
+		t.Fatal(err)
+	}
+	// Across two entities.
+	for i, v := range []float64{0.2, 0.4, 0.6, 0.8} {
+		entity := "a"
+		if i%2 == 1 {
+			entity = "b"
+		}
+		if err := c.Record("dq/Completeness", entity, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := c.Aggregate("dq/Completeness", time.Time{})
+	if all.Count != 4 || all.Min != 0.2 || all.Max != 0.8 {
+		t.Fatalf("aggregate = %+v", all)
+	}
+	if all.Mean < 0.49 || all.Mean > 0.51 {
+		t.Fatalf("mean = %v", all.Mean)
+	}
+	// Window: only the last two measurements (t=start+3s, +4s).
+	recent := c.Aggregate("dq/Completeness", start.Add(3*time.Second))
+	if recent.Count != 2 || recent.Min != 0.6 {
+		t.Fatalf("windowed = %+v", recent)
+	}
+	// Empty aggregate.
+	if got := c.Aggregate("dq/Completeness", start.Add(time.Hour)); got.Count != 0 {
+		t.Fatalf("future window = %+v", got)
+	}
+}
+
+func TestThresholdsAndViolations(t *testing.T) {
+	c := NewCollector()
+	if err := c.Register(completenessMeasure()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddThreshold(Threshold{Measure: "ghost", MinMean: 0.5}); err == nil {
+		t.Fatal("threshold on unregistered measure accepted")
+	}
+	if err := c.AddThreshold(Threshold{Measure: "dq/Completeness", MinMean: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	// No data: no violation.
+	if vs := c.Violations(time.Time{}); len(vs) != 0 {
+		t.Fatalf("violations with no data = %v", vs)
+	}
+	if err := c.Record("dq/Completeness", "e", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	vs := c.Violations(time.Time{})
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "below threshold") {
+		t.Fatalf("violation string = %q", vs[0])
+	}
+	if err := c.Record("dq/Completeness", "e", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	c.Record("dq/Completeness", "e", 1.0)
+	c.Record("dq/Completeness", "e", 1.0)
+	c.Record("dq/Completeness", "e", 1.0)
+	if vs := c.Violations(time.Time{}); len(vs) != 0 {
+		t.Fatalf("violations after recovery = %v", vs)
+	}
+}
+
+func TestRecordReportIntegration(t *testing.T) {
+	c := NewCollector()
+	v := dqruntime.NewValidator("r",
+		dqruntime.CompletenessCheck{Required: []string{"a", "b"}},
+		dqruntime.PrecisionCheck{Field: "n", Lower: 0, Upper: 5},
+	)
+	rep := v.Validate(dqruntime.Record{"a": "1", "n": "3"})
+	if err := c.RecordReport(rep, "rec/1"); err != nil {
+		t.Fatal(err)
+	}
+	comp, ok := c.Latest(MeasureNameFor(iso25012.Completeness), "rec/1")
+	if !ok || comp.Value != 0.5 {
+		t.Fatalf("completeness = %v", comp)
+	}
+	prec, ok := c.Latest(MeasureNameFor(iso25012.Precision), "rec/1")
+	if !ok || prec.Value != 1 {
+		t.Fatalf("precision = %v", prec)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	for _, line := range snap {
+		if !strings.Contains(line, "n=1") {
+			t.Errorf("snapshot line %q lacks count", line)
+		}
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	for s, want := range map[Scale]string{Ratio: "ratio", Interval: "interval", Ordinal: "ordinal", Nominal: "nominal"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	c := NewCollector()
+	if err := c.RegisterCharacteristics(iso25012.Completeness, iso25012.Precision); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = c.Record(MeasureNameFor(iso25012.Completeness), "e", float64(j)/50)
+				c.Aggregate(MeasureNameFor(iso25012.Completeness), time.Time{})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Aggregate(MeasureNameFor(iso25012.Completeness), time.Time{}); got.Count != 800 {
+		t.Fatalf("count = %d, want 800", got.Count)
+	}
+}
+
+// TestQuickSummaryInvariants: for random value sets, Min <= P50 <= Max and
+// Min <= Mean <= Max.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		values := make([]float64, len(raw))
+		for i, r := range raw {
+			values[i] = float64(r) / 65535
+		}
+		s := summarize(values)
+		if s.Count != len(values) {
+			return false
+		}
+		if s.Count == 0 {
+			return s.Mean == 0 && s.Min == 0 && s.Max == 0
+		}
+		return s.Min <= s.P50 && s.P50 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+package ocl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a parsed OCL expression node.
+type Expr interface {
+	// Pos returns the byte offset of the node in the source expression.
+	Pos() int
+	// String renders the node back to (normalized) OCL source.
+	String() string
+}
+
+// LitExpr is a literal: integer, real, string, boolean or null.
+type LitExpr struct {
+	// Val holds int64, float64, string, bool or nil.
+	Val any
+	pos int
+}
+
+// Pos returns the source offset.
+func (e *LitExpr) Pos() int { return e.pos }
+
+// String renders the literal.
+func (e *LitExpr) String() string {
+	switch v := e.Val.(type) {
+	case nil:
+		return "null"
+	case string:
+		return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// VarExpr references a variable: self, an iterator or a let binding. Bare
+// identifiers that do not resolve to a variable are treated as type names
+// by the evaluator (for allInstances and oclIsKindOf arguments).
+type VarExpr struct {
+	// Name is the variable or type name.
+	Name string
+	pos  int
+}
+
+// Pos returns the source offset.
+func (e *VarExpr) Pos() int { return e.pos }
+
+// String renders the name.
+func (e *VarExpr) String() string { return e.Name }
+
+// EnumExpr is an enumeration literal reference: Enum::Literal.
+type EnumExpr struct {
+	// Enum is the enumeration name.
+	Enum string
+	// Literal is the literal name.
+	Literal string
+	pos     int
+}
+
+// Pos returns the source offset.
+func (e *EnumExpr) Pos() int { return e.pos }
+
+// String renders Enum::Literal.
+func (e *EnumExpr) String() string { return e.Enum + "::" + e.Literal }
+
+// NavExpr is dot navigation: recv.name — a property access, with OCL's
+// implicit-collect semantics when recv is a collection.
+type NavExpr struct {
+	// Recv is the receiver expression.
+	Recv Expr
+	// Name is the property name.
+	Name string
+	pos  int
+}
+
+// Pos returns the source offset.
+func (e *NavExpr) Pos() int { return e.pos }
+
+// String renders recv.name.
+func (e *NavExpr) String() string { return e.Recv.String() + "." + e.Name }
+
+// CallExpr is a dot call: recv.op(args...), covering oclIsKindOf,
+// allInstances, string operations and the profile extensions.
+type CallExpr struct {
+	// Recv is the receiver expression.
+	Recv Expr
+	// Name is the operation name.
+	Name string
+	// Args are the argument expressions.
+	Args []Expr
+	pos  int
+}
+
+// Pos returns the source offset.
+func (e *CallExpr) Pos() int { return e.pos }
+
+// String renders recv.op(args).
+func (e *CallExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s.%s(%s)", e.Recv.String(), e.Name, strings.Join(parts, ", "))
+}
+
+// ArrowExpr is a collection operation: recv->op(...) or
+// recv->op(iter | body).
+type ArrowExpr struct {
+	// Recv is the collection expression.
+	Recv Expr
+	// Name is the collection operation name.
+	Name string
+	// Iter is the iterator variable name, "" when the op takes plain args.
+	Iter string
+	// Body is the iterator body, nil when the op takes plain args.
+	Body Expr
+	// Args are plain arguments for non-iterator ops (includes, count, ...).
+	Args []Expr
+	pos  int
+}
+
+// Pos returns the source offset.
+func (e *ArrowExpr) Pos() int { return e.pos }
+
+// String renders the arrow call.
+func (e *ArrowExpr) String() string {
+	if e.Body != nil {
+		iter := ""
+		if e.Iter != "" {
+			iter = e.Iter + " | "
+		}
+		return fmt.Sprintf("%s->%s(%s%s)", e.Recv.String(), e.Name, iter, e.Body.String())
+	}
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s->%s(%s)", e.Recv.String(), e.Name, strings.Join(parts, ", "))
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	// Op is the operator text: "and", "or", "xor", "implies", "=", "<>",
+	// "<", "<=", ">", ">=", "+", "-", "*", "/", "mod", "div".
+	Op string
+	// L and R are the operands.
+	L, R Expr
+	pos  int
+}
+
+// Pos returns the source offset.
+func (e *BinExpr) Pos() int { return e.pos }
+
+// String renders (l op r).
+func (e *BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L.String(), e.Op, e.R.String())
+}
+
+// UnExpr is a unary operation: "not" or "-".
+type UnExpr struct {
+	// Op is "not" or "-".
+	Op string
+	// E is the operand.
+	E   Expr
+	pos int
+}
+
+// Pos returns the source offset.
+func (e *UnExpr) Pos() int { return e.pos }
+
+// String renders op e.
+func (e *UnExpr) String() string {
+	if e.Op == "not" {
+		return "not " + e.E.String()
+	}
+	return e.Op + e.E.String()
+}
+
+// IfExpr is if-then-else-endif.
+type IfExpr struct {
+	// Cond, Then, Else are the three sub-expressions.
+	Cond, Then, Else Expr
+	pos              int
+}
+
+// Pos returns the source offset.
+func (e *IfExpr) Pos() int { return e.pos }
+
+// String renders the conditional.
+func (e *IfExpr) String() string {
+	return fmt.Sprintf("if %s then %s else %s endif",
+		e.Cond.String(), e.Then.String(), e.Else.String())
+}
+
+// CollectionExpr is a collection literal: Set{...}, Sequence{...} or
+// Bag{...}. Set deduplicates its elements at evaluation time.
+type CollectionExpr struct {
+	// Kind is "Set", "Sequence" or "Bag".
+	Kind string
+	// Items are the element expressions in order.
+	Items []Expr
+	pos   int
+}
+
+// Pos returns the source offset.
+func (e *CollectionExpr) Pos() int { return e.pos }
+
+// String renders Kind{items...}.
+func (e *CollectionExpr) String() string {
+	parts := make([]string, len(e.Items))
+	for i, it := range e.Items {
+		parts[i] = it.String()
+	}
+	return e.Kind + "{" + strings.Join(parts, ", ") + "}"
+}
+
+// LetExpr is let name = init in body.
+type LetExpr struct {
+	// Name is the bound variable.
+	Name string
+	// Init is the binding expression.
+	Init Expr
+	// Body is evaluated with the binding in scope.
+	Body Expr
+	pos  int
+}
+
+// Pos returns the source offset.
+func (e *LetExpr) Pos() int { return e.pos }
+
+// String renders the let binding.
+func (e *LetExpr) String() string {
+	return fmt.Sprintf("let %s = %s in %s", e.Name, e.Init.String(), e.Body.String())
+}

@@ -1,0 +1,494 @@
+package ocl
+
+import (
+	"fmt"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+)
+
+// StaticType is the checker's abstraction of an expression's type.
+type StaticType struct {
+	// Kind classifies the type.
+	Kind StaticKind
+	// Class is set for object types.
+	Class *metamodel.Class
+	// Elem is set for collection types.
+	Elem *StaticType
+}
+
+// StaticKind enumerates the checker's type kinds.
+type StaticKind int
+
+// Static type kinds. Unknown is the top type: expressions the checker
+// cannot type (e.g. taggedValue results) check against anything.
+const (
+	StaticUnknown StaticKind = iota
+	StaticBoolean
+	StaticInteger
+	StaticReal
+	StaticString
+	StaticEnum
+	StaticObject
+	StaticCollection
+	StaticVoid
+)
+
+// String renders the type for diagnostics.
+func (t StaticType) String() string {
+	switch t.Kind {
+	case StaticBoolean:
+		return "Boolean"
+	case StaticInteger:
+		return "Integer"
+	case StaticReal:
+		return "Real"
+	case StaticString:
+		return "String"
+	case StaticEnum:
+		return "Enumeration"
+	case StaticObject:
+		if t.Class != nil {
+			return t.Class.Name()
+		}
+		return "Object"
+	case StaticCollection:
+		if t.Elem != nil {
+			return "Collection(" + t.Elem.String() + ")"
+		}
+		return "Collection"
+	case StaticVoid:
+		return "OclVoid"
+	default:
+		return "?"
+	}
+}
+
+func objType(c *metamodel.Class) StaticType {
+	return StaticType{Kind: StaticObject, Class: c}
+}
+
+func collOf(elem StaticType) StaticType {
+	e := elem
+	return StaticType{Kind: StaticCollection, Elem: &e}
+}
+
+var unknownType = StaticType{Kind: StaticUnknown}
+
+// CheckContext statically checks an OCL expression against a metamodel:
+// `self` is typed as the given context class, navigations must name
+// existing properties, and iterator/arrow operations must be known. It
+// returns the expression's static type. The checker is deliberately
+// permissive where the dynamic semantics are (numeric widening, Unknown
+// propagation); it exists to catch misspelled properties and operations in
+// rule definitions before any instance exists.
+func CheckContext(src string, context *metamodel.Class, meta *metamodel.Package) (StaticType, error) {
+	expr, err := Parse(src)
+	if err != nil {
+		return unknownType, err
+	}
+	ck := &checker{meta: meta, vars: map[string]StaticType{}}
+	if context != nil {
+		ck.vars["self"] = objType(context)
+	}
+	return ck.check(expr)
+}
+
+type checker struct {
+	meta *metamodel.Package
+	vars map[string]StaticType
+}
+
+func (ck *checker) check(e Expr) (StaticType, error) {
+	switch n := e.(type) {
+	case *LitExpr:
+		switch n.Val.(type) {
+		case int64:
+			return StaticType{Kind: StaticInteger}, nil
+		case float64:
+			return StaticType{Kind: StaticReal}, nil
+		case string:
+			return StaticType{Kind: StaticString}, nil
+		case bool:
+			return StaticType{Kind: StaticBoolean}, nil
+		default:
+			return StaticType{Kind: StaticVoid}, nil
+		}
+	case *VarExpr:
+		if t, ok := ck.vars[n.Name]; ok {
+			return t, nil
+		}
+		if ck.meta != nil {
+			if c, ok := ck.meta.FindClass(n.Name); ok {
+				// A bare type name; only meaningful as allInstances receiver
+				// or type argument, both handled by CallExpr.
+				return objType(c), nil
+			}
+		}
+		return unknownType, fmt.Errorf("ocl: unknown variable or type %q", n.Name)
+	case *EnumExpr:
+		if ck.meta != nil {
+			cl, ok := ck.meta.FindClassifier(n.Enum)
+			if !ok {
+				return unknownType, fmt.Errorf("ocl: unknown enumeration %q", n.Enum)
+			}
+			en, ok := cl.(*metamodel.Enumeration)
+			if !ok {
+				return unknownType, fmt.Errorf("ocl: %q is not an enumeration", n.Enum)
+			}
+			if !en.Has(n.Literal) {
+				return unknownType, fmt.Errorf("ocl: %q is not a literal of %q", n.Literal, n.Enum)
+			}
+		}
+		return StaticType{Kind: StaticEnum}, nil
+	case *NavExpr:
+		recv, err := ck.check(n.Recv)
+		if err != nil {
+			return unknownType, err
+		}
+		return ck.navType(recv, n.Name)
+	case *CallExpr:
+		return ck.checkCall(n)
+	case *ArrowExpr:
+		return ck.checkArrow(n)
+	case *BinExpr:
+		lt, err := ck.check(n.L)
+		if err != nil {
+			return unknownType, err
+		}
+		rt, err := ck.check(n.R)
+		if err != nil {
+			return unknownType, err
+		}
+		switch n.Op {
+		case "and", "or", "xor", "implies":
+			if !boolish(lt) || !boolish(rt) {
+				return unknownType, fmt.Errorf("ocl: %q needs Boolean operands, got %s and %s", n.Op, lt, rt)
+			}
+			return StaticType{Kind: StaticBoolean}, nil
+		case "=", "<>":
+			return StaticType{Kind: StaticBoolean}, nil
+		case "<", "<=", ">", ">=":
+			if !orderable(lt) || !orderable(rt) {
+				return unknownType, fmt.Errorf("ocl: %q needs numbers or strings, got %s and %s", n.Op, lt, rt)
+			}
+			return StaticType{Kind: StaticBoolean}, nil
+		case "+", "-", "*", "/", "mod", "div":
+			if n.Op == "+" && (lt.Kind == StaticString || rt.Kind == StaticString) {
+				// '+' concatenates only when both sides are strings (or one
+				// side is untypeable); a string mixed with a number is the
+				// classic typo the checker exists to catch.
+				lOK := lt.Kind == StaticString || lt.Kind == StaticUnknown
+				rOK := rt.Kind == StaticString || rt.Kind == StaticUnknown
+				if !lOK || !rOK {
+					return unknownType, fmt.Errorf("ocl: '+' cannot mix %s and %s", lt, rt)
+				}
+				return StaticType{Kind: StaticString}, nil
+			}
+			if !numeric(lt) || !numeric(rt) {
+				return unknownType, fmt.Errorf("ocl: %q needs numeric operands, got %s and %s", n.Op, lt, rt)
+			}
+			if n.Op == "/" {
+				return StaticType{Kind: StaticReal}, nil
+			}
+			if lt.Kind == StaticReal || rt.Kind == StaticReal {
+				return StaticType{Kind: StaticReal}, nil
+			}
+			return StaticType{Kind: StaticInteger}, nil
+		}
+		return unknownType, fmt.Errorf("ocl: unknown operator %q", n.Op)
+	case *UnExpr:
+		t, err := ck.check(n.E)
+		if err != nil {
+			return unknownType, err
+		}
+		if n.Op == "not" {
+			if !boolish(t) {
+				return unknownType, fmt.Errorf("ocl: 'not' needs Boolean, got %s", t)
+			}
+			return StaticType{Kind: StaticBoolean}, nil
+		}
+		if !numeric(t) {
+			return unknownType, fmt.Errorf("ocl: unary '-' needs a number, got %s", t)
+		}
+		return t, nil
+	case *IfExpr:
+		ct, err := ck.check(n.Cond)
+		if err != nil {
+			return unknownType, err
+		}
+		if !boolish(ct) {
+			return unknownType, fmt.Errorf("ocl: if-condition must be Boolean, got %s", ct)
+		}
+		tt, err := ck.check(n.Then)
+		if err != nil {
+			return unknownType, err
+		}
+		et, err := ck.check(n.Else)
+		if err != nil {
+			return unknownType, err
+		}
+		if tt.Kind == et.Kind {
+			return tt, nil
+		}
+		return unknownType, nil
+	case *LetExpr:
+		it, err := ck.check(n.Init)
+		if err != nil {
+			return unknownType, err
+		}
+		old, had := ck.vars[n.Name]
+		ck.vars[n.Name] = it
+		out, err := ck.check(n.Body)
+		if had {
+			ck.vars[n.Name] = old
+		} else {
+			delete(ck.vars, n.Name)
+		}
+		return out, err
+	case *CollectionExpr:
+		var elem StaticType
+		for i, item := range n.Items {
+			t, err := ck.check(item)
+			if err != nil {
+				return unknownType, err
+			}
+			if i == 0 {
+				elem = t
+			} else if elem.Kind != t.Kind {
+				elem = unknownType
+			}
+		}
+		return collOf(elem), nil
+	default:
+		return unknownType, fmt.Errorf("ocl: unhandled node %T", e)
+	}
+}
+
+func (ck *checker) navType(recv StaticType, name string) (StaticType, error) {
+	switch recv.Kind {
+	case StaticUnknown, StaticVoid:
+		return unknownType, nil
+	case StaticCollection:
+		if recv.Elem == nil {
+			return collOf(unknownType), nil
+		}
+		elem, err := ck.navType(*recv.Elem, name)
+		if err != nil {
+			return unknownType, err
+		}
+		if elem.Kind == StaticCollection {
+			return elem, nil // implicit flatten
+		}
+		return collOf(elem), nil
+	case StaticObject:
+		if recv.Class == nil {
+			return unknownType, nil
+		}
+		p, ok := recv.Class.Property(name)
+		if !ok {
+			return unknownType, fmt.Errorf("ocl: %s has no property %q", recv.Class.QualifiedName(), name)
+		}
+		t := typeOfClassifier(p.Type())
+		if p.IsMany() {
+			return collOf(t), nil
+		}
+		return t, nil
+	default:
+		return unknownType, fmt.Errorf("ocl: cannot navigate %q on %s", name, recv)
+	}
+}
+
+func typeOfClassifier(c metamodel.Classifier) StaticType {
+	switch t := c.(type) {
+	case *metamodel.Class:
+		return objType(t)
+	case *metamodel.Enumeration:
+		return StaticType{Kind: StaticEnum}
+	case *metamodel.DataType:
+		switch t.Base() {
+		case metamodel.PrimString:
+			return StaticType{Kind: StaticString}
+		case metamodel.PrimInteger:
+			return StaticType{Kind: StaticInteger}
+		case metamodel.PrimBoolean:
+			return StaticType{Kind: StaticBoolean}
+		case metamodel.PrimReal:
+			return StaticType{Kind: StaticReal}
+		}
+	}
+	return unknownType
+}
+
+// dotOps lists the known dot operations and whether their receiver must be
+// a string, number, object or anything.
+var dotOps = map[string]struct {
+	result StaticKind
+}{
+	"oclIsUndefined": {StaticBoolean},
+	"oclIsKindOf":    {StaticBoolean},
+	"oclIsTypeOf":    {StaticBoolean},
+	"oclAsType":      {StaticObject},
+	"hasStereotype":  {StaticBoolean},
+	"taggedValue":    {StaticUnknown},
+	"size":           {StaticInteger},
+	"toUpper":        {StaticString},
+	"toUpperCase":    {StaticString},
+	"toLower":        {StaticString},
+	"toLowerCase":    {StaticString},
+	"concat":         {StaticString},
+	"substring":      {StaticString},
+	"indexOf":        {StaticInteger},
+	"contains":       {StaticBoolean},
+	"startsWith":     {StaticBoolean},
+	"abs":            {StaticUnknown},
+	"max":            {StaticUnknown},
+	"min":            {StaticUnknown},
+	"allInstances":   {StaticCollection},
+}
+
+func (ck *checker) checkCall(n *CallExpr) (StaticType, error) {
+	op, known := dotOps[n.Name]
+	if !known {
+		return unknownType, fmt.Errorf("ocl: unknown operation %q", n.Name)
+	}
+	// Type-position receivers and arguments.
+	if n.Name == "allInstances" {
+		v, ok := n.Recv.(*VarExpr)
+		if !ok {
+			return unknownType, fmt.Errorf("ocl: allInstances needs a type name receiver")
+		}
+		if ck.meta != nil {
+			c, found := ck.meta.FindClass(v.Name)
+			if !found {
+				return unknownType, fmt.Errorf("ocl: unknown type %q", v.Name)
+			}
+			return collOf(objType(c)), nil
+		}
+		return collOf(unknownType), nil
+	}
+	if _, err := ck.check(n.Recv); err != nil {
+		return unknownType, err
+	}
+	for _, a := range n.Args {
+		if v, ok := a.(*VarExpr); ok && (n.Name == "oclIsKindOf" || n.Name == "oclIsTypeOf" || n.Name == "oclAsType") {
+			if ck.meta != nil {
+				if c, found := ck.meta.FindClass(v.Name); found {
+					if n.Name == "oclAsType" {
+						return objType(c), nil
+					}
+					continue
+				}
+				return unknownType, fmt.Errorf("ocl: unknown type %q", v.Name)
+			}
+			continue
+		}
+		if _, err := ck.check(a); err != nil {
+			return unknownType, err
+		}
+	}
+	return StaticType{Kind: op.result}, nil
+}
+
+// arrowResult describes a known arrow operation's static result: either a
+// fixed kind, the element type, or the collection itself.
+var arrowOps = map[string]string{
+	"size": "int", "isEmpty": "bool", "notEmpty": "bool",
+	"first": "elem", "last": "elem", "sum": "num", "avg": "num",
+	"max": "elem", "min": "elem",
+	"asSet": "coll", "flatten": "coll", "reverse": "coll",
+	"includes": "bool", "excludes": "bool", "count": "int",
+	"includesAll": "bool", "excludesAll": "bool",
+	"union": "coll", "intersection": "coll",
+	"including": "coll", "excluding": "coll", "append": "coll", "prepend": "coll",
+	"at": "elem", "indexOf": "int",
+	"select": "coll", "reject": "coll", "sortedBy": "coll",
+	"collect": "anycoll",
+	"forAll":  "bool", "exists": "bool", "one": "bool", "isUnique": "bool",
+	"any": "elem",
+}
+
+func (ck *checker) checkArrow(n *ArrowExpr) (StaticType, error) {
+	kind, known := arrowOps[n.Name]
+	if !known {
+		return unknownType, fmt.Errorf("ocl: unknown collection operation %q", n.Name)
+	}
+	recv, err := ck.check(n.Recv)
+	if err != nil {
+		return unknownType, err
+	}
+	elem := unknownType
+	if recv.Kind == StaticCollection && recv.Elem != nil {
+		elem = *recv.Elem
+	} else if recv.Kind == StaticObject {
+		elem = recv // arrow on scalar wraps a singleton
+	}
+	// Iterator bodies are checked with the iterator typed as the element.
+	if n.Body != nil {
+		iter := n.Iter
+		if iter == "" {
+			iter = "$implicit"
+		}
+		old, had := ck.vars[iter]
+		ck.vars[iter] = elem
+		if n.Iter == "" {
+			if _, selfBound := ck.vars["self"]; !selfBound {
+				ck.vars["self"] = elem
+				defer delete(ck.vars, "self")
+			}
+		}
+		bodyT, err := ck.check(n.Body)
+		if had {
+			ck.vars[iter] = old
+		} else {
+			delete(ck.vars, iter)
+		}
+		if err != nil {
+			return unknownType, err
+		}
+		switch n.Name {
+		case "forAll", "exists", "one", "isUnique":
+			if !boolish(bodyT) {
+				return unknownType, fmt.Errorf("ocl: %s body must be Boolean, got %s", n.Name, bodyT)
+			}
+		case "select", "reject":
+			if !boolish(bodyT) {
+				return unknownType, fmt.Errorf("ocl: %s body must be Boolean, got %s", n.Name, bodyT)
+			}
+		case "collect":
+			return collOf(bodyT), nil
+		}
+	}
+	for _, a := range n.Args {
+		if _, err := ck.check(a); err != nil {
+			return unknownType, err
+		}
+	}
+	switch kind {
+	case "int":
+		return StaticType{Kind: StaticInteger}, nil
+	case "bool":
+		return StaticType{Kind: StaticBoolean}, nil
+	case "num":
+		return unknownType, nil
+	case "elem":
+		return elem, nil
+	case "coll":
+		return collOf(elem), nil
+	case "anycoll":
+		return collOf(unknownType), nil
+	default:
+		return unknownType, nil
+	}
+}
+
+func boolish(t StaticType) bool {
+	return t.Kind == StaticBoolean || t.Kind == StaticUnknown || t.Kind == StaticVoid
+}
+
+func numeric(t StaticType) bool {
+	return t.Kind == StaticInteger || t.Kind == StaticReal || t.Kind == StaticUnknown
+}
+
+func orderable(t StaticType) bool {
+	return numeric(t) || t.Kind == StaticString
+}

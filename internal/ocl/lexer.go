@@ -1,0 +1,207 @@
+package ocl
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// lexer turns an OCL expression string into a token stream.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// lexAll tokenizes the whole input, returning an error on the first
+// unrecognized character or unterminated string.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) next() (token, error) {
+	lx.skipSpace()
+	start := lx.pos
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case c == '-':
+		if lx.peekAt(1) == '>' {
+			lx.pos += 2
+			return token{kind: tokArrow, text: "->", pos: start}, nil
+		}
+		lx.pos++
+		return token{kind: tokMinus, text: "-", pos: start}, nil
+	case c == '.':
+		lx.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case c == ':':
+		if lx.peekAt(1) == ':' {
+			lx.pos += 2
+			return token{kind: tokDColon, text: "::", pos: start}, nil
+		}
+		return token{}, errAt(lx.src, start, "unexpected ':'")
+	case c == '(':
+		lx.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		lx.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == '|':
+		lx.pos++
+		return token{kind: tokBar, text: "|", pos: start}, nil
+	case c == ',':
+		lx.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '{':
+		lx.pos++
+		return token{kind: tokLBrace, text: "{", pos: start}, nil
+	case c == '}':
+		lx.pos++
+		return token{kind: tokRBrace, text: "}", pos: start}, nil
+	case c == '=':
+		lx.pos++
+		return token{kind: tokEq, text: "=", pos: start}, nil
+	case c == '<':
+		switch lx.peekAt(1) {
+		case '>':
+			lx.pos += 2
+			return token{kind: tokNe, text: "<>", pos: start}, nil
+		case '=':
+			lx.pos += 2
+			return token{kind: tokLe, text: "<=", pos: start}, nil
+		}
+		lx.pos++
+		return token{kind: tokLt, text: "<", pos: start}, nil
+	case c == '>':
+		if lx.peekAt(1) == '=' {
+			lx.pos += 2
+			return token{kind: tokGe, text: ">=", pos: start}, nil
+		}
+		lx.pos++
+		return token{kind: tokGt, text: ">", pos: start}, nil
+	case c == '+':
+		lx.pos++
+		return token{kind: tokPlus, text: "+", pos: start}, nil
+	case c == '*':
+		lx.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '/':
+		lx.pos++
+		return token{kind: tokSlash, text: "/", pos: start}, nil
+	case c == '\'':
+		return lx.lexString()
+	case c >= '0' && c <= '9':
+		return lx.lexNumber()
+	default:
+		r, _ := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if isIdentStart(r) {
+			return lx.lexIdent()
+		}
+		return token{}, errAt(lx.src, start, "unexpected character %q", string(r))
+	}
+}
+
+func (lx *lexer) peekAt(off int) byte {
+	if lx.pos+off < len(lx.src) {
+		return lx.src[lx.pos+off]
+	}
+	return 0
+}
+
+func (lx *lexer) skipSpace() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			lx.pos++
+			continue
+		}
+		// Line comments: -- to end of line.
+		if c == '-' && lx.peekAt(1) == '-' {
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (lx *lexer) lexString() (token, error) {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '\'' {
+			// '' is an escaped quote inside a string.
+			if lx.peekAt(1) == '\'' {
+				sb.WriteByte('\'')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return token{}, errAt(lx.src, start, "unterminated string literal")
+}
+
+func (lx *lexer) lexNumber() (token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+		lx.pos++
+	}
+	kind := tokInt
+	// A real number needs a digit after the dot; "1..2" style ranges are not
+	// part of this subset, so ".." never appears.
+	if lx.pos < len(lx.src) && lx.src[lx.pos] == '.' &&
+		lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9' {
+		kind = tokReal
+		lx.pos++
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.pos++
+		}
+	}
+	return token{kind: kind, text: lx.src[start:lx.pos], pos: start}, nil
+}
+
+func (lx *lexer) lexIdent() (token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		r, sz := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		lx.pos += sz
+	}
+	text := lx.src[start:lx.pos]
+	if kw, ok := keywords[text]; ok {
+		return token{kind: kw, text: text, pos: start}, nil
+	}
+	return token{kind: tokIdent, text: text, pos: start}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

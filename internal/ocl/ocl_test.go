@@ -1,0 +1,540 @@
+package ocl
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+)
+
+// library fixture:
+//
+//	package Lib
+//	  enum Genre { Fiction, Science }
+//	  class Book { title: String[1]; pages: Integer; genre: Genre; authors: Author[0..*] }
+//	  class Author { name: String[1]; books: Book[0..*] }
+//	  class Novel extends Book {}
+func libFixture(t testing.TB) (*metamodel.Package, *metamodel.Model) {
+	t.Helper()
+	lib := metamodel.NewPackage("Lib")
+	str := lib.AddDataType("String", metamodel.PrimString)
+	intT := lib.AddDataType("Integer", metamodel.PrimInteger)
+	genre := lib.AddEnumeration("Genre", "Fiction", "Science")
+
+	author := lib.AddClass("Author")
+	book := lib.AddClass("Book")
+	book.AddProperty("title", str, 1, 1)
+	book.AddAttr("pages", intT)
+	book.AddAttr("genre", genre)
+	book.AddRefs("authors", author)
+	author.AddProperty("name", str, 1, 1)
+	author.AddRefs("books", book)
+
+	novel := lib.AddClass("Novel")
+	novel.AddSuper(book)
+
+	m := metamodel.NewModel("lib1", lib)
+	return lib, m
+}
+
+func seedLibrary(t testing.TB, m *metamodel.Model) (*metamodel.Object, *metamodel.Object, *metamodel.Object) {
+	t.Helper()
+	a1 := m.MustCreate("Author")
+	a1.MustSet("name", metamodel.String("Knuth"))
+	b1 := m.MustCreate("Book")
+	b1.MustSet("title", metamodel.String("TAOCP"))
+	b1.MustSet("pages", metamodel.Int(650))
+	b1.MustAppend("authors", metamodel.Ref{Target: a1})
+	a1.MustAppend("books", metamodel.Ref{Target: b1})
+	b2 := m.MustCreate("Novel")
+	b2.MustSet("title", metamodel.String("Dune"))
+	b2.MustSet("pages", metamodel.Int(412))
+	return a1, b1, b2
+}
+
+func evalWith(t testing.TB, m *metamodel.Model, self any, src string) any {
+	t.Helper()
+	env := &Env{Model: m, Vars: map[string]any{"self": self}}
+	v, err := EvalString(src, env)
+	if err != nil {
+		t.Fatalf("EvalString(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestLiteralsAndArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"1 + 2", int64(3)},
+		{"2 * 3 + 1", int64(7)},
+		{"1 + 2 * 3", int64(7)},
+		{"10 / 4", 2.5},
+		{"10 div 4", int64(2)},
+		{"10 mod 4", int64(2)},
+		{"-5 + 2", int64(-3)},
+		{"1.5 + 2.5", 4.0},
+		{"2 < 3", true},
+		{"2 >= 3", false},
+		{"'a' < 'b'", true},
+		{"'ab' + 'cd'", "abcd"},
+		{"true and false", false},
+		{"true or false", true},
+		{"true xor true", false},
+		{"false implies false", true},
+		{"not false", true},
+		{"1 = 1.0", true},
+		{"1 <> 2", true},
+		{"null = null", true},
+		{"'x' = null", false},
+		{"if 1 < 2 then 'yes' else 'no' endif", "yes"},
+		{"let x = 3 in x * x", int64(9)},
+		{"(1 + 2) * 3", int64(9)},
+	}
+	for _, c := range cases {
+		v, err := EvalString(c.src, &Env{})
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if v != c.want {
+			t.Errorf("%q = %v (%T), want %v (%T)", c.src, v, v, c.want, c.want)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	for _, src := range []string{"1 / 0", "1 mod 0", "1 div 0"} {
+		if _, err := EvalString(src, &Env{}); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+}
+
+func TestStringOperations(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"'hello'.size()", int64(5)},
+		{"'hello'.toUpper()", "HELLO"},
+		{"'HELLO'.toLower()", "hello"},
+		{"'hello'.concat(' world')", "hello world"},
+		{"'hello'.substring(2, 4)", "ell"},
+		{"'hello'.indexOf('ll')", int64(3)},
+		{"'hello'.indexOf('z')", int64(0)},
+		{"'hello'.contains('ell')", true},
+		{"'hello'.startsWith('he')", true},
+		{"5.abs()", int64(5)},
+		{"(-5).abs()", int64(5)},
+		{"3.max(7)", int64(7)},
+		{"3.min(7)", int64(3)},
+	}
+	for _, c := range cases {
+		v, err := EvalString(c.src, &Env{})
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if v != c.want {
+			t.Errorf("%q = %v, want %v", c.src, v, c.want)
+		}
+	}
+}
+
+func TestNavigationAndImplicitCollect(t *testing.T) {
+	_, m := libFixture(t)
+	a1, b1, _ := seedLibrary(t, m)
+
+	if got := evalWith(t, m, b1, "self.title"); got != "TAOCP" {
+		t.Fatalf("title = %v", got)
+	}
+	if got := evalWith(t, m, b1, "self.pages + 50"); got != int64(700) {
+		t.Fatalf("pages+50 = %v", got)
+	}
+	// Implicit collect: author.books.title is a collection of strings.
+	got := evalWith(t, m, a1, "self.books.title")
+	coll, ok := got.([]any)
+	if !ok || len(coll) != 1 || coll[0] != "TAOCP" {
+		t.Fatalf("books.title = %v", got)
+	}
+	// Navigation over null yields null.
+	if got := evalWith(t, m, b1, "self.genre"); got != nil {
+		t.Fatalf("unset genre = %v, want nil", got)
+	}
+}
+
+func TestCollectionOps(t *testing.T) {
+	_, m := libFixture(t)
+	_, b1, _ := seedLibrary(t, m)
+
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"Book.allInstances()->size()", int64(2)}, // Novel conforms to Book
+		{"Novel.allInstances()->size()", int64(1)},
+		{"Book.allInstances()->isEmpty()", false},
+		{"Book.allInstances()->notEmpty()", true},
+		{"Book.allInstances()->select(b | b.pages > 500)->size()", int64(1)},
+		{"Book.allInstances()->reject(b | b.pages > 500)->size()", int64(1)},
+		{"Book.allInstances()->forAll(b | b.pages > 100)", true},
+		{"Book.allInstances()->forAll(b | b.pages > 500)", false},
+		{"Book.allInstances()->exists(b | b.title = 'Dune')", true},
+		{"Book.allInstances()->exists(b | b.title = 'Ulysses')", false},
+		{"Book.allInstances()->one(b | b.title = 'Dune')", true},
+		{"Book.allInstances()->collect(b | b.pages)->sum()", int64(1062)},
+		{"Book.allInstances()->count(null)", int64(0)},
+		{"Book.allInstances()->isUnique(b | b.title)", true},
+		{"Book.allInstances()->sortedBy(b | b.pages)->first().title", "Dune"},
+		{"Book.allInstances()->sortedBy(b | b.title)->last().title", "TAOCP"},
+		{"self.authors->size()", int64(1)},
+		{"self.authors->first().name", "Knuth"},
+		{"self.authors->notEmpty() implies self.authors->first().name.size() > 0", true},
+	}
+	for _, c := range cases {
+		if got := evalWith(t, m, b1, c.src); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestSetAndBagOps(t *testing.T) {
+	_, m := libFixture(t)
+	_, b1, _ := seedLibrary(t, m)
+	// union / intersection / includesAll on collected titles.
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"Book.allInstances()->collect(b | b.title)->union(Novel.allInstances()->collect(b | b.title))->size()", int64(3)},
+		{"Book.allInstances()->collect(b | b.title)->union(Novel.allInstances()->collect(b | b.title))->asSet()->size()", int64(2)},
+		{"Book.allInstances()->collect(b | b.title)->intersection(Novel.allInstances()->collect(b | b.title))->size()", int64(1)},
+		{"Book.allInstances()->includesAll(Novel.allInstances())", true},
+		{"Novel.allInstances()->includesAll(Book.allInstances())", false},
+		{"Novel.allInstances()->excludesAll(Book.allInstances())", false},
+	}
+	for _, c := range cases {
+		if got := evalWith(t, m, b1, c.src); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestIncludesOnObjects(t *testing.T) {
+	_, m := libFixture(t)
+	a1, b1, b2 := seedLibrary(t, m)
+	env := &Env{Model: m, Vars: map[string]any{"self": b1, "a": a1, "dune": b2}}
+	v, err := EvalString("self.authors->includes(a)", env)
+	if err != nil || v != true {
+		t.Fatalf("includes = %v, %v", v, err)
+	}
+	v, err = EvalString("self.authors->excludes(dune)", env)
+	if err != nil || v != true {
+		t.Fatalf("excludes = %v, %v", v, err)
+	}
+}
+
+func TestTypeOps(t *testing.T) {
+	_, m := libFixture(t)
+	_, b1, b2 := seedLibrary(t, m)
+	env := &Env{Model: m, Vars: map[string]any{"b": b1, "n": b2}}
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"b.oclIsKindOf(Book)", true},
+		{"b.oclIsKindOf(Novel)", false},
+		{"n.oclIsKindOf(Book)", true},
+		{"n.oclIsTypeOf(Book)", false},
+		{"n.oclIsTypeOf(Novel)", true},
+		{"b.oclIsUndefined()", false},
+		{"null.oclIsUndefined()", true},
+		{"n.oclAsType(Book).title", "Dune"},
+	}
+	for _, c := range cases {
+		v, err := EvalString(c.src, env)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if v != c.want {
+			t.Errorf("%q = %v, want %v", c.src, v, c.want)
+		}
+	}
+}
+
+func TestEnumLiterals(t *testing.T) {
+	lib, m := libFixture(t)
+	_, b1, _ := seedLibrary(t, m)
+	genre, _ := lib.Enumeration("Genre")
+	b1.MustSet("genre", metamodel.EnumLit{Enum: genre, Literal: "Science"})
+	if got := evalWith(t, m, b1, "self.genre = Genre::Science"); got != true {
+		t.Fatalf("enum eq = %v", got)
+	}
+	if got := evalWith(t, m, b1, "self.genre = Genre::Fiction"); got != false {
+		t.Fatalf("enum neq = %v", got)
+	}
+	if _, err := EvalString("Genre::Romance", &Env{Model: m}); err == nil {
+		t.Fatal("unknown literal should fail")
+	}
+	if _, err := EvalString("Nope::X", &Env{Model: m}); err == nil {
+		t.Fatal("unknown enum should fail")
+	}
+	if _, err := EvalString("Book::X", &Env{Model: m}); err == nil {
+		t.Fatal(":: on class should fail")
+	}
+}
+
+func TestEvalBool(t *testing.T) {
+	b, err := EvalBool("1 < 2", &Env{})
+	if err != nil || !b {
+		t.Fatalf("EvalBool = %v, %v", b, err)
+	}
+	b, err = EvalBool("null", &Env{})
+	if err != nil || b {
+		t.Fatalf("EvalBool(null) = %v, %v", b, err)
+	}
+	if _, err := EvalBool("1 + 1", &Env{}); err == nil {
+		t.Fatal("non-boolean should error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "(1", "if true then 1 else 2", "let x = in 3",
+		"'unterminated", "self.", "x->(y)", "1 @ 2", "a : b",
+		"self->select(x | )", "self.foo(", "1 2",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	_, m := libFixture(t)
+	_, b1, _ := seedLibrary(t, m)
+	env := &Env{Model: m, Vars: map[string]any{"self": b1}}
+	bad := []string{
+		"self.nonexistent",
+		"unknownVar",
+		"UnknownType.allInstances()",
+		"self.title->unknownOp()",
+		"1 and true",
+		"not 3",
+		"-'s'",
+		"if 3 then 1 else 2 endif",
+		"'a' < 3",
+		"self.oclIsKindOf(UnknownType)",
+		"self.hasStereotype('X')", // no resolver in env
+		"self.taggedValue('X')",   // no resolver in env
+		"Book.allInstances()->forAll(b | b.pages)",
+		"Book.allInstances()->collect(b | b.unknown)",
+	}
+	for _, src := range bad {
+		if _, err := EvalString(src, env); err == nil {
+			t.Errorf("EvalString(%q) should fail", src)
+		}
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := Parse("1 + + 2")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var oe *Error
+	if !asOCLError(err, &oe) {
+		t.Fatalf("error type = %T", err)
+	}
+	if oe.Pos < 0 || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error lacks position: %v", err)
+	}
+}
+
+func asOCLError(err error, target **Error) bool {
+	if e, ok := err.(*Error); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	v, err := EvalString("1 + -- a comment\n 2", &Env{})
+	if err != nil || v != int64(3) {
+		t.Fatalf("comment handling: %v, %v", v, err)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	v, err := EvalString("'it''s'", &Env{})
+	if err != nil || v != "it's" {
+		t.Fatalf("escape: %v, %v", v, err)
+	}
+}
+
+func TestArrowOnScalarWrapsSingleton(t *testing.T) {
+	_, m := libFixture(t)
+	_, b1, _ := seedLibrary(t, m)
+	if got := evalWith(t, m, b1, "self->size()"); got != int64(1) {
+		t.Fatalf("self->size() = %v", got)
+	}
+	if got := evalWith(t, m, nil, "self->size()"); got != int64(0) {
+		t.Fatalf("null->size() = %v", got)
+	}
+}
+
+func TestLetShadowingRestores(t *testing.T) {
+	env := &Env{Vars: map[string]any{"x": int64(1)}}
+	v, err := EvalString("(let x = 2 in x) + x", env)
+	if err != nil || v != int64(3) {
+		t.Fatalf("shadowing: %v, %v", v, err)
+	}
+}
+
+func TestHasStereotypeExtension(t *testing.T) {
+	_, m := libFixture(t)
+	_, b1, b2 := seedLibrary(t, m)
+	env := &Env{
+		Model: m,
+		Vars:  map[string]any{"self": b1, "other": b2},
+		Stereotypes: func(o *metamodel.Object) []string {
+			if o == b1 {
+				return []string{"InformationCase"}
+			}
+			return nil
+		},
+	}
+	v, err := EvalString("self.hasStereotype('InformationCase')", env)
+	if err != nil || v != true {
+		t.Fatalf("hasStereotype = %v, %v", v, err)
+	}
+	v, err = EvalString("other.hasStereotype('InformationCase')", env)
+	if err != nil || v != false {
+		t.Fatalf("hasStereotype(other) = %v, %v", v, err)
+	}
+}
+
+func TestTaggedValueExtension(t *testing.T) {
+	_, m := libFixture(t)
+	_, b1, _ := seedLibrary(t, m)
+	env := &Env{
+		Model: m,
+		Vars:  map[string]any{"self": b1},
+		TaggedValue: func(o *metamodel.Object, name string) metamodel.Value {
+			if name == "upper_bound" {
+				return metamodel.Int(10)
+			}
+			return nil
+		},
+	}
+	v, err := EvalString("self.taggedValue('upper_bound') = 10", env)
+	if err != nil || v != true {
+		t.Fatalf("taggedValue = %v, %v", v, err)
+	}
+	v, err = EvalString("self.taggedValue('missing').oclIsUndefined()", env)
+	if err != nil || v != true {
+		t.Fatalf("missing taggedValue = %v, %v", v, err)
+	}
+}
+
+func TestASTStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"self.include->exists(i | i.addition.oclIsKindOf(InformationCase))",
+		"let n = self.name in n.size() > 0",
+		"if a then b else c endif",
+		"1 + 2 * 3",
+		"x->select(y | y > 1)->collect(z | z * 2)",
+		"Genre::Fiction",
+		"not a",
+		"-1",
+		"'it''s'",
+	}
+	for _, src := range srcs {
+		e, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		rendered := e.String()
+		// The rendering must itself parse, and to the same rendering (fixpoint).
+		e2, err := Parse(rendered)
+		if err != nil {
+			t.Errorf("reparse of %q (%q): %v", src, rendered, err)
+			continue
+		}
+		if e2.String() != rendered {
+			t.Errorf("render not stable: %q -> %q", rendered, e2.String())
+		}
+	}
+}
+
+func TestCollectionLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"Sequence{1, 2, 3}->size()", int64(3)},
+		{"Set{1, 2, 2, 3}->size()", int64(3)},
+		{"Bag{1, 2, 2}->size()", int64(3)},
+		{"Sequence{}->isEmpty()", true},
+		{"Sequence{1, 2, 3}->sum()", int64(6)},
+		{"Sequence{3, 1, 2}->sortedBy(x | x)->first()", int64(1)},
+		{"Set{'a', 'b'}->includes('a')", true},
+		{"Sequence{1, 2, 3}->at(2)", int64(2)},
+		{"Sequence{1, 2, 3}->indexOf(3)", int64(3)},
+		{"Sequence{1, 2, 3}->indexOf(9)", int64(0)},
+		{"Sequence{1, 2, 3}->reverse()->first()", int64(3)},
+		{"Sequence{1, 2}->including(3)->size()", int64(3)},
+		{"Sequence{1, 2}->append(3)->last()", int64(3)},
+		{"Sequence{1, 2}->prepend(0)->first()", int64(0)},
+		{"Sequence{1, 2, 2, 3}->excluding(2)->size()", int64(2)},
+		{"Sequence{3, 1, 2}->max()", int64(3)},
+		{"Sequence{3, 1, 2}->min()", int64(1)},
+		{"Sequence{1, 2, 3}->avg()", 2.0},
+		{"Sequence{}->max().oclIsUndefined()", true},
+		{"Sequence{1, 2} = Sequence{1, 2}", true},
+		{"Sequence{1, 2} = Sequence{2, 1}", false},
+	}
+	for _, c := range cases {
+		v, err := EvalString(c.src, &Env{})
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if !oclEqual(v, c.want) {
+			t.Errorf("%q = %v, want %v", c.src, v, c.want)
+		}
+	}
+}
+
+func TestCollectionLiteralErrors(t *testing.T) {
+	bad := []string{
+		"Sequence{1,",
+		"Set{1 2}",
+		"Sequence{1}->at(0)",
+		"Sequence{1}->at(2)",
+		"Sequence{1}->at('x')",
+		"Sequence{'a'}->avg()",
+		"Sequence{1, 'a'}->max()",
+	}
+	for _, src := range bad {
+		if _, err := EvalString(src, &Env{}); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+}
+
+func TestCollectionLiteralRendering(t *testing.T) {
+	e, err := Parse("Set{1, 2}->union(Sequence{3})")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "Set{1, 2}->union(Sequence{3})" {
+		t.Fatalf("render = %q", e.String())
+	}
+}

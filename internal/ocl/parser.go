@@ -1,0 +1,470 @@
+package ocl
+
+import "strconv"
+
+// parser is a recursive-descent parser over the token stream. Precedence,
+// lowest first: implies; xor; or; and; comparison; additive; multiplicative;
+// unary; postfix (dot navigation, dot call, arrow call, ::).
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+// Parse parses one OCL expression.
+func Parse(src string) (Expr, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	e, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, errAt(src, p.cur().pos, "unexpected %s after expression", p.cur())
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for statically known expressions
+// such as the built-in profile constraints.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+func (p *parser) peek() token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	if p.cur().kind != kind {
+		return token{}, errAt(p.src, p.cur().pos, "expected %s, found %s", what, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseImplies() (Expr, error) {
+	l, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokKwImpl {
+		op := p.advance()
+		r, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "implies", L: l, R: r, pos: op.pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseXor() (Expr, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokKwXor {
+		op := p.advance()
+		r, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "xor", L: l, R: r, pos: op.pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokKwOr {
+		op := p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "or", L: l, R: r, pos: op.pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCompare()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokKwAnd {
+		op := p.advance()
+		r, err := p.parseCompare()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "and", L: l, R: r, pos: op.pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCompare() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokEq:
+			op = "="
+		case tokNe:
+			op = "<>"
+		case tokLt:
+			op = "<"
+		case tokLe:
+			op = "<="
+		case tokGt:
+			op = ">"
+		case tokGe:
+			op = ">="
+		default:
+			return l, nil
+		}
+		t := p.advance()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r, pos: t.pos}
+	}
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokPlus:
+			op = "+"
+		case tokMinus:
+			op = "-"
+		default:
+			return l, nil
+		}
+		t := p.advance()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r, pos: t.pos}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokStar:
+			op = "*"
+		case tokSlash:
+			op = "/"
+		case tokKwMod:
+			op = "mod"
+		case tokKwDiv:
+			op = "div"
+		default:
+			return l, nil
+		}
+		t := p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r, pos: t.pos}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.cur().kind {
+	case tokKwNot:
+		t := p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "not", E: e, pos: t.pos}, nil
+	case tokMinus:
+		t := p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "-", E: e, pos: t.pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().kind {
+		case tokDot:
+			p.advance()
+			name, err := p.expect(tokIdent, "property or operation name")
+			if err != nil {
+				return nil, err
+			}
+			if p.cur().kind == tokLParen {
+				args, err := p.parseArgs()
+				if err != nil {
+					return nil, err
+				}
+				e = &CallExpr{Recv: e, Name: name.text, Args: args, pos: name.pos}
+			} else {
+				e = &NavExpr{Recv: e, Name: name.text, pos: name.pos}
+			}
+		case tokArrow:
+			p.advance()
+			name, err := p.expect(tokIdent, "collection operation name")
+			if err != nil {
+				return nil, err
+			}
+			arrow, err := p.parseArrowCall(e, name)
+			if err != nil {
+				return nil, err
+			}
+			e = arrow
+		case tokDColon:
+			// Enum literal: only valid when the receiver is a bare name.
+			v, ok := e.(*VarExpr)
+			if !ok {
+				return nil, errAt(p.src, p.cur().pos, ":: requires an enumeration name on the left")
+			}
+			p.advance()
+			lit, err := p.expect(tokIdent, "enumeration literal")
+			if err != nil {
+				return nil, err
+			}
+			e = &EnumExpr{Enum: v.Name, Literal: lit.text, pos: v.pos}
+		default:
+			return e, nil
+		}
+	}
+}
+
+// iteratorOps are arrow operations whose single argument is `iter | body`
+// (or a bare body with an implicit iterator).
+var iteratorOps = map[string]bool{
+	"select": true, "reject": true, "collect": true,
+	"forAll": true, "exists": true, "any": true, "one": true,
+	"sortedBy": true, "isUnique": true,
+}
+
+func (p *parser) parseArrowCall(recv Expr, name token) (Expr, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	if iteratorOps[name.text] {
+		// Either "x | body" or a bare "body" with implicit iterator.
+		iter := ""
+		if p.cur().kind == tokIdent && p.peek().kind == tokBar {
+			iter = p.advance().text
+			p.advance() // |
+		}
+		body, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return &ArrowExpr{Recv: recv, Name: name.text, Iter: iter, Body: body, pos: name.pos}, nil
+	}
+	var args []Expr
+	if p.cur().kind != tokRParen {
+		for {
+			a, err := p.parseImplies()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return &ArrowExpr{Recv: recv, Name: name.text, Args: args, pos: name.pos}, nil
+}
+
+func (p *parser) parseArgs() ([]Expr, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.cur().kind != tokRParen {
+		for {
+			a, err := p.parseImplies()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		var v int64
+		for _, c := range t.text {
+			v = v*10 + int64(c-'0')
+		}
+		return &LitExpr{Val: v, pos: t.pos}, nil
+	case tokReal:
+		p.advance()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, errAt(p.src, t.pos, "bad real literal %q", t.text)
+		}
+		return &LitExpr{Val: f, pos: t.pos}, nil
+	case tokString:
+		p.advance()
+		return &LitExpr{Val: t.text, pos: t.pos}, nil
+	case tokKwTrue:
+		p.advance()
+		return &LitExpr{Val: true, pos: t.pos}, nil
+	case tokKwFalse:
+		p.advance()
+		return &LitExpr{Val: false, pos: t.pos}, nil
+	case tokKwNull:
+		p.advance()
+		return &LitExpr{Val: nil, pos: t.pos}, nil
+	case tokKwSelf:
+		p.advance()
+		return &VarExpr{Name: "self", pos: t.pos}, nil
+	case tokIdent:
+		// Collection literals: Set{...}, Sequence{...}, Bag{...}.
+		if (t.text == "Set" || t.text == "Sequence" || t.text == "Bag") && p.peek().kind == tokLBrace {
+			p.advance() // ident
+			p.advance() // {
+			var items []Expr
+			if p.cur().kind != tokRBrace {
+				for {
+					e, err := p.parseImplies()
+					if err != nil {
+						return nil, err
+					}
+					items = append(items, e)
+					if p.cur().kind != tokComma {
+						break
+					}
+					p.advance()
+				}
+			}
+			if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+				return nil, err
+			}
+			return &CollectionExpr{Kind: t.text, Items: items, pos: t.pos}, nil
+		}
+		p.advance()
+		return &VarExpr{Name: t.text, pos: t.pos}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokKwIf:
+		p.advance()
+		cond, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKwThen, "'then'"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKwElse, "'else'"); err != nil {
+			return nil, err
+		}
+		els, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKwEndif, "'endif'"); err != nil {
+			return nil, err
+		}
+		return &IfExpr{Cond: cond, Then: then, Else: els, pos: t.pos}, nil
+	case tokKwLet:
+		p.advance()
+		name, err := p.expect(tokIdent, "variable name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokEq, "'='"); err != nil {
+			return nil, err
+		}
+		init, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKwIn, "'in'"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		return &LetExpr{Name: name.text, Init: init, Body: body, pos: t.pos}, nil
+	default:
+		return nil, errAt(p.src, t.pos, "unexpected %s", t)
+	}
+}

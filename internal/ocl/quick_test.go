@@ -1,0 +1,158 @@
+package ocl
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickIntArithmetic cross-checks the evaluator's integer arithmetic
+// against Go's on random operands.
+func TestQuickIntArithmetic(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := int64(a), int64(b)
+		src := fmt.Sprintf("(%d) + (%d)", x, y)
+		v, err := EvalString(src, &Env{})
+		if err != nil || v != x+y {
+			return false
+		}
+		src = fmt.Sprintf("(%d) * (%d)", x, y)
+		v, err = EvalString(src, &Env{})
+		if err != nil || v != x*y {
+			return false
+		}
+		src = fmt.Sprintf("(%d) < (%d)", x, y)
+		v, err = EvalString(src, &Env{})
+		return err == nil && v == (x < y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBooleanLaws checks implies/xor against their definitions.
+func TestQuickBooleanLaws(t *testing.T) {
+	f := func(p, q bool) bool {
+		env := &Env{Vars: map[string]any{"p": p, "q": q}}
+		imp, err := EvalString("p implies q", env)
+		if err != nil || imp != (!p || q) {
+			return false
+		}
+		x, err := EvalString("p xor q", env)
+		if err != nil || x != (p != q) {
+			return false
+		}
+		dm, err := EvalString("not (p and q) = (not p or not q)", env)
+		return err == nil && dm == true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSelectRejectPartition checks that select and reject partition a
+// collection: their sizes always sum to the collection size.
+func TestQuickSelectRejectPartition(t *testing.T) {
+	f := func(xs []int8, pivot int8) bool {
+		items := make([]any, len(xs))
+		for i, x := range xs {
+			items[i] = int64(x)
+		}
+		env := &Env{Vars: map[string]any{"xs": items, "p": int64(pivot)}}
+		v, err := EvalString("xs->select(x | x < p)->size() + xs->reject(x | x < p)->size()", env)
+		return err == nil && v == int64(len(xs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickForAllExistsDuality checks not forAll(p) = exists(not p).
+func TestQuickForAllExistsDuality(t *testing.T) {
+	f := func(xs []int8, pivot int8) bool {
+		items := make([]any, len(xs))
+		for i, x := range xs {
+			items[i] = int64(x)
+		}
+		env := &Env{Vars: map[string]any{"xs": items, "p": int64(pivot)}}
+		v, err := EvalString("(not xs->forAll(x | x < p)) = xs->exists(x | not (x < p))", env)
+		return err == nil && v == true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAsSetIdempotent checks that asSet is idempotent and never grows.
+func TestQuickAsSetIdempotent(t *testing.T) {
+	f := func(xs []uint8) bool {
+		items := make([]any, len(xs))
+		for i, x := range xs {
+			items[i] = int64(x % 8) // force duplicates
+		}
+		env := &Env{Vars: map[string]any{"xs": items}}
+		once, err := EvalString("xs->asSet()->size()", env)
+		if err != nil {
+			return false
+		}
+		twice, err := EvalString("xs->asSet()->asSet()->size()", env)
+		if err != nil {
+			return false
+		}
+		return once == twice && once.(int64) <= int64(len(xs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStringLiteralRoundTrip checks that arbitrary strings survive
+// quoting, lexing and evaluation.
+func TestQuickStringLiteralRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		// Build a literal with '' escaping.
+		quoted := "'"
+		for _, r := range s {
+			if r == '\'' {
+				quoted += "''"
+			} else {
+				quoted += string(r)
+			}
+		}
+		quoted += "'"
+		v, err := EvalString(quoted, &Env{})
+		return err == nil && v == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSortedByIsSorted checks that sortedBy yields a non-decreasing
+// key sequence of the same length.
+func TestQuickSortedByIsSorted(t *testing.T) {
+	f := func(xs []int8) bool {
+		items := make([]any, len(xs))
+		for i, x := range xs {
+			items[i] = int64(x)
+		}
+		env := &Env{Vars: map[string]any{"xs": items}}
+		v, err := EvalString("xs->sortedBy(x | x)", env)
+		if err != nil {
+			return false
+		}
+		out := v.([]any)
+		if len(out) != len(xs) {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i-1].(int64) > out[i].(int64) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

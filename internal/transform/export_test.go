@@ -1,0 +1,4 @@
+package transform
+
+// ClassNameForTest exposes classNameFor for the external test package.
+func ClassNameForTest(name string) string { return classNameFor(name) }

@@ -1,0 +1,328 @@
+package transform_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/modeldriven/dqwebre/internal/dqwebre"
+	"github.com/modeldriven/dqwebre/internal/easychair"
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	. "github.com/modeldriven/dqwebre/internal/transform"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+func TestEngineBasicMapping(t *testing.T) {
+	// Map every named UseCase to a SoftwareRequirement titled after it.
+	src := uml.NewModel("src", uml.Metamodel())
+	b := uml.NewBuilder(src)
+	b.UseCase(uml.MetaUseCase, "alpha")
+	b.UseCase(uml.MetaUseCase, "beta")
+	anon := b.UseCase(uml.MetaUseCase, "")
+	anon.Unset("name")
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	tr := &Transformation{
+		Name: "uc2req",
+		Rules: []Rule{{
+			Name:     "map",
+			From:     uml.MetaUseCase,
+			GuardOCL: "not self.name.oclIsUndefined()",
+			To:       MetaSoftwareRequirement,
+			Bind: func(tc *Trace, s, d *metamodel.Object) error {
+				if err := d.SetString("title", s.GetString("name")); err != nil {
+					return err
+				}
+				return d.SetString("dimension", "Accuracy")
+			},
+		}},
+	}
+	dst, trace, err := tr.Run(src, DQSRMetamodel(), "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 2 {
+		t.Fatalf("targets = %d, want 2 (guard must exclude anonymous)", dst.Len())
+	}
+	if len(trace.Links) != 2 {
+		t.Fatalf("trace links = %d", len(trace.Links))
+	}
+	if _, ok := trace.Resolve(anon); ok {
+		t.Fatal("anonymous use case should not be traced")
+	}
+}
+
+func TestEngineGoGuard(t *testing.T) {
+	src := uml.NewModel("src", uml.Metamodel())
+	b := uml.NewBuilder(src)
+	keep := b.UseCase(uml.MetaUseCase, "keep")
+	b.UseCase(uml.MetaUseCase, "drop")
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	tr := &Transformation{
+		Name: "guarded",
+		Rules: []Rule{{
+			Name:  "map",
+			From:  uml.MetaUseCase,
+			Guard: func(s *metamodel.Object) bool { return s.GetString("name") == "keep" },
+			To:    MetaComponentSpec,
+			Bind: func(tc *Trace, s, d *metamodel.Object) error {
+				if err := d.SetString("name", s.GetString("name")); err != nil {
+					return err
+				}
+				return d.SetString("kind", KindValidator)
+			},
+		}},
+	}
+	dst, trace, err := tr.Run(src, DQSRMetamodel(), "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 1 {
+		t.Fatalf("targets = %d", dst.Len())
+	}
+	if _, ok := trace.Resolve(keep); !ok {
+		t.Fatal("kept element not traced")
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	src := uml.NewModel("src", uml.Metamodel())
+	// Unknown source class.
+	tr := &Transformation{Name: "bad", Rules: []Rule{{Name: "r", From: "Ghost", To: MetaCheckSpec}}}
+	if _, _, err := tr.Run(src, DQSRMetamodel(), "d"); err == nil {
+		t.Fatal("unknown source class accepted")
+	}
+	// Unknown target class.
+	b := uml.NewBuilder(src)
+	b.UseCase(uml.MetaUseCase, "x")
+	tr = &Transformation{Name: "bad2", Rules: []Rule{{Name: "r", From: uml.MetaUseCase, To: "Ghost"}}}
+	if _, _, err := tr.Run(src, DQSRMetamodel(), "d"); err == nil {
+		t.Fatal("unknown target class accepted")
+	}
+	// Broken guard.
+	tr = &Transformation{Name: "bad3", Rules: []Rule{{
+		Name: "r", From: uml.MetaUseCase, GuardOCL: "self.nope", To: MetaCheckSpec,
+	}}}
+	if _, _, err := tr.Run(src, DQSRMetamodel(), "d"); err == nil {
+		t.Fatal("broken guard accepted")
+	}
+}
+
+func TestDQR2DQSROnCaseStudy(t *testing.T) {
+	e := easychair.MustBuildModel()
+	dst, trace, err := RunDQR2DQSR(e.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reqs, _ := dst.AllInstancesOf(MetaSoftwareRequirement)
+	if len(reqs) != 4 {
+		t.Fatalf("software requirements = %d, want 4", len(reqs))
+	}
+	comps, _ := dst.AllInstancesOf(MetaComponentSpec)
+	// 2 metadata stores + 1 validator + 1 constraint.
+	if len(comps) != 4 {
+		t.Fatalf("components = %d, want 4", len(comps))
+	}
+	checks, _ := dst.AllInstancesOf(MetaCheckSpec)
+	if len(checks) != 4 {
+		t.Fatalf("checks = %d, want 4", len(checks))
+	}
+
+	byDim := map[string]*metamodel.Object{}
+	for _, r := range reqs {
+		byDim[r.GetString("dimension")] = r
+	}
+	for _, dim := range []string{"Confidentiality", "Completeness", "Traceability", "Precision"} {
+		if byDim[dim] == nil {
+			t.Fatalf("missing requirement for %s", dim)
+		}
+	}
+
+	// Metadata-driven requirements realized by the two stores.
+	trac := byDim["Traceability"]
+	real := trac.GetRefs("realizedBy")
+	if len(real) != 2 {
+		t.Fatalf("traceability realizedBy = %d, want 2 stores", len(real))
+	}
+	for _, c := range real {
+		if c.GetString("kind") != KindMetadataStore {
+			t.Errorf("traceability realized by %s", c.GetString("kind"))
+		}
+	}
+
+	// Validation-driven requirements realized by validator + its constraint.
+	prec := byDim["Precision"]
+	real = prec.GetRefs("realizedBy")
+	if len(real) != 2 {
+		t.Fatalf("precision realizedBy = %d, want validator+constraint", len(real))
+	}
+	kinds := map[string]bool{}
+	for _, c := range real {
+		kinds[c.GetString("kind")] = true
+	}
+	if !kinds[KindValidator] || !kinds[KindConstraint] {
+		t.Errorf("precision realized by kinds %v", kinds)
+	}
+
+	// Check functions follow the paper's naming.
+	chk := byDim["Completeness"].GetRefs("checks")
+	if len(chk) != 1 || chk[0].GetString("function") != "check_completeness" {
+		t.Fatalf("completeness check = %v", chk)
+	}
+
+	// The validator component carries the modeled operations.
+	var validator *metamodel.Object
+	for _, c := range comps {
+		if c.GetString("kind") == KindValidator {
+			validator = c
+		}
+	}
+	ops := validator.GetList("operations")
+	if len(ops) != 2 {
+		t.Fatalf("validator ops = %v", ops)
+	}
+
+	// The metadata stores carry the paper's metadata names.
+	var storeAttrs []string
+	for _, c := range comps {
+		if c.GetString("kind") == KindMetadataStore {
+			for _, a := range c.GetList("attributes") {
+				storeAttrs = append(storeAttrs, string(a.(metamodel.String)))
+			}
+		}
+	}
+	joined := strings.Join(storeAttrs, ",")
+	for _, want := range []string{"stored_by", "stored_date", "last_modified_by", "last_modified_date", "security_level", "available_to"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("store attributes lack %s", want)
+		}
+	}
+
+	// The constraint component carries bounds.
+	var constraint *metamodel.Object
+	for _, c := range comps {
+		if c.GetString("kind") == KindConstraint {
+			constraint = c
+		}
+	}
+	attrs := constraint.GetList("attributes")
+	if len(attrs) < 2 {
+		t.Fatalf("constraint attrs = %v", attrs)
+	}
+	if attrs[0] != metamodel.String("lower_bound=-3") || attrs[1] != metamodel.String("upper_bound=3") {
+		t.Errorf("bounds = %v", attrs[:2])
+	}
+
+	// The target model conforms to its metamodel.
+	if vs := metamodel.CheckConformance(dst.Model); len(vs) != 0 {
+		t.Fatalf("DQSR conformance: %v", vs)
+	}
+
+	// Trace resolves source requirements to targets.
+	if got, ok := trace.ResolveIn("requirement2software", e.ReqPrecision); !ok || got != prec {
+		t.Fatal("trace resolution failed")
+	}
+}
+
+func TestDQR2DQSRRequiresDimension(t *testing.T) {
+	rm := dqwebre.NewRequirementsModel("broken")
+	// A DQ_Requirement created raw, without a dimension.
+	req := rm.Builder().UseCase(dqwebre.MetaDQRequirement, "no dimension")
+	_ = req
+	if err := rm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunDQR2DQSR(rm); err == nil {
+		t.Fatal("missing dimension should fail the transformation")
+	}
+}
+
+func TestEnrichWithDQ(t *testing.T) {
+	rm := dqwebre.NewRequirementsModel("plain")
+	u := rm.WebUser("visitor")
+	rm.WebProcess("Submit paper", u)
+	rm.WebProcess("Register account", u)
+	// One process already has an InformationCase: it must be skipped.
+	covered := rm.WebProcess("Browse program", u)
+	rm.InformationCase("existing IC", covered)
+	if err := rm.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	added, err := EnrichWithDQ(rm, []iso25012.Characteristic{
+		iso25012.Completeness, iso25012.Accuracy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 {
+		t.Fatalf("added = %d, want 2", added)
+	}
+	ics := rm.StereotypedBy(dqwebre.MetaInformationCase)
+	if len(ics) != 3 {
+		t.Fatalf("InformationCases = %d, want 3", len(ics))
+	}
+	reqs, _ := rm.DQRequirements()
+	if len(reqs) != 4 {
+		t.Fatalf("DQ requirements = %d, want 4", len(reqs))
+	}
+	// Spec ids are unique and sequential.
+	seen := map[int64]bool{}
+	for _, r := range reqs {
+		if r.SpecID == 0 || seen[r.SpecID] {
+			t.Errorf("bad spec id %d", r.SpecID)
+		}
+		seen[r.SpecID] = true
+		if r.SpecText == "" {
+			t.Error("empty spec text")
+		}
+	}
+	// The enriched model validates (ICs are included by processes,
+	// requirements by ICs).
+	rep := rm.Validate()
+	if !rep.OK() {
+		for _, d := range rep.Diagnostics {
+			t.Log(d)
+		}
+		t.Fatal("enriched model must validate")
+	}
+	// Idempotency: nothing more to add.
+	added, err = EnrichWithDQ(rm, []iso25012.Characteristic{iso25012.Completeness})
+	if err != nil || added != 0 {
+		t.Fatalf("second run added %d, err %v", added, err)
+	}
+}
+
+func TestEnrichValidation(t *testing.T) {
+	rm := dqwebre.NewRequirementsModel("x")
+	if _, err := EnrichWithDQ(rm, nil); err == nil {
+		t.Fatal("empty dims accepted")
+	}
+	if _, err := EnrichWithDQ(rm, []iso25012.Characteristic{"Velocity"}); err == nil {
+		t.Fatal("unknown dim accepted")
+	}
+}
+
+func TestTraceQueries(t *testing.T) {
+	e := easychair.MustBuildModel()
+	_, trace, err := RunDQR2DQSR(e.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(trace.TargetsOf("metadata2component")); got != 2 {
+		t.Fatalf("TargetsOf stores = %d", got)
+	}
+	if got := len(trace.TargetsOf("nonexistent-rule")); got != 0 {
+		t.Fatalf("TargetsOf ghost rule = %d", got)
+	}
+	if _, ok := trace.Resolve(e.PCMember); ok {
+		t.Fatal("unmapped element resolved")
+	}
+	if _, ok := trace.ResolveIn("metadata2component", e.PCMember); ok {
+		t.Fatal("unmapped element resolved by rule")
+	}
+}

@@ -1,0 +1,319 @@
+package uml
+
+import (
+	"fmt"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+)
+
+// Builder offers convenience constructors for the recurring shapes of the
+// paper's diagrams: actors, use cases with include edges, activity graphs
+// with control flows, and classes with attributes and operations. It wraps a
+// Model and reports the first error encountered, so fixture code can chain
+// calls and check once.
+type Builder struct {
+	m   *Model
+	err error
+}
+
+// NewBuilder creates a builder over the given model.
+func NewBuilder(m *Model) *Builder { return &Builder{m: m} }
+
+// Err returns the first error encountered by the builder, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Model returns the underlying model.
+func (b *Builder) Model() *Model { return b.m }
+
+func (b *Builder) create(class, name string) *metamodel.Object {
+	if b.err != nil {
+		return nil
+	}
+	o, err := b.m.Create(class)
+	if err != nil {
+		b.err = err
+		return nil
+	}
+	if name != "" {
+		if err := o.SetString("name", name); err != nil {
+			b.err = err
+			return nil
+		}
+	}
+	return o
+}
+
+// Fail records an error, short-circuiting all subsequent builder calls.
+// The first recorded error wins.
+func (b *Builder) Fail(err error) {
+	if b.err == nil && err != nil {
+		b.err = err
+	}
+}
+
+// Create instantiates any metaclass with an optional name; it is the
+// generic escape hatch the typed helpers below are built on.
+func (b *Builder) Create(metaclass, name string) *metamodel.Object {
+	return b.create(metaclass, name)
+}
+
+// Actor creates a named actor.
+func (b *Builder) Actor(name string) *metamodel.Object { return b.create(MetaActor, name) }
+
+// UseCase creates a named use case of the given metaclass (MetaUseCase or a
+// subclass such as WebRE's "WebProcess").
+func (b *Builder) UseCase(metaclass, name string) *metamodel.Object {
+	return b.create(metaclass, name)
+}
+
+// Include records that base includes addition, creating the Include element.
+func (b *Builder) Include(base, addition *metamodel.Object) *metamodel.Object {
+	if b.err != nil {
+		return nil
+	}
+	if base == nil || addition == nil {
+		b.err = fmt.Errorf("uml: Include with nil use case")
+		return nil
+	}
+	inc := b.create(MetaInclude, "")
+	if inc == nil {
+		return nil
+	}
+	if err := inc.Set("addition", metamodel.Ref{Target: addition}); err != nil {
+		b.err = err
+		return nil
+	}
+	if err := base.Append("include", metamodel.Ref{Target: inc}); err != nil {
+		b.err = err
+		return nil
+	}
+	return inc
+}
+
+// Extend records that extension extends extended, creating the Extend element.
+func (b *Builder) Extend(extension, extended *metamodel.Object) *metamodel.Object {
+	if b.err != nil {
+		return nil
+	}
+	if extension == nil || extended == nil {
+		b.err = fmt.Errorf("uml: Extend with nil use case")
+		return nil
+	}
+	ext := b.create(MetaExtend, "")
+	if ext == nil {
+		return nil
+	}
+	if err := ext.Set("extendedCase", metamodel.Ref{Target: extended}); err != nil {
+		b.err = err
+		return nil
+	}
+	if err := extension.Append("extend", metamodel.Ref{Target: ext}); err != nil {
+		b.err = err
+		return nil
+	}
+	return ext
+}
+
+// Associate connects an actor (or any classifier) to a use case with a
+// binary association.
+func (b *Builder) Associate(a, c *metamodel.Object) *metamodel.Object {
+	if b.err != nil {
+		return nil
+	}
+	assoc := b.create(MetaAssociation, "")
+	if assoc == nil {
+		return nil
+	}
+	if err := assoc.Set("memberEnd", metamodel.NewList(
+		metamodel.Ref{Target: a}, metamodel.Ref{Target: c})); err != nil {
+		b.err = err
+		return nil
+	}
+	return assoc
+}
+
+// Comment attaches a note with the given body to the given elements.
+func (b *Builder) Comment(body string, annotated ...*metamodel.Object) *metamodel.Object {
+	if b.err != nil {
+		return nil
+	}
+	c := b.create(MetaComment, "")
+	if c == nil {
+		return nil
+	}
+	if err := c.SetString("body", body); err != nil {
+		b.err = err
+		return nil
+	}
+	for _, a := range annotated {
+		if err := c.Append("annotatedElement", metamodel.Ref{Target: a}); err != nil {
+			b.err = err
+			return nil
+		}
+	}
+	return c
+}
+
+// Class creates a named class of the given metaclass (MetaClass or a
+// subclass such as WebRE's "Content").
+func (b *Builder) Class(metaclass, name string) *metamodel.Object {
+	return b.create(metaclass, name)
+}
+
+// Attribute adds a typed attribute to a class.
+func (b *Builder) Attribute(class *metamodel.Object, name, typ string) *metamodel.Object {
+	if b.err != nil {
+		return nil
+	}
+	a := b.create(MetaAttribute, name)
+	if a == nil {
+		return nil
+	}
+	if err := a.SetString("type", typ); err != nil {
+		b.err = err
+		return nil
+	}
+	if err := class.Append("attributes", metamodel.Ref{Target: a}); err != nil {
+		b.err = err
+		return nil
+	}
+	return a
+}
+
+// Operation adds an operation with a rendered signature to a class.
+func (b *Builder) Operation(class *metamodel.Object, name, signature string) *metamodel.Object {
+	if b.err != nil {
+		return nil
+	}
+	op := b.create(MetaOperation, name)
+	if op == nil {
+		return nil
+	}
+	if err := op.SetString("signature", signature); err != nil {
+		b.err = err
+		return nil
+	}
+	if err := class.Append("operations", metamodel.Ref{Target: op}); err != nil {
+		b.err = err
+		return nil
+	}
+	return op
+}
+
+// Activity creates a named activity.
+func (b *Builder) Activity(name string) *metamodel.Object { return b.create(MetaActivity, name) }
+
+// Partition adds a swimlane to an activity.
+func (b *Builder) Partition(activity *metamodel.Object, name string) *metamodel.Object {
+	if b.err != nil {
+		return nil
+	}
+	p := b.create(MetaActivityPartition, name)
+	if p == nil {
+		return nil
+	}
+	if err := activity.Append("partitions", metamodel.Ref{Target: p}); err != nil {
+		b.err = err
+		return nil
+	}
+	return p
+}
+
+// Node adds an activity node of the given metaclass (MetaAction, WebRE's
+// "UserTransaction", MetaInitialNode, ...) to an activity, optionally inside
+// a partition (pass nil for none).
+func (b *Builder) Node(activity *metamodel.Object, metaclass, name string, partition *metamodel.Object) *metamodel.Object {
+	if b.err != nil {
+		return nil
+	}
+	n := b.create(metaclass, name)
+	if n == nil {
+		return nil
+	}
+	if partition != nil {
+		if err := n.Set("inPartition", metamodel.Ref{Target: partition}); err != nil {
+			b.err = err
+			return nil
+		}
+	}
+	if err := activity.Append("nodes", metamodel.Ref{Target: n}); err != nil {
+		b.err = err
+		return nil
+	}
+	return n
+}
+
+// Flow adds a control flow between two nodes of an activity, with an
+// optional guard ("" for none).
+func (b *Builder) Flow(activity, source, target *metamodel.Object, guard string) *metamodel.Object {
+	if b.err != nil {
+		return nil
+	}
+	if source == nil || target == nil {
+		b.err = fmt.Errorf("uml: Flow with nil node")
+		return nil
+	}
+	f := b.create(MetaControlFlow, "")
+	if f == nil {
+		return nil
+	}
+	if err := f.Set("source", metamodel.Ref{Target: source}); err != nil {
+		b.err = err
+		return nil
+	}
+	if err := f.Set("target", metamodel.Ref{Target: target}); err != nil {
+		b.err = err
+		return nil
+	}
+	if guard != "" {
+		if err := f.SetString("guard", guard); err != nil {
+			b.err = err
+			return nil
+		}
+	}
+	if err := activity.Append("edges", metamodel.Ref{Target: f}); err != nil {
+		b.err = err
+		return nil
+	}
+	return f
+}
+
+// FlowChain threads a linear control flow through the given nodes.
+func (b *Builder) FlowChain(activity *metamodel.Object, nodes ...*metamodel.Object) {
+	for i := 0; i+1 < len(nodes); i++ {
+		b.Flow(activity, nodes[i], nodes[i+1], "")
+	}
+}
+
+// Requirement creates a requirement with id and text.
+func (b *Builder) Requirement(metaclass string, id int64, name, text string) *metamodel.Object {
+	if b.err != nil {
+		return nil
+	}
+	r := b.create(metaclass, name)
+	if r == nil {
+		return nil
+	}
+	if err := r.SetInt("id", id); err != nil {
+		b.err = err
+		return nil
+	}
+	if err := r.SetString("text", text); err != nil {
+		b.err = err
+		return nil
+	}
+	return r
+}
+
+// Apply applies a stereotype by name to an element.
+func (b *Builder) Apply(o *metamodel.Object, stereotype string) *Application {
+	if b.err != nil {
+		return nil
+	}
+	a, err := b.m.ApplyByName(o, stereotype)
+	if err != nil {
+		b.err = err
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,185 @@
+package uml
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+)
+
+// Model wraps a kernel model with profile application: it tracks which
+// stereotypes are applied to which elements and their tagged values. This is
+// the object analysts manipulate when drawing the paper's use-case and
+// activity diagrams.
+type Model struct {
+	*metamodel.Model
+
+	mu       sync.RWMutex
+	profiles []*Profile
+	applied  map[*metamodel.Object][]*Application
+}
+
+// NewModel creates an empty profiled model over the given metamodel package.
+func NewModel(name string, mm *metamodel.Package) *Model {
+	return &Model{
+		Model:   metamodel.NewModel(name, mm),
+		applied: make(map[*metamodel.Object][]*Application),
+	}
+}
+
+// ApplyProfile makes a profile's stereotypes available on this model.
+// Reapplying a profile is a no-op.
+func (m *Model) ApplyProfile(p *Profile) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, existing := range m.profiles {
+		if existing == p {
+			return
+		}
+	}
+	m.profiles = append(m.profiles, p)
+}
+
+// Profiles returns the applied profiles in application order.
+func (m *Model) Profiles() []*Profile {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]*Profile(nil), m.profiles...)
+}
+
+// ResolveStereotype finds a stereotype by name across the applied profiles.
+func (m *Model) ResolveStereotype(name string) (*Stereotype, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, p := range m.profiles {
+		if s, ok := p.Stereotype(name); ok {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Apply applies a stereotype to an element, enforcing the base-metaclass
+// rule: the element's class must conform to one of the stereotype's bases.
+// Applying the same stereotype twice returns the existing application.
+func (m *Model) Apply(o *metamodel.Object, s *Stereotype) (*Application, error) {
+	if o == nil || s == nil {
+		return nil, fmt.Errorf("uml: Apply with nil element or stereotype")
+	}
+	if !s.AppliesTo(o.Class()) {
+		return nil, fmt.Errorf("uml: stereotype %q extends %v; cannot apply to instance of %q",
+			s.Name(), s.BaseNames(), o.Class().QualifiedName())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	registered := false
+	for _, p := range m.profiles {
+		if p == s.Profile() {
+			registered = true
+			break
+		}
+	}
+	if !registered {
+		return nil, fmt.Errorf("uml: profile %q not applied to model %q",
+			s.Profile().Name(), m.Name())
+	}
+	for _, a := range m.applied[o] {
+		if a.Stereotype == s {
+			return a, nil
+		}
+	}
+	a := &Application{Stereotype: s, Element: o}
+	m.applied[o] = append(m.applied[o], a)
+	return a, nil
+}
+
+// MustApply is Apply that panics on error, for fixture construction.
+func (m *Model) MustApply(o *metamodel.Object, s *Stereotype) *Application {
+	a, err := m.Apply(o, s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ApplyByName resolves the stereotype by name and applies it.
+func (m *Model) ApplyByName(o *metamodel.Object, stereotype string) (*Application, error) {
+	s, ok := m.ResolveStereotype(stereotype)
+	if !ok {
+		return nil, fmt.Errorf("uml: no applied profile defines stereotype %q", stereotype)
+	}
+	return m.Apply(o, s)
+}
+
+// Unapply removes a stereotype application from an element.
+func (m *Model) Unapply(o *metamodel.Object, s *Stereotype) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	apps := m.applied[o]
+	for i, a := range apps {
+		if a.Stereotype == s {
+			m.applied[o] = append(apps[:i], apps[i+1:]...)
+			if len(m.applied[o]) == 0 {
+				delete(m.applied, o)
+			}
+			return
+		}
+	}
+}
+
+// Applications returns the stereotype applications on an element, in
+// application order.
+func (m *Model) Applications(o *metamodel.Object) []*Application {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]*Application(nil), m.applied[o]...)
+}
+
+// HasStereotype reports whether the element carries the named stereotype.
+func (m *Model) HasStereotype(o *metamodel.Object, name string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, a := range m.applied[o] {
+		if a.Stereotype.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Application returns the application of the named stereotype on o, if any.
+func (m *Model) Application(o *metamodel.Object, name string) (*Application, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, a := range m.applied[o] {
+		if a.Stereotype.Name() == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// StereotypedBy returns all model elements carrying the named stereotype,
+// in model insertion order.
+func (m *Model) StereotypedBy(name string) []*metamodel.Object {
+	var out []*metamodel.Object
+	for _, o := range m.Objects() {
+		if m.HasStereotype(o, name) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// StereotypeNames returns the stereotype names applied to o, in application
+// order, for diagram labels («InformationCase» etc.).
+func (m *Model) StereotypeNames(o *metamodel.Object) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	apps := m.applied[o]
+	out := make([]string, len(apps))
+	for i, a := range apps {
+		out[i] = a.Stereotype.Name()
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package uml
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+)
+
+// Profile is a lightweight UML extension: a named set of stereotypes.
+// The DQ_WebRE profile of the paper is an instance of this type.
+type Profile struct {
+	name        string
+	doc         string
+	stereotypes []*Stereotype
+	byName      map[string]*Stereotype
+}
+
+// NewProfile creates an empty profile.
+func NewProfile(name string) *Profile {
+	return &Profile{name: name, byName: make(map[string]*Stereotype)}
+}
+
+// Name returns the profile's name.
+func (p *Profile) Name() string { return p.name }
+
+// SetDoc attaches a description to the profile.
+func (p *Profile) SetDoc(doc string) *Profile {
+	p.doc = doc
+	return p
+}
+
+// Doc returns the profile description.
+func (p *Profile) Doc() string { return p.doc }
+
+// AddStereotype defines a stereotype extending the given UML base
+// metaclasses. At least one base is required; duplicates by name are
+// programming errors and panic.
+func (p *Profile) AddStereotype(name string, bases ...*metamodel.Class) *Stereotype {
+	if name == "" {
+		panic(fmt.Errorf("uml: empty stereotype name in profile %q", p.name))
+	}
+	if _, ok := p.byName[name]; ok {
+		panic(fmt.Errorf("uml: stereotype %q already defined in profile %q", name, p.name))
+	}
+	if len(bases) == 0 {
+		panic(fmt.Errorf("uml: stereotype %q needs at least one base metaclass", name))
+	}
+	s := &Stereotype{name: name, profile: p, bases: bases, tagsByName: make(map[string]*TagDef)}
+	p.stereotypes = append(p.stereotypes, s)
+	p.byName[name] = s
+	return s
+}
+
+// Stereotypes returns the stereotypes in definition order.
+func (p *Profile) Stereotypes() []*Stereotype {
+	return append([]*Stereotype(nil), p.stereotypes...)
+}
+
+// Stereotype looks a stereotype up by name.
+func (p *Profile) Stereotype(name string) (*Stereotype, bool) {
+	s, ok := p.byName[name]
+	return s, ok
+}
+
+// MustStereotype looks a stereotype up by name and panics if absent.
+func (p *Profile) MustStereotype(name string) *Stereotype {
+	s, ok := p.byName[name]
+	if !ok {
+		panic(fmt.Errorf("uml: profile %q has no stereotype %q", p.name, name))
+	}
+	return s
+}
+
+// Stereotype is a named extension of one or more UML metaclasses, optionally
+// carrying tagged-value definitions and OCL well-formedness constraints.
+type Stereotype struct {
+	name       string
+	profile    *Profile
+	doc        string
+	bases      []*metamodel.Class
+	tags       []*TagDef
+	tagsByName map[string]*TagDef
+	constr     []Constraint
+}
+
+// Name returns the stereotype name (without guillemets).
+func (s *Stereotype) Name() string { return s.name }
+
+// Profile returns the owning profile.
+func (s *Stereotype) Profile() *Profile { return s.profile }
+
+// SetDoc attaches the stereotype's description (paper Table 3 "Description").
+func (s *Stereotype) SetDoc(doc string) *Stereotype {
+	s.doc = doc
+	return s
+}
+
+// Doc returns the description.
+func (s *Stereotype) Doc() string { return s.doc }
+
+// Bases returns the extended metaclasses.
+func (s *Stereotype) Bases() []*metamodel.Class {
+	return append([]*metamodel.Class(nil), s.bases...)
+}
+
+// BaseNames returns the extended metaclass names, sorted.
+func (s *Stereotype) BaseNames() []string {
+	out := make([]string, len(s.bases))
+	for i, b := range s.bases {
+		out[i] = b.Name()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppliesTo reports whether the stereotype can be applied to an instance of
+// the given metaclass.
+func (s *Stereotype) AppliesTo(c *metamodel.Class) bool {
+	for _, b := range s.bases {
+		if c.ConformsTo(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// AddTag defines a tagged value carried by applications of this stereotype.
+// many selects a set-valued tag (e.g. the paper's "DQ_metadata: set(String)").
+func (s *Stereotype) AddTag(name string, typ metamodel.Classifier, many bool) *TagDef {
+	if _, ok := s.tagsByName[name]; ok {
+		panic(fmt.Errorf("uml: tag %q already defined on stereotype %q", name, s.name))
+	}
+	t := &TagDef{Name: name, Type: typ, Many: many}
+	s.tags = append(s.tags, t)
+	s.tagsByName[name] = t
+	return t
+}
+
+// Tags returns the tagged-value definitions in declaration order.
+func (s *Stereotype) Tags() []*TagDef { return append([]*TagDef(nil), s.tags...) }
+
+// Tag looks a tagged-value definition up by name.
+func (s *Stereotype) Tag(name string) (*TagDef, bool) {
+	t, ok := s.tagsByName[name]
+	return t, ok
+}
+
+// AddConstraint attaches an OCL well-formedness constraint. The expression
+// is evaluated by the validation engine with `self` bound to the stereotyped
+// element.
+func (s *Stereotype) AddConstraint(name, ocl, doc string) *Stereotype {
+	s.constr = append(s.constr, Constraint{Name: name, OCL: ocl, Doc: doc})
+	return s
+}
+
+// Constraints returns the attached constraints in declaration order.
+func (s *Stereotype) Constraints() []Constraint {
+	return append([]Constraint(nil), s.constr...)
+}
+
+// TagDef describes one tagged value of a stereotype.
+type TagDef struct {
+	// Name is the tag name, e.g. "upper_bound".
+	Name string
+	// Type is the tag's classifier (usually a UML primitive).
+	Type metamodel.Classifier
+	// Many selects a set-valued tag.
+	Many bool
+	// Doc describes the tag.
+	Doc string
+}
+
+// SetDoc attaches a description and returns the definition for chaining.
+func (t *TagDef) SetDoc(doc string) *TagDef {
+	t.Doc = doc
+	return t
+}
+
+// TypeString renders the tag type in the paper's Table 3 notation, e.g.
+// "String", "Integer" or "set(String)".
+func (t *TagDef) TypeString() string {
+	base := t.Type.Name()
+	if t.Many {
+		return "set(" + base + ")"
+	}
+	return base
+}
+
+// Constraint is a named OCL well-formedness rule attached to a stereotype.
+type Constraint struct {
+	// Name identifies the constraint in diagnostics.
+	Name string
+	// OCL is the boolean OCL expression, with `self` bound to the element.
+	OCL string
+	// Doc is the prose reading of the constraint (paper Table 3 wording).
+	Doc string
+}
+
+// Application records one stereotype applied to one model element together
+// with its tagged values.
+type Application struct {
+	// Stereotype is the applied stereotype.
+	Stereotype *Stereotype
+	// Element is the stereotyped model element.
+	Element *metamodel.Object
+	tags    map[string]metamodel.Value
+}
+
+// SetTag assigns a tagged value, checking the tag is defined and the value
+// kind matches the tag's type.
+func (a *Application) SetTag(name string, v metamodel.Value) error {
+	def, ok := a.Stereotype.Tag(name)
+	if !ok {
+		return fmt.Errorf("uml: stereotype %q has no tag %q", a.Stereotype.Name(), name)
+	}
+	if v == nil {
+		delete(a.tags, name)
+		return nil
+	}
+	if err := checkTagValue(def, v); err != nil {
+		return err
+	}
+	if a.tags == nil {
+		a.tags = make(map[string]metamodel.Value)
+	}
+	a.tags[name] = v
+	return nil
+}
+
+// MustSetTag is SetTag that panics on error, for fixture construction.
+func (a *Application) MustSetTag(name string, v metamodel.Value) *Application {
+	if err := a.SetTag(name, v); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Tag returns the tagged value, if set.
+func (a *Application) Tag(name string) (metamodel.Value, bool) {
+	v, ok := a.tags[name]
+	return v, ok
+}
+
+// TagNames returns the names of set tags in sorted order.
+func (a *Application) TagNames() []string {
+	out := make([]string, 0, len(a.tags))
+	for k := range a.tags {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func checkTagValue(def *TagDef, v metamodel.Value) error {
+	checkOne := func(item metamodel.Value) error {
+		dt, ok := def.Type.(*metamodel.DataType)
+		if !ok {
+			// Enumeration- or class-typed tags: accept enum literals and refs.
+			switch def.Type.(type) {
+			case *metamodel.Enumeration:
+				if item.Kind() != metamodel.VEnum {
+					return fmt.Errorf("uml: tag %q expects enumeration %s, got %s",
+						def.Name, def.Type.Name(), item.Kind())
+				}
+				return nil
+			default:
+				if item.Kind() != metamodel.VRef {
+					return fmt.Errorf("uml: tag %q expects a reference, got %s",
+						def.Name, item.Kind())
+				}
+				return nil
+			}
+		}
+		want := map[metamodel.Primitive]metamodel.ValueKind{
+			metamodel.PrimString:  metamodel.VString,
+			metamodel.PrimInteger: metamodel.VInt,
+			metamodel.PrimBoolean: metamodel.VBool,
+			metamodel.PrimReal:    metamodel.VReal,
+		}[dt.Base()]
+		if item.Kind() != want {
+			return fmt.Errorf("uml: tag %q expects %s, got %s", def.Name, want, item.Kind())
+		}
+		return nil
+	}
+	if def.Many {
+		l, ok := v.(*metamodel.List)
+		if !ok {
+			return fmt.Errorf("uml: tag %q is set-valued; expected List, got %s", def.Name, v.Kind())
+		}
+		for _, item := range l.Items {
+			if err := checkOne(item); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return checkOne(v)
+}

@@ -1,0 +1,346 @@
+package uml
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+)
+
+// testProfile builds a tiny profile shaped like the paper's: one use-case
+// stereotype with a constraint, one class stereotype with set-valued and
+// bounded integer tags.
+func testProfile(t testing.TB) *Profile {
+	t.Helper()
+	p := NewProfile("MiniDQ").SetDoc("test profile")
+	ic := p.AddStereotype("InformationCase", MustClass(MetaUseCase))
+	ic.SetDoc("manages data of a WebProcess")
+	ic.AddConstraint("relatedToWebProcess",
+		"self.include->size() >= 0", "placeholder constraint")
+
+	meta := p.AddStereotype("DQ_Metadata", MustClass(MetaClass))
+	meta.AddTag("DQ_metadata", StringType(), true).SetDoc("set of metadata names")
+	meta.AddTag("upper_bound", IntegerType(), false)
+	return p
+}
+
+func TestProfileDefinition(t *testing.T) {
+	p := testProfile(t)
+	if p.Name() != "MiniDQ" || p.Doc() != "test profile" {
+		t.Fatal("profile identity wrong")
+	}
+	if len(p.Stereotypes()) != 2 {
+		t.Fatalf("stereotypes = %d", len(p.Stereotypes()))
+	}
+	s, ok := p.Stereotype("InformationCase")
+	if !ok || s.Name() != "InformationCase" {
+		t.Fatal("stereotype lookup failed")
+	}
+	if s.Profile() != p {
+		t.Fatal("owner not set")
+	}
+	if got := s.BaseNames(); len(got) != 1 || got[0] != "UseCase" {
+		t.Fatalf("BaseNames = %v", got)
+	}
+	if len(s.Constraints()) != 1 || s.Constraints()[0].Name != "relatedToWebProcess" {
+		t.Fatal("constraints lost")
+	}
+	if _, ok := p.Stereotype("Nope"); ok {
+		t.Fatal("phantom stereotype")
+	}
+}
+
+func TestMustStereotypePanics(t *testing.T) {
+	p := testProfile(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.MustStereotype("Nope")
+}
+
+func TestDuplicateStereotypePanics(t *testing.T) {
+	p := testProfile(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.AddStereotype("InformationCase", MustClass(MetaUseCase))
+}
+
+func TestStereotypeAppliesTo(t *testing.T) {
+	p := testProfile(t)
+	ic := p.MustStereotype("InformationCase")
+	if !ic.AppliesTo(MustClass(MetaUseCase)) {
+		t.Fatal("should apply to UseCase")
+	}
+	if ic.AppliesTo(MustClass(MetaClass)) {
+		t.Fatal("should not apply to Class")
+	}
+}
+
+func TestTagTypeString(t *testing.T) {
+	p := testProfile(t)
+	meta := p.MustStereotype("DQ_Metadata")
+	tag, ok := meta.Tag("DQ_metadata")
+	if !ok || tag.TypeString() != "set(String)" {
+		t.Fatalf("TypeString = %q", tag.TypeString())
+	}
+	ub, _ := meta.Tag("upper_bound")
+	if ub.TypeString() != "Integer" {
+		t.Fatalf("TypeString = %q", ub.TypeString())
+	}
+}
+
+func TestApplyAndTagValues(t *testing.T) {
+	p := testProfile(t)
+	m := NewModel("m", Metamodel())
+	m.ApplyProfile(p)
+	m.ApplyProfile(p) // idempotent
+	if len(m.Profiles()) != 1 {
+		t.Fatal("duplicate profile application")
+	}
+
+	b := NewBuilder(m)
+	uc := b.UseCase(MetaUseCase, "Add all data as result of review")
+	cls := b.Class(MetaClass, "ReviewMetadata")
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	app, err := m.Apply(uc, p.MustStereotype("InformationCase"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Element != uc {
+		t.Fatal("application element wrong")
+	}
+	// Applying again returns the same application.
+	app2 := m.MustApply(uc, p.MustStereotype("InformationCase"))
+	if app2 != app {
+		t.Fatal("re-application should be idempotent")
+	}
+
+	mapp := m.MustApply(cls, p.MustStereotype("DQ_Metadata"))
+	if err := mapp.SetTag("DQ_metadata", metamodel.NewList(
+		metamodel.String("stored_by"), metamodel.String("stored_date"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapp.SetTag("upper_bound", metamodel.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := mapp.Tag("DQ_metadata")
+	if !ok || len(v.(*metamodel.List).Items) != 2 {
+		t.Fatal("set-valued tag round trip failed")
+	}
+	names := mapp.TagNames()
+	if len(names) != 2 || names[0] != "DQ_metadata" || names[1] != "upper_bound" {
+		t.Fatalf("TagNames = %v", names)
+	}
+}
+
+func TestTagValueTypeChecking(t *testing.T) {
+	p := testProfile(t)
+	m := NewModel("m", Metamodel())
+	m.ApplyProfile(p)
+	b := NewBuilder(m)
+	cls := b.Class(MetaClass, "C")
+	app := m.MustApply(cls, p.MustStereotype("DQ_Metadata"))
+
+	if err := app.SetTag("upper_bound", metamodel.String("five")); err == nil {
+		t.Fatal("string into Integer tag should fail")
+	}
+	if err := app.SetTag("DQ_metadata", metamodel.String("solo")); err == nil {
+		t.Fatal("scalar into set-valued tag should fail")
+	}
+	if err := app.SetTag("DQ_metadata", metamodel.NewList(metamodel.Int(1))); err == nil {
+		t.Fatal("Int element into set(String) should fail")
+	}
+	if err := app.SetTag("no_such_tag", metamodel.Int(1)); err == nil {
+		t.Fatal("unknown tag should fail")
+	}
+	// Clearing a tag.
+	app.MustSetTag("upper_bound", metamodel.Int(1))
+	if err := app.SetTag("upper_bound", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := app.Tag("upper_bound"); ok {
+		t.Fatal("tag should be cleared")
+	}
+}
+
+func TestApplyBaseClassEnforced(t *testing.T) {
+	p := testProfile(t)
+	m := NewModel("m", Metamodel())
+	m.ApplyProfile(p)
+	b := NewBuilder(m)
+	cls := b.Class(MetaClass, "C")
+	_, err := m.Apply(cls, p.MustStereotype("InformationCase"))
+	if err == nil || !strings.Contains(err.Error(), "cannot apply") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestApplyRequiresProfileOnModel(t *testing.T) {
+	p := testProfile(t)
+	m := NewModel("m", Metamodel()) // profile NOT applied
+	b := NewBuilder(m)
+	uc := b.UseCase(MetaUseCase, "x")
+	if _, err := m.Apply(uc, p.MustStereotype("InformationCase")); err == nil {
+		t.Fatal("apply without profile should fail")
+	}
+	if _, err := m.Apply(nil, nil); err == nil {
+		t.Fatal("nil apply should fail")
+	}
+}
+
+func TestUnapplyAndQueries(t *testing.T) {
+	p := testProfile(t)
+	m := NewModel("m", Metamodel())
+	m.ApplyProfile(p)
+	b := NewBuilder(m)
+	uc1 := b.UseCase(MetaUseCase, "one")
+	uc2 := b.UseCase(MetaUseCase, "two")
+	s := p.MustStereotype("InformationCase")
+	m.MustApply(uc1, s)
+	m.MustApply(uc2, s)
+
+	if got := m.StereotypedBy("InformationCase"); len(got) != 2 {
+		t.Fatalf("StereotypedBy = %d", len(got))
+	}
+	if !m.HasStereotype(uc1, "InformationCase") {
+		t.Fatal("HasStereotype false negative")
+	}
+	if names := m.StereotypeNames(uc1); len(names) != 1 || names[0] != "InformationCase" {
+		t.Fatalf("StereotypeNames = %v", names)
+	}
+	if _, ok := m.Application(uc1, "InformationCase"); !ok {
+		t.Fatal("Application lookup failed")
+	}
+	m.Unapply(uc1, s)
+	if m.HasStereotype(uc1, "InformationCase") {
+		t.Fatal("Unapply did not remove")
+	}
+	if got := m.StereotypedBy("InformationCase"); len(got) != 1 || got[0] != uc2 {
+		t.Fatalf("after unapply StereotypedBy = %v", got)
+	}
+	m.Unapply(uc1, s) // no-op
+}
+
+func TestApplyByName(t *testing.T) {
+	p := testProfile(t)
+	m := NewModel("m", Metamodel())
+	m.ApplyProfile(p)
+	b := NewBuilder(m)
+	uc := b.UseCase(MetaUseCase, "x")
+	if _, err := m.ApplyByName(uc, "InformationCase"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ApplyByName(uc, "Unknown"); err == nil {
+		t.Fatal("unknown stereotype should fail")
+	}
+	// Builder.Apply path.
+	b.Apply(uc, "InformationCase")
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	b.Apply(uc, "Unknown")
+	if b.Err() == nil {
+		t.Fatal("builder Apply with unknown stereotype should stick error")
+	}
+}
+
+func TestBuilderGenericCreateAndFail(t *testing.T) {
+	m := NewModel("g", Metamodel())
+	b := NewBuilder(m)
+	if b.Model() != m {
+		t.Fatal("Model accessor wrong")
+	}
+	o := b.Create(MetaActor, "generic")
+	if o == nil || o.GetString("name") != "generic" {
+		t.Fatal("Create failed")
+	}
+	b.Fail(nil) // nil is ignored
+	if b.Err() != nil {
+		t.Fatal("Fail(nil) should not set error")
+	}
+	wantErr := errSentinel{}
+	b.Fail(wantErr)
+	if b.Err() != wantErr {
+		t.Fatal("Fail lost error")
+	}
+	b.Fail(errSentinel2{}) // first error wins
+	if b.Err() != wantErr {
+		t.Fatal("Fail overwrote first error")
+	}
+	if b.Create(MetaActor, "after") != nil {
+		t.Fatal("Create after Fail should short-circuit")
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "sentinel" }
+
+type errSentinel2 struct{}
+
+func (errSentinel2) Error() string { return "sentinel2" }
+
+func TestApplicationsAccessor(t *testing.T) {
+	p := testProfile(t)
+	m := NewModel("apps", Metamodel())
+	m.ApplyProfile(p)
+	b := NewBuilder(m)
+	uc := b.UseCase(MetaUseCase, "x")
+	app := m.MustApply(uc, p.MustStereotype("InformationCase"))
+	apps := m.Applications(uc)
+	if len(apps) != 1 || apps[0] != app {
+		t.Fatalf("Applications = %v", apps)
+	}
+	if got := m.Applications(b.UseCase(MetaUseCase, "other")); len(got) != 0 {
+		t.Fatal("phantom applications")
+	}
+}
+
+func TestProfileAndStereotypeAccessors(t *testing.T) {
+	p := testProfile(t)
+	ic := p.MustStereotype("InformationCase")
+	if ic.Doc() == "" {
+		t.Fatal("Doc empty")
+	}
+	bases := ic.Bases()
+	if len(bases) != 1 || bases[0] != MustClass(MetaUseCase) {
+		t.Fatalf("Bases = %v", bases)
+	}
+	meta := p.MustStereotype("DQ_Metadata")
+	if tags := meta.Tags(); len(tags) != 2 {
+		t.Fatalf("Tags = %v", tags)
+	}
+	if _, ok := meta.Tag("ghost"); ok {
+		t.Fatal("phantom tag")
+	}
+}
+
+func TestStereotypeDefinitionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewProfile("p").AddStereotype("", MustClass(MetaUseCase)) },
+		func() { NewProfile("p").AddStereotype("NoBase") },
+		func() {
+			prof := NewProfile("p")
+			s := prof.AddStereotype("S", MustClass(MetaUseCase))
+			s.AddTag("t", StringType(), false)
+			s.AddTag("t", StringType(), false)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

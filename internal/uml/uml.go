@@ -1,0 +1,237 @@
+// Package uml defines the UML 2.x subset the DQ_WebRE proposal builds on:
+// use cases, activities, classes, requirements and comments, plus the
+// profile machinery (stereotypes, tagged values, constraints) that lets the
+// DQ_WebRE profile extend standard UML base classes exactly as the paper's
+// Table 3 prescribes.
+//
+// The subset is expressed as data on the metamodel kernel: Metamodel()
+// returns a metamodel.Package whose classes are UML metaclasses. Models are
+// ordinary metamodel.Model graphs; the uml.Model wrapper adds profile
+// application on top.
+package uml
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+)
+
+// Metaclass names exposed by the UML subset, used as stereotype base classes
+// and by downstream metamodels (WebRE) as superclasses.
+const (
+	MetaElement           = "Element"
+	MetaNamedElement      = "NamedElement"
+	MetaComment           = "Comment"
+	MetaClassifier        = "Classifier"
+	MetaActor             = "Actor"
+	MetaUseCase           = "UseCase"
+	MetaInclude           = "Include"
+	MetaExtend            = "Extend"
+	MetaAssociation       = "Association"
+	MetaClass             = "Class"
+	MetaAttribute         = "Attribute"
+	MetaOperation         = "Operation"
+	MetaActivity          = "Activity"
+	MetaActivityNode      = "ActivityNode"
+	MetaAction            = "Action"
+	MetaInitialNode       = "InitialNode"
+	MetaActivityFinalNode = "ActivityFinalNode"
+	MetaDecisionNode      = "DecisionNode"
+	MetaMergeNode         = "MergeNode"
+	MetaForkNode          = "ForkNode"
+	MetaJoinNode          = "JoinNode"
+	MetaObjectNode        = "ObjectNode"
+	MetaControlFlow       = "ControlFlow"
+	MetaActivityPartition = "ActivityPartition"
+	MetaRequirement       = "Requirement"
+)
+
+var (
+	metamodelOnce sync.Once
+	metamodelPkg  *metamodel.Package
+)
+
+// Metamodel returns the process-wide UML subset metamodel. The package is
+// built once and registered in the metamodel registry under the name "UML".
+func Metamodel() *metamodel.Package {
+	metamodelOnce.Do(func() {
+		metamodelPkg = buildMetamodel()
+		metamodel.MustRegister(metamodelPkg)
+	})
+	return metamodelPkg
+}
+
+func buildMetamodel() *metamodel.Package {
+	u := metamodel.NewPackage("UML")
+	str := u.AddDataType("String", metamodel.PrimString)
+	intT := u.AddDataType("Integer", metamodel.PrimInteger)
+	boolT := u.AddDataType("Boolean", metamodel.PrimBoolean)
+	_ = intT
+	_ = boolT
+
+	element := u.AddAbstractClass(MetaElement).
+		SetDoc("Root of the UML element hierarchy; everything in a model is an Element.")
+
+	named := u.AddAbstractClass(MetaNamedElement).
+		SetDoc("An Element with an optional name.")
+	named.AddSuper(element)
+	named.AddAttr("name", str).SetDoc("The element's name, shown in diagrams.")
+
+	comment := u.AddClass(MetaComment).
+		SetDoc("A note attached to one or more elements (used in the paper's Fig. 6 to list the data items of a Content).")
+	comment.AddSuper(element)
+	comment.AddAttr("body", str).SetDoc("The text of the note.")
+	comment.AddRefs("annotatedElement", element).
+		SetDoc("Elements this comment annotates.")
+
+	classifier := u.AddAbstractClass(MetaClassifier).
+		SetDoc("A NamedElement that classifies instances: actors, use cases, classes.")
+	classifier.AddSuper(named)
+
+	actor := u.AddClass(MetaActor).
+		SetDoc("A role played by a user or external system interacting with the subject.")
+	actor.AddSuper(classifier)
+
+	usecase := u.AddClass(MetaUseCase).
+		SetDoc("A unit of externally visible functionality provided by the subject.")
+	usecase.AddSuper(classifier)
+
+	include := u.AddClass(MetaInclude).
+		SetDoc("An include relationship from a base use case to the use case whose behaviour it incorporates.")
+	include.AddSuper(element)
+	include.AddProperty("addition", usecase, 1, 1).
+		SetDoc("The use case that is included.")
+	usecase.AddRefs("include", include).SetComposite().
+		SetDoc("Include relationships owned by this use case.")
+
+	extend := u.AddClass(MetaExtend).
+		SetDoc("An extend relationship from an extension use case to the use case it extends.")
+	extend.AddSuper(element)
+	extend.AddProperty("extendedCase", usecase, 1, 1).
+		SetDoc("The use case that is extended.")
+	usecase.AddRefs("extend", extend).SetComposite().
+		SetDoc("Extend relationships owned by this use case.")
+
+	assoc := u.AddClass(MetaAssociation).
+		SetDoc("A binary association, used to connect actors to use cases in use-case diagrams.")
+	assoc.AddSuper(named)
+	assoc.AddProperty("memberEnd", classifier, 2, 2).
+		SetDoc("The two classifiers the association connects.")
+
+	attr := u.AddClass(MetaAttribute).
+		SetDoc("A structural feature of a Class.")
+	attr.AddSuper(named)
+	attr.AddAttr("type", str).SetDoc("The attribute's type name, kept textual in this subset.")
+
+	oper := u.AddClass(MetaOperation).
+		SetDoc("A behavioural feature of a Class.")
+	oper.AddSuper(named)
+	oper.AddAttr("signature", str).SetDoc("Rendered parameter list and return type.")
+
+	class := u.AddClass(MetaClass).
+		SetDoc("A class in the structural model; DQ_WebRE stereotypes DQ_Metadata, DQ_Validator and DQConstraint extend it.")
+	class.AddSuper(classifier)
+	class.AddRefs("attributes", attr).SetComposite().
+		SetDoc("Owned attributes in declaration order.")
+	class.AddRefs("operations", oper).SetComposite().
+		SetDoc("Owned operations in declaration order.")
+
+	activity := u.AddClass(MetaActivity).
+		SetDoc("A graph of nodes and control flows describing behaviour; the paper's Fig. 7 is an Activity.")
+	activity.AddSuper(named)
+
+	partition := u.AddClass(MetaActivityPartition).
+		SetDoc("A swimlane grouping nodes by responsible element.")
+	partition.AddSuper(named)
+	activity.AddRefs("partitions", partition).SetComposite().
+		SetDoc("Swimlanes of this activity.")
+
+	node := u.AddAbstractClass(MetaActivityNode).
+		SetDoc("Abstract node in an activity graph.")
+	node.AddSuper(named)
+	node.AddRef("inPartition", partition).
+		SetDoc("The swimlane holding this node, if any.")
+	activity.AddRefs("nodes", node).SetComposite().
+		SetDoc("Nodes of this activity.")
+
+	action := u.AddClass(MetaAction).
+		SetDoc("An executable step; WebRE activities (Browse, Search, UserTransaction) specialize Action.")
+	action.AddSuper(node)
+
+	for _, spec := range []struct{ name, doc string }{
+		{MetaInitialNode, "The activity's starting point."},
+		{MetaActivityFinalNode, "Terminates the activity."},
+		{MetaDecisionNode, "Routes the flow along one of several guarded edges."},
+		{MetaMergeNode, "Brings alternative flows back together."},
+		{MetaForkNode, "Splits the flow into concurrent branches."},
+		{MetaJoinNode, "Synchronizes concurrent branches."},
+	} {
+		c := u.AddClass(spec.name).SetDoc(spec.doc)
+		c.AddSuper(node)
+	}
+
+	objNode := u.AddClass(MetaObjectNode).
+		SetDoc("A node holding an object flowing through the activity; typed by a Classifier.")
+	objNode.AddSuper(node)
+	objNode.AddRef("type", classifier).
+		SetDoc("The classifier of the objects held by this node.")
+
+	flow := u.AddClass(MetaControlFlow).
+		SetDoc("A directed edge between two activity nodes.")
+	flow.AddSuper(element)
+	flow.AddProperty("source", node, 1, 1).SetDoc("The edge's source node.")
+	flow.AddProperty("target", node, 1, 1).SetDoc("The edge's target node.")
+	flow.AddAttr("guard", str).SetDoc("Optional guard condition shown in brackets.")
+	activity.AddRefs("edges", flow).SetComposite().
+		SetDoc("Control flows of this activity.")
+
+	req := u.AddClass(MetaRequirement).
+		SetDoc("A SysML-style requirement with an id and prose text; base class of DQ_Req_Specification.")
+	req.AddSuper(named)
+	req.AddAttr("id", intT).SetDoc("Numeric requirement identifier.")
+	req.AddAttr("text", str).SetDoc("The requirement statement.")
+	req.AddRefs("derivedFrom", req).
+		SetDoc("Requirements this one was derived from.")
+	req.AddRefs("tracedTo", named).
+		SetDoc("Model elements satisfying or realizing this requirement.")
+
+	return u
+}
+
+// MustClass resolves a metaclass of the UML subset by name, panicking if it
+// does not exist — callers pass the Meta* constants, so a miss is a bug.
+func MustClass(name string) *metamodel.Class {
+	c, ok := Metamodel().FindClass(name)
+	if !ok {
+		panic(fmt.Errorf("uml: unknown metaclass %q", name))
+	}
+	return c
+}
+
+// StringType returns the UML String data type, for profile tag definitions.
+func StringType() *metamodel.DataType {
+	d, ok := Metamodel().DataType("String")
+	if !ok {
+		panic("uml: String data type missing")
+	}
+	return d
+}
+
+// IntegerType returns the UML Integer data type.
+func IntegerType() *metamodel.DataType {
+	d, ok := Metamodel().DataType("Integer")
+	if !ok {
+		panic("uml: Integer data type missing")
+	}
+	return d
+}
+
+// BooleanType returns the UML Boolean data type.
+func BooleanType() *metamodel.DataType {
+	d, ok := Metamodel().DataType("Boolean")
+	if !ok {
+		panic("uml: Boolean data type missing")
+	}
+	return d
+}

@@ -1,0 +1,196 @@
+package uml
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+)
+
+func TestMetamodelBuildsAndRegisters(t *testing.T) {
+	mm := Metamodel()
+	if mm.Name() != "UML" {
+		t.Fatalf("metamodel name = %q", mm.Name())
+	}
+	if again := Metamodel(); again != mm {
+		t.Fatal("Metamodel should memoize")
+	}
+	reg, ok := metamodel.Lookup("UML")
+	if !ok || reg != mm {
+		t.Fatal("UML not registered")
+	}
+}
+
+func TestMetaclassHierarchy(t *testing.T) {
+	useCase := MustClass(MetaUseCase)
+	classifier := MustClass(MetaClassifier)
+	named := MustClass(MetaNamedElement)
+	element := MustClass(MetaElement)
+	if !useCase.ConformsTo(classifier) || !useCase.ConformsTo(named) || !useCase.ConformsTo(element) {
+		t.Fatal("UseCase should conform to Classifier, NamedElement, Element")
+	}
+	action := MustClass(MetaAction)
+	node := MustClass(MetaActivityNode)
+	if !action.ConformsTo(node) {
+		t.Fatal("Action should conform to ActivityNode")
+	}
+	for _, name := range []string{
+		MetaInitialNode, MetaActivityFinalNode, MetaDecisionNode,
+		MetaMergeNode, MetaForkNode, MetaJoinNode, MetaObjectNode,
+	} {
+		if !MustClass(name).ConformsTo(node) {
+			t.Errorf("%s should conform to ActivityNode", name)
+		}
+	}
+}
+
+func TestMustClassPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustClass("NoSuchMetaclass")
+}
+
+func TestPrimitiveAccessors(t *testing.T) {
+	if StringType().Base() != metamodel.PrimString {
+		t.Fatal("StringType wrong base")
+	}
+	if IntegerType().Base() != metamodel.PrimInteger {
+		t.Fatal("IntegerType wrong base")
+	}
+	if BooleanType().Base() != metamodel.PrimBoolean {
+		t.Fatal("BooleanType wrong base")
+	}
+}
+
+func TestBuilderUseCaseDiagram(t *testing.T) {
+	m := NewModel("ucd", Metamodel())
+	b := NewBuilder(m)
+	member := b.Actor("PC member")
+	addReview := b.UseCase(MetaUseCase, "Add new review to submission")
+	login := b.UseCase(MetaUseCase, "Log in")
+	b.Associate(member, addReview)
+	inc := b.Include(addReview, login)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if inc.GetRef("addition") != login {
+		t.Fatal("include addition wrong")
+	}
+	incs := addReview.GetRefs("include")
+	if len(incs) != 1 || incs[0] != inc {
+		t.Fatal("include not owned by base use case")
+	}
+	if vs := metamodel.CheckConformance(m.Model); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestBuilderExtend(t *testing.T) {
+	m := NewModel("ucd", Metamodel())
+	b := NewBuilder(m)
+	base := b.UseCase(MetaUseCase, "Browse submissions")
+	ext := b.UseCase(MetaUseCase, "Filter by track")
+	e := b.Extend(ext, base)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if e.GetRef("extendedCase") != base {
+		t.Fatal("extendedCase wrong")
+	}
+}
+
+func TestBuilderActivityGraph(t *testing.T) {
+	m := NewModel("act", Metamodel())
+	b := NewBuilder(m)
+	act := b.Activity("Add new review")
+	lane := b.Partition(act, "PC member")
+	start := b.Node(act, MetaInitialNode, "", nil)
+	fill := b.Node(act, MetaAction, "fill review form", lane)
+	check := b.Node(act, MetaDecisionNode, "", nil)
+	done := b.Node(act, MetaActivityFinalNode, "", nil)
+	b.FlowChain(act, start, fill, check)
+	b.Flow(act, check, fill, "incomplete")
+	b.Flow(act, check, done, "complete")
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(act.GetRefs("nodes")); got != 4 {
+		t.Fatalf("nodes = %d, want 4", got)
+	}
+	if got := len(act.GetRefs("edges")); got != 4 {
+		t.Fatalf("edges = %d, want 4", got)
+	}
+	if fill.GetRef("inPartition") != lane {
+		t.Fatal("partition not set")
+	}
+	if vs := metamodel.CheckConformance(m.Model); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestBuilderClassWithFeatures(t *testing.T) {
+	m := NewModel("cd", Metamodel())
+	b := NewBuilder(m)
+	c := b.Class(MetaClass, "ReviewMetadata")
+	b.Attribute(c, "stored_by", "String")
+	b.Attribute(c, "stored_date", "Date")
+	b.Operation(c, "check_completeness", "(): Boolean")
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	attrs := c.GetRefs("attributes")
+	if len(attrs) != 2 || attrs[0].GetString("name") != "stored_by" {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	ops := c.GetRefs("operations")
+	if len(ops) != 1 || ops[0].GetString("signature") != "(): Boolean" {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestBuilderRequirementAndComment(t *testing.T) {
+	m := NewModel("req", Metamodel())
+	b := NewBuilder(m)
+	r := b.Requirement(MetaRequirement, 7, "Completeness", "verify that all data have been completed by reviewer")
+	uc := b.UseCase(MetaUseCase, "Add review")
+	cm := b.Comment("first_name, last_name, email_address", uc)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.GetInt("id") != 7 || !strings.Contains(r.GetString("text"), "completed by reviewer") {
+		t.Fatal("requirement slots wrong")
+	}
+	ann := cm.GetRefs("annotatedElement")
+	if len(ann) != 1 || ann[0] != uc {
+		t.Fatal("comment annotation wrong")
+	}
+}
+
+func TestBuilderErrorSticksAndShortCircuits(t *testing.T) {
+	m := NewModel("err", Metamodel())
+	b := NewBuilder(m)
+	b.UseCase("NoSuchClass", "x")
+	if b.Err() == nil {
+		t.Fatal("expected error")
+	}
+	before := b.Err()
+	// Subsequent calls return nil and do not clobber the error.
+	if b.Actor("a") != nil || b.Err() != before {
+		t.Fatal("builder should short-circuit after error")
+	}
+}
+
+func TestBuilderIncludeNilError(t *testing.T) {
+	m := NewModel("err", Metamodel())
+	b := NewBuilder(m)
+	if b.Include(nil, nil); b.Err() == nil {
+		t.Fatal("Include(nil,nil) should error")
+	}
+	b2 := NewBuilder(NewModel("err2", Metamodel()))
+	if b2.Flow(b2.Activity("a"), nil, nil, ""); b2.Err() == nil {
+		t.Fatal("Flow with nil nodes should error")
+	}
+}

@@ -1,0 +1,427 @@
+// Package validate is the model validation engine: it checks a model
+// against (1) the structural conformance rules of its metamodel
+// (multiplicities, referential integrity), (2) metamodel well-formedness
+// rules expressed in OCL, and (3) the constraints of any applied UML
+// profiles (the paper's Table 3 constraints), producing a flat list of
+// diagnostics rather than failing on the first problem — an analyst fixes a
+// requirements model iteratively.
+package validate
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/ocl"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Diagnostic severities.
+const (
+	// Error marks a violated constraint: the model is not well-formed.
+	Error Severity = iota
+	// Warning marks a questionable but legal construct.
+	Warning
+	// Info marks a neutral observation.
+	Info
+)
+
+// String renders the severity.
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	case Info:
+		return "info"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Rule is an OCL well-formedness rule scoped to instances of one class.
+type Rule struct {
+	// ID names the rule in diagnostics.
+	ID string
+	// Class is the (simple or dotted) name of the constrained metaclass.
+	Class string
+	// Expr is the boolean OCL expression with `self` bound per instance.
+	Expr string
+	// Doc is the prose reading of the rule.
+	Doc string
+	// Severity of a violation; Error when zero-valued.
+	Severity Severity
+}
+
+// Diagnostic is one validation finding.
+type Diagnostic struct {
+	// Severity grades the finding.
+	Severity Severity
+	// Rule identifies the violated rule ("conformance" rules come from the
+	// metamodel kernel; others carry the Rule.ID or stereotype constraint).
+	Rule string
+	// Element is the offending model element (nil for model-level findings).
+	Element *metamodel.Object
+	// Message describes the finding.
+	Message string
+	// Doc is the prose reading of the violated rule, when available.
+	Doc string
+}
+
+// String renders the diagnostic for reports.
+func (d Diagnostic) String() string {
+	loc := "<model>"
+	if d.Element != nil {
+		loc = d.Element.Label()
+	}
+	return fmt.Sprintf("%s: %s: [%s] %s", d.Severity, loc, d.Rule, d.Message)
+}
+
+// Report is the outcome of a validation run.
+type Report struct {
+	// Diagnostics holds all findings, errors first, in deterministic order.
+	Diagnostics []Diagnostic
+	// Checked is the number of (element, rule) pairs evaluated.
+	Checked int
+}
+
+// OK reports whether the run produced no Error-severity diagnostics.
+func (r *Report) OK() bool {
+	for _, d := range r.Diagnostics {
+		if d.Severity == Error {
+			return false
+		}
+	}
+	return true
+}
+
+// Errors returns only the Error-severity diagnostics.
+func (r *Report) Errors() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ByRule returns the diagnostics for one rule id.
+func (r *Report) ByRule(id string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Rule == id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Engine validates one model. Construct with New, add rule sources, Run.
+type Engine struct {
+	model *uml.Model
+	rules []Rule
+	// skipConformance disables the kernel structural pass (used by callers
+	// that already ran it).
+	skipConformance bool
+	// workers bounds rule-evaluation concurrency; defaults to GOMAXPROCS.
+	workers int
+	// extent is the per-run memoized class extent, set by Run.
+	extent func(*metamodel.Class) []*metamodel.Object
+}
+
+// New creates an engine for the given profiled model.
+func New(m *uml.Model) *Engine {
+	return &Engine{model: m}
+}
+
+// AddRules appends metamodel well-formedness rules.
+func (e *Engine) AddRules(rules ...Rule) *Engine {
+	e.rules = append(e.rules, rules...)
+	return e
+}
+
+// AddProfileConstraints converts the constraints of every stereotype of the
+// given profile into rules evaluated on the elements carrying the
+// stereotype.
+func (e *Engine) AddProfileConstraints(p *uml.Profile) *Engine {
+	for _, s := range p.Stereotypes() {
+		for _, c := range s.Constraints() {
+			e.rules = append(e.rules, Rule{
+				ID:       fmt.Sprintf("%s::%s::%s", p.Name(), s.Name(), c.Name),
+				Class:    "@stereotype:" + s.Name(),
+				Expr:     c.OCL,
+				Doc:      c.Doc,
+				Severity: Error,
+			})
+		}
+	}
+	return e
+}
+
+// SkipConformance disables the structural pass.
+func (e *Engine) SkipConformance() *Engine {
+	e.skipConformance = true
+	return e
+}
+
+// SetWorkers bounds concurrency; n < 1 resets to the default.
+func (e *Engine) SetWorkers(n int) *Engine {
+	e.workers = n
+	return e
+}
+
+// CheckRules statically checks every registered rule's OCL against the
+// metamodel: rules must parse and navigate only existing properties of
+// their context class. Stereotype-scoped rules are checked against each of
+// the stereotype's base metaclasses. It returns one error per broken rule.
+func (e *Engine) CheckRules() []error {
+	var out []error
+	mm := e.model.Metamodel()
+	for _, r := range e.rules {
+		var contexts []*metamodel.Class
+		if sName, ok := stereotypeTarget(r.Class); ok {
+			s, found := e.model.ResolveStereotype(sName)
+			if !found {
+				out = append(out, fmt.Errorf("rule %s: stereotype %q not in any applied profile", r.ID, sName))
+				continue
+			}
+			contexts = s.Bases()
+			// The heavyweight counterpart: a metaclass named after the
+			// stereotype, when the metamodel defines one. Constraints often
+			// navigate its features behind an oclIsKindOf guard.
+			if c, found := mm.FindClass(sName); found {
+				contexts = append(contexts, c)
+			}
+		} else {
+			c, found := mm.FindClass(r.Class)
+			if !found {
+				out = append(out, fmt.Errorf("rule %s: unknown class %q", r.ID, r.Class))
+				continue
+			}
+			contexts = []*metamodel.Class{c}
+		}
+		// A rule is statically sound if it checks against at least one of
+		// its context classes (a stereotype may extend several bases with
+		// different features).
+		var firstErr error
+		ok := false
+		for _, ctx := range contexts {
+			if _, err := ocl.CheckContext(r.Expr, ctx, mm); err == nil {
+				ok = true
+				break
+			} else if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if !ok {
+			out = append(out, fmt.Errorf("rule %s: %w", r.ID, firstErr))
+		}
+	}
+	return out
+}
+
+// Run executes all passes and returns the report. OCL evaluation errors
+// (e.g. a rule navigating a property the element lacks) surface as
+// diagnostics, not Go errors: a broken rule must not hide other findings.
+func (e *Engine) Run() *Report {
+	rep := &Report{}
+
+	// Memoize class extents for the duration of the run: the model is not
+	// mutated while validating, and global rules (allInstances) otherwise
+	// rescan it per element.
+	var extentMu sync.Mutex
+	extents := map[*metamodel.Class][]*metamodel.Object{}
+	extent := func(c *metamodel.Class) []*metamodel.Object {
+		extentMu.Lock()
+		defer extentMu.Unlock()
+		if objs, ok := extents[c]; ok {
+			return objs
+		}
+		objs := e.model.Model.AllInstances(c)
+		extents[c] = objs
+		return objs
+	}
+	e.extent = extent
+
+	if !e.skipConformance {
+		for _, v := range metamodel.CheckConformance(e.model.Model) {
+			rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+				Severity: Error,
+				Rule:     "conformance/" + string(v.Rule),
+				Element:  v.Object,
+				Message:  v.Message,
+			})
+			rep.Checked++
+		}
+	}
+
+	// Build the work list: (element, rule) pairs.
+	type job struct {
+		obj  *metamodel.Object
+		rule Rule
+		ast  ocl.Expr
+	}
+	var jobs []job
+	for _, r := range e.rules {
+		// Parse each rule once; per-element re-parsing dominates large runs.
+		ast, parseErr := ocl.Parse(r.Expr)
+		if parseErr != nil {
+			rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+				Severity: Error,
+				Rule:     r.ID,
+				Message:  fmt.Sprintf("rule does not parse: %v", parseErr),
+				Doc:      r.Doc,
+			})
+			continue
+		}
+		var targets []*metamodel.Object
+		if sName, ok := stereotypeTarget(r.Class); ok {
+			targets = e.model.StereotypedBy(sName)
+		} else {
+			c, found := e.model.Metamodel().FindClass(r.Class)
+			if !found {
+				rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+					Severity: Error,
+					Rule:     r.ID,
+					Message:  fmt.Sprintf("rule targets unknown class %q", r.Class),
+					Doc:      r.Doc,
+				})
+				continue
+			}
+			targets = e.model.Model.AllInstances(c)
+		}
+		for _, o := range targets {
+			jobs = append(jobs, job{obj: o, rule: r, ast: ast})
+		}
+	}
+	rep.Checked += len(jobs)
+
+	workers := e.workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([][]Diagnostic, len(jobs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = e.evalJob(jobs[i].obj, jobs[i].rule, jobs[i].ast)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, ds := range results {
+		rep.Diagnostics = append(rep.Diagnostics, ds...)
+	}
+	sortDiagnostics(rep.Diagnostics)
+	return rep
+}
+
+func (e *Engine) evalJob(o *metamodel.Object, r Rule, ast ocl.Expr) []Diagnostic {
+	env := &ocl.Env{
+		Model:  e.model.Model,
+		Extent: e.extent,
+		Vars:   map[string]any{"self": o},
+		Stereotypes: func(obj *metamodel.Object) []string {
+			return e.model.StereotypeNames(obj)
+		},
+		TaggedValue: func(obj *metamodel.Object, name string) metamodel.Value {
+			for _, a := range e.model.Applications(obj) {
+				if v, ok := a.Tag(name); ok {
+					return v
+				}
+			}
+			return nil
+		},
+	}
+	ok, err := evalBoolAST(ast, env)
+	if err != nil {
+		return []Diagnostic{{
+			Severity: Error,
+			Rule:     r.ID,
+			Element:  o,
+			Message:  fmt.Sprintf("rule evaluation failed: %v", err),
+			Doc:      r.Doc,
+		}}
+	}
+	if !ok {
+		msg := r.Doc
+		if msg == "" {
+			msg = fmt.Sprintf("constraint %q violated", r.Expr)
+		}
+		return []Diagnostic{{
+			Severity: r.Severity,
+			Rule:     r.ID,
+			Element:  o,
+			Message:  msg,
+			Doc:      r.Doc,
+		}}
+	}
+	return nil
+}
+
+func stereotypeTarget(class string) (string, bool) {
+	const prefix = "@stereotype:"
+	if len(class) > len(prefix) && class[:len(prefix)] == prefix {
+		return class[len(prefix):], true
+	}
+	return "", false
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].Severity != ds[j].Severity {
+			return ds[i].Severity < ds[j].Severity
+		}
+		if ds[i].Rule != ds[j].Rule {
+			return ds[i].Rule < ds[j].Rule
+		}
+		li, lj := "", ""
+		if ds[i].Element != nil {
+			li = ds[i].Element.Label()
+		}
+		if ds[j].Element != nil {
+			lj = ds[j].Element.Label()
+		}
+		return li < lj
+	})
+}
+
+// evalBoolAST evaluates a pre-parsed boolean expression; null counts as
+// "constraint does not hold", matching ocl.EvalBool.
+func evalBoolAST(ast ocl.Expr, env *ocl.Env) (bool, error) {
+	v, err := ocl.Eval(ast, env)
+	if err != nil {
+		return false, err
+	}
+	switch t := v.(type) {
+	case bool:
+		return t, nil
+	case nil:
+		return false, nil
+	default:
+		return false, fmt.Errorf("expression yields %T, not Boolean", v)
+	}
+}

@@ -1,0 +1,314 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+func newUseCaseModel(t testing.TB) (*uml.Model, *uml.Builder) {
+	t.Helper()
+	m := uml.NewModel("t", uml.Metamodel())
+	return m, uml.NewBuilder(m)
+}
+
+func TestConformancePassIncluded(t *testing.T) {
+	m, _ := newUseCaseModel(t)
+	// An Include without its mandatory addition violates conformance.
+	m.MustCreate(uml.MetaInclude)
+	rep := New(m).Run()
+	if rep.OK() {
+		t.Fatal("should report conformance violation")
+	}
+	if len(rep.ByRule("conformance/lower-bound")) != 1 {
+		t.Fatalf("diagnostics = %v", rep.Diagnostics)
+	}
+	// SkipConformance suppresses it.
+	rep = New(m).SkipConformance().Run()
+	if !rep.OK() {
+		t.Fatal("SkipConformance should hide the structural violation")
+	}
+}
+
+func TestRulePassAndFail(t *testing.T) {
+	m, b := newUseCaseModel(t)
+	b.UseCase(uml.MetaUseCase, "named")
+	anon := b.UseCase(uml.MetaUseCase, "")
+	anon.Unset("name")
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rep := New(m).AddRules(Rule{
+		ID:    "usecase-named",
+		Class: uml.MetaUseCase,
+		Expr:  "not self.name.oclIsUndefined() and self.name.size() > 0",
+		Doc:   "Use cases carry names.",
+	}).Run()
+	if rep.OK() {
+		t.Fatal("anonymous use case should fail")
+	}
+	ds := rep.ByRule("usecase-named")
+	if len(ds) != 1 || ds[0].Element != anon {
+		t.Fatalf("diagnostics = %v", ds)
+	}
+	if ds[0].Message != "Use cases carry names." {
+		t.Fatalf("message = %q", ds[0].Message)
+	}
+	if rep.Checked < 2 {
+		t.Fatalf("Checked = %d", rep.Checked)
+	}
+}
+
+func TestRuleUnknownClass(t *testing.T) {
+	m, _ := newUseCaseModel(t)
+	rep := New(m).AddRules(Rule{ID: "r", Class: "Ghost", Expr: "true"}).Run()
+	if rep.OK() {
+		t.Fatal("unknown class should produce a diagnostic")
+	}
+	if !strings.Contains(rep.Diagnostics[0].Message, "unknown class") {
+		t.Fatalf("message = %q", rep.Diagnostics[0].Message)
+	}
+}
+
+func TestRuleEvalErrorSurfacesAsDiagnostic(t *testing.T) {
+	m, b := newUseCaseModel(t)
+	b.UseCase(uml.MetaUseCase, "x")
+	rep := New(m).AddRules(Rule{
+		ID:    "broken",
+		Class: uml.MetaUseCase,
+		Expr:  "self.nonexistent > 1",
+	}).Run()
+	if rep.OK() {
+		t.Fatal("broken rule should produce a diagnostic")
+	}
+	if !strings.Contains(rep.Diagnostics[0].Message, "rule evaluation failed") {
+		t.Fatalf("message = %q", rep.Diagnostics[0].Message)
+	}
+}
+
+func TestWarningSeverityDoesNotFailReport(t *testing.T) {
+	m, b := newUseCaseModel(t)
+	b.UseCase(uml.MetaUseCase, "x")
+	rep := New(m).AddRules(Rule{
+		ID:       "style",
+		Class:    uml.MetaUseCase,
+		Expr:     "self.name.size() > 10",
+		Doc:      "names should be descriptive",
+		Severity: Warning,
+	}).Run()
+	if !rep.OK() {
+		t.Fatal("warnings must not fail the report")
+	}
+	if len(rep.Diagnostics) != 1 || rep.Diagnostics[0].Severity != Warning {
+		t.Fatalf("diagnostics = %v", rep.Diagnostics)
+	}
+	if len(rep.Errors()) != 0 {
+		t.Fatal("Errors() should be empty")
+	}
+}
+
+func TestProfileConstraints(t *testing.T) {
+	p := uml.NewProfile("P")
+	s := p.AddStereotype("Tagged", uml.MustClass(uml.MetaUseCase))
+	s.AddConstraint("self-named", "not self.name.oclIsUndefined()", "tagged elements are named")
+
+	m, b := newUseCaseModel(t)
+	m.ApplyProfile(p)
+	good := b.UseCase(uml.MetaUseCase, "ok")
+	bad := b.UseCase(uml.MetaUseCase, "")
+	bad.Unset("name")
+	plain := b.UseCase(uml.MetaUseCase, "") // not stereotyped: rule must not fire
+	plain.Unset("name")
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	m.MustApply(good, s)
+	m.MustApply(bad, s)
+
+	rep := New(m).AddProfileConstraints(p).Run()
+	if rep.OK() {
+		t.Fatal("stereotyped anonymous element should fail")
+	}
+	ds := rep.ByRule("P::Tagged::self-named")
+	if len(ds) != 1 || ds[0].Element != bad {
+		t.Fatalf("diagnostics = %v", ds)
+	}
+}
+
+func TestHasStereotypeAvailableInRules(t *testing.T) {
+	p := uml.NewProfile("P")
+	a := p.AddStereotype("A", uml.MustClass(uml.MetaUseCase))
+	bStereo := p.AddStereotype("B", uml.MustClass(uml.MetaUseCase))
+	// Every «A» use case must include a «B» use case.
+	a.AddConstraint("includes-b",
+		"self.include->exists(i | i.addition.hasStereotype('B'))",
+		"«A» includes a «B»")
+
+	m, b := newUseCaseModel(t)
+	m.ApplyProfile(p)
+	base := b.UseCase(uml.MetaUseCase, "base")
+	target := b.UseCase(uml.MetaUseCase, "target")
+	b.Include(base, target)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	m.MustApply(base, a)
+
+	rep := New(m).AddProfileConstraints(p).Run()
+	if rep.OK() {
+		t.Fatal("target lacks «B»; constraint must fail")
+	}
+	m.MustApply(target, bStereo)
+	rep = New(m).AddProfileConstraints(p).Run()
+	if !rep.OK() {
+		for _, d := range rep.Diagnostics {
+			t.Log(d)
+		}
+		t.Fatal("after stereotyping target, constraint must hold")
+	}
+}
+
+func TestTaggedValueAvailableInRules(t *testing.T) {
+	p := uml.NewProfile("P")
+	s := p.AddStereotype("Bounded", uml.MustClass(uml.MetaClass))
+	s.AddTag("upper_bound", uml.IntegerType(), false)
+	s.AddConstraint("bound-positive",
+		"self.taggedValue('upper_bound').oclIsUndefined() or self.taggedValue('upper_bound') > 0",
+		"upper_bound must be positive when set")
+
+	m, b := newUseCaseModel(t)
+	m.ApplyProfile(p)
+	c := b.Class(uml.MetaClass, "C")
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	app := m.MustApply(c, s)
+	app.MustSetTag("upper_bound", metamodel.Int(-1))
+	rep := New(m).AddProfileConstraints(p).Run()
+	if rep.OK() {
+		t.Fatal("negative bound should fail")
+	}
+	app.MustSetTag("upper_bound", metamodel.Int(5))
+	rep = New(m).AddProfileConstraints(p).Run()
+	if !rep.OK() {
+		t.Fatal("positive bound should pass")
+	}
+}
+
+func TestDiagnosticOrderingDeterministic(t *testing.T) {
+	m, b := newUseCaseModel(t)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		uc := b.UseCase(uml.MetaUseCase, n)
+		_ = uc
+	}
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rule := Rule{ID: "always-fail", Class: uml.MetaUseCase, Expr: "false", Doc: "nope"}
+	rep1 := New(m).AddRules(rule).Run()
+	rep2 := New(m).AddRules(rule).SetWorkers(1).Run()
+	if len(rep1.Diagnostics) != 3 || len(rep2.Diagnostics) != 3 {
+		t.Fatalf("diagnostics = %d / %d", len(rep1.Diagnostics), len(rep2.Diagnostics))
+	}
+	for i := range rep1.Diagnostics {
+		if rep1.Diagnostics[i].Element != rep2.Diagnostics[i].Element {
+			t.Fatal("ordering differs between concurrent and serial runs")
+		}
+	}
+	// Sorted by element label.
+	labels := []string{}
+	for _, d := range rep1.Diagnostics {
+		labels = append(labels, d.Element.GetString("name"))
+	}
+	if labels[0] != "alpha" || labels[1] != "mid" || labels[2] != "zeta" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Error.String() != "error" || Warning.String() != "warning" || Info.String() != "info" {
+		t.Fatal("severity strings wrong")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Severity: Error, Rule: "r", Message: "m"}
+	if !strings.Contains(d.String(), "<model>") {
+		t.Fatalf("String = %q", d.String())
+	}
+}
+
+func TestRulesOverSubclassExtent(t *testing.T) {
+	// A rule on Classifier fires for Actors and UseCases alike.
+	m, b := newUseCaseModel(t)
+	b.Actor("a")
+	b.UseCase(uml.MetaUseCase, "u")
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rep := New(m).AddRules(Rule{
+		ID:    "classifier-named",
+		Class: uml.MetaClassifier,
+		Expr:  "not self.name.oclIsUndefined()",
+	}).Run()
+	if !rep.OK() {
+		t.Fatal("both named")
+	}
+	// 2 jobs evaluated.
+	if rep.Checked != 2 {
+		t.Fatalf("Checked = %d, want 2", rep.Checked)
+	}
+}
+
+func TestCheckRulesStaticPass(t *testing.T) {
+	m, _ := newUseCaseModel(t)
+	eng := New(m).AddRules(
+		Rule{ID: "good", Class: uml.MetaUseCase, Expr: "not self.name.oclIsUndefined()"},
+		Rule{ID: "typo", Class: uml.MetaUseCase, Expr: "self.nmae.size() > 0"},
+		Rule{ID: "ghost", Class: "Ghost", Expr: "true"},
+	)
+	errs := eng.CheckRules()
+	if len(errs) != 2 {
+		t.Fatalf("errors = %v", errs)
+	}
+	for _, err := range errs {
+		msg := err.Error()
+		if !strings.Contains(msg, "typo") && !strings.Contains(msg, "ghost") {
+			t.Errorf("unexpected error %v", err)
+		}
+	}
+}
+
+func TestCheckRulesStereotypeContexts(t *testing.T) {
+	p := uml.NewProfile("SC")
+	s := p.AddStereotype("Marked", uml.MustClass(uml.MetaUseCase))
+	s.AddConstraint("ok", "self.include->isEmpty()", "no includes")
+	s.AddConstraint("bad", "self.nonexistent", "broken")
+	m, _ := newUseCaseModel(t)
+	m.ApplyProfile(p)
+	eng := New(m).AddProfileConstraints(p)
+	errs := eng.CheckRules()
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "bad") {
+		t.Fatalf("errors = %v", errs)
+	}
+	// A rule scoped to a stereotype from an unapplied profile.
+	eng2 := New(uml.NewModel("x", uml.Metamodel())).AddRules(
+		Rule{ID: "r", Class: "@stereotype:Marked", Expr: "true"})
+	if errs := eng2.CheckRules(); len(errs) != 1 {
+		t.Fatalf("unapplied profile errors = %v", errs)
+	}
+}
+
+func TestRunReportsUnparseableRule(t *testing.T) {
+	m, b := newUseCaseModel(t)
+	b.UseCase(uml.MetaUseCase, "x")
+	rep := New(m).AddRules(Rule{ID: "syntax", Class: uml.MetaUseCase, Expr: "self.("}).Run()
+	if rep.OK() {
+		t.Fatal("unparseable rule should fail the report")
+	}
+	if !strings.Contains(rep.Diagnostics[0].Message, "does not parse") {
+		t.Fatalf("message = %q", rep.Diagnostics[0].Message)
+	}
+}

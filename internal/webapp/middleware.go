@@ -1,0 +1,52 @@
+package webapp
+
+import (
+	"log"
+	"net/http"
+	"time"
+)
+
+// Recover converts handler panics into 500 responses instead of tearing
+// down the connection, logging the panic value.
+func Recover(logger *log.Logger) Middleware {
+	return func(next HandlerFunc) HandlerFunc {
+		return func(c *Context) {
+			defer func() {
+				if v := recover(); v != nil {
+					if logger != nil {
+						logger.Printf("panic serving %s %s: %v", c.R.Method, c.R.URL.Path, v)
+					}
+					http.Error(c.W, "internal server error", http.StatusInternalServerError)
+				}
+			}()
+			next(c)
+		}
+	}
+}
+
+// Logging writes one line per request with method, path and duration.
+func Logging(logger *log.Logger) Middleware {
+	return func(next HandlerFunc) HandlerFunc {
+		return func(c *Context) {
+			start := time.Now()
+			next(c)
+			if logger != nil {
+				logger.Printf("%s %s (%s)", c.R.Method, c.R.URL.Path, time.Since(start))
+			}
+		}
+	}
+}
+
+// RequireLogin redirects to the given path unless the session carries a
+// "user" value.
+func RequireLogin(loginPath string) Middleware {
+	return func(next HandlerFunc) HandlerFunc {
+		return func(c *Context) {
+			if c.Session == nil || c.Session.Get("user") == "" {
+				c.Redirect(loginPath)
+				return
+			}
+			next(c)
+		}
+	}
+}

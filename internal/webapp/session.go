@@ -1,0 +1,100 @@
+package webapp
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"sync"
+)
+
+// Session is a per-visitor key-value bag, safe for concurrent use.
+type Session struct {
+	// ID is the opaque session identifier stored in the cookie.
+	ID string
+
+	mu     sync.RWMutex
+	values map[string]string
+}
+
+// Get returns a session value, "" when unset.
+func (s *Session) Get(key string) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.values[key]
+}
+
+// Set assigns a session value.
+func (s *Session) Set(key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.values[key] = value
+}
+
+// Delete removes a session value.
+func (s *Session) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.values, key)
+}
+
+// SessionManager issues and resolves cookie-backed in-memory sessions.
+type SessionManager struct {
+	cookie string
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+// NewSessionManager creates a manager using the given cookie name.
+func NewSessionManager(cookieName string) *SessionManager {
+	return &SessionManager{cookie: cookieName, sessions: make(map[string]*Session)}
+}
+
+// Get resolves the request's session, creating one (and setting the cookie)
+// when absent or unknown.
+func (m *SessionManager) Get(w http.ResponseWriter, r *http.Request) *Session {
+	if c, err := r.Cookie(m.cookie); err == nil {
+		m.mu.RLock()
+		s, ok := m.sessions[c.Value]
+		m.mu.RUnlock()
+		if ok {
+			return s
+		}
+	}
+	s := &Session{ID: newSessionID(), values: make(map[string]string)}
+	m.mu.Lock()
+	m.sessions[s.ID] = s
+	m.mu.Unlock()
+	http.SetCookie(w, &http.Cookie{
+		Name:     m.cookie,
+		Value:    s.ID,
+		Path:     "/",
+		HttpOnly: true,
+	})
+	return s
+}
+
+// Lookup returns a session by id without creating one.
+func (m *SessionManager) Lookup(id string) (*Session, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// Len returns the number of live sessions.
+func (m *SessionManager) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.sessions)
+}
+
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero id would
+		// still be functional, just predictable, so panic loudly instead.
+		panic("webapp: crypto/rand failure: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,139 @@
+package webapp
+
+import (
+	"sort"
+	"sync"
+)
+
+// Row is one stored record: field name → value.
+type Row map[string]string
+
+// clone returns an independent copy of the row.
+func cloneRow(r Row) Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Table is a thread-safe in-memory table with auto-incrementing ids.
+type Table struct {
+	mu   sync.RWMutex
+	rows map[int64]Row
+	seq  int64
+}
+
+// NewTable creates an empty table.
+func NewTable() *Table {
+	return &Table{rows: make(map[int64]Row)}
+}
+
+// Insert stores a copy of the row and returns its new id.
+func (t *Table) Insert(r Row) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	t.rows[t.seq] = cloneRow(r)
+	return t.seq
+}
+
+// Get returns a copy of the row with the given id.
+func (t *Table) Get(id int64) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.rows[id]
+	if !ok {
+		return nil, false
+	}
+	return cloneRow(r), true
+}
+
+// Update replaces the row with the given id; it reports whether it existed.
+func (t *Table) Update(id int64, r Row) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.rows[id]; !ok {
+		return false
+	}
+	t.rows[id] = cloneRow(r)
+	return true
+}
+
+// Delete removes a row; it reports whether it existed.
+func (t *Table) Delete(id int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.rows[id]; !ok {
+		return false
+	}
+	delete(t.rows, id)
+	return true
+}
+
+// IDs returns all row ids in ascending order.
+func (t *Table) IDs() []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]int64, 0, len(t.rows))
+	for id := range t.rows {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Select returns copies of the rows satisfying the predicate, in id order.
+func (t *Table) Select(pred func(id int64, r Row) bool) map[int64]Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := map[int64]Row{}
+	for id, r := range t.rows {
+		if pred == nil || pred(id, r) {
+			out[id] = cloneRow(r)
+		}
+	}
+	return out
+}
+
+// Store is a named collection of tables.
+type Store struct {
+	mu     sync.Mutex
+	tables map[string]*Table
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// Table returns (creating on first use) the named table.
+func (s *Store) Table(name string) *Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		t = NewTable()
+		s.tables[name] = t
+	}
+	return t
+}
+
+// Names returns the table names in sorted order.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,49 @@
+package webre
+
+import (
+	"sync"
+
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+var (
+	profileOnce sync.Once
+	profilePtr  *uml.Profile
+)
+
+// Profile returns the WebRE UML profile of Escalona & Koch: the lightweight
+// delivery of the metamodel, with one stereotype per Table 2 element
+// extending the corresponding UML base class. Applying it to a plain UML
+// model lets the DQ_WebRE profile's hasStereotype-based constraints work
+// without any heavyweight metaclass — the pure-profile path the paper
+// demonstrates with Enterprise Architect.
+func Profile() *uml.Profile {
+	profileOnce.Do(func() {
+		profilePtr = buildProfile()
+	})
+	return profilePtr
+}
+
+func buildProfile() *uml.Profile {
+	p := uml.NewProfile("WebRE").
+		SetDoc("UML profile for Web Requirements Engineering (Escalona & Koch 2006).")
+
+	add := func(name string, base string, doc string) *uml.Stereotype {
+		s := p.AddStereotype(name, uml.MustClass(base))
+		s.SetDoc(doc)
+		return s
+	}
+	for _, row := range Table2() {
+		switch row.Element {
+		case MetaWebUser:
+			add(row.Element, uml.MetaActor, row.Description)
+		case MetaNavigation, MetaWebProcess:
+			add(row.Element, uml.MetaUseCase, row.Description)
+		case MetaBrowse, MetaSearch, MetaUserTransaction:
+			add(row.Element, uml.MetaAction, row.Description)
+		case MetaNode, MetaContent, MetaWebUI:
+			add(row.Element, uml.MetaClass, row.Description)
+		}
+	}
+	return p
+}

@@ -1,0 +1,209 @@
+// Package webre implements the WebRE metamodel of Escalona & Koch (2006),
+// the web requirements engineering metamodel the paper extends. Its nine
+// key concepts (paper Table 2) are split over two packages, mirroring the
+// original:
+//
+//	WebRE.Behavior:  WebUser, Navigation, WebProcess, Browse, Search,
+//	                 UserTransaction
+//	WebRE.Structure: Node, Content, WebUI
+//
+// Each WebRE metaclass specializes a UML metaclass (use cases specialize
+// UseCase, activities specialize Action, structural elements specialize
+// Class), so WebRE models are ordinary UML models and profiles apply to
+// them unchanged.
+package webre
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+// Metaclass names introduced by WebRE.
+const (
+	MetaWebUser         = "WebUser"
+	MetaNavigation      = "Navigation"
+	MetaWebProcess      = "WebProcess"
+	MetaBrowse          = "Browse"
+	MetaSearch          = "Search"
+	MetaUserTransaction = "UserTransaction"
+	MetaNode            = "Node"
+	MetaContent         = "Content"
+	MetaWebUI           = "WebUI"
+)
+
+var (
+	once sync.Once
+	pkg  *metamodel.Package
+)
+
+// Metamodel returns the WebRE metamodel package. It is built once, imports
+// the UML subset (so plain UML elements resolve inside WebRE models) and is
+// registered in the metamodel registry under "WebRE".
+func Metamodel() *metamodel.Package {
+	once.Do(func() {
+		pkg = build()
+		metamodel.MustRegister(pkg)
+	})
+	return pkg
+}
+
+func build() *metamodel.Package {
+	u := uml.Metamodel()
+	w := metamodel.NewPackage("WebRE")
+	w.Import(u)
+
+	str, _ := u.DataType("String")
+
+	behavior := w.AddPackage("Behavior")
+	structure := w.AddPackage("Structure")
+
+	// ---- Structure package (paper Table 2, bottom three rows) ----
+
+	node := structure.AddClass(MetaNode).
+		SetDoc("A point of navigation at which the user can find information. Each Browse starts in a source node and finishes in a target node. Nodes are shown to the users as pages.")
+	node.AddSuper(uml.MustClass(uml.MetaClass))
+
+	content := structure.AddClass(MetaContent).
+		SetDoc("Represents where the different pieces of information are stored.")
+	content.AddSuper(uml.MustClass(uml.MetaClass))
+
+	webUI := structure.AddClass(MetaWebUI).
+		SetDoc("Represents the concept of Web page.")
+	webUI.AddSuper(uml.MustClass(uml.MetaClass))
+
+	node.AddRef("ui", webUI).
+		SetDoc("The web page presenting this node, if modeled.")
+	node.AddRefs("contents", content).
+		SetDoc("Contents displayed at this node.")
+
+	// ---- Behavior package (paper Table 2, top six rows) ----
+
+	webUser := behavior.AddClass(MetaWebUser).
+		SetDoc("Represents any user who interacts with the Web application.")
+	webUser.AddSuper(uml.MustClass(uml.MetaActor))
+
+	browse := behavior.AddClass(MetaBrowse).
+		SetDoc("A normal browse activity in the system; it can be improved by a Search activity. Each instance starts in a node (source) and finishes in another node (target).")
+	browse.AddSuper(uml.MustClass(uml.MetaAction))
+	browse.AddProperty("source", node, 1, 1).
+		SetDoc("The node the browse starts from.")
+	browse.AddProperty("target", node, 1, 1).
+		SetDoc("The node the browse arrives at.")
+
+	search := behavior.AddClass(MetaSearch).
+		SetDoc("Has a set of parameters which define queries on the data storage in Content; the results are shown in the target node.")
+	search.AddSuper(browse)
+	search.AddProperty("parameters", str, 0, metamodel.Unbounded).
+		SetDoc("Query parameter names.")
+	search.AddRef("queriedContent", content).
+		SetDoc("The content the query runs against.")
+
+	userTx := behavior.AddClass(MetaUserTransaction).
+		SetDoc("Represents complex activities that can be expressed in terms of transactions initiated by users.")
+	userTx.AddSuper(uml.MustClass(uml.MetaAction))
+	userTx.AddRefs("data", content).
+		SetDoc("Contents read or written by the transaction.")
+
+	navigation := behavior.AddClass(MetaNavigation).
+		SetDoc("A specific use case comprising a set of Browse activities the WebUser performs to reach a target node.")
+	navigation.AddSuper(uml.MustClass(uml.MetaUseCase))
+	navigation.AddRefs("browses", browse).
+		SetDoc("The browse activities of this navigation.")
+	navigation.AddRef("targetNode", node).
+		SetDoc("The node the navigation ultimately reaches.")
+
+	webProcess := behavior.AddClass(MetaWebProcess).
+		SetDoc("Models a main functionality (normally a business process) of the Web application; refined by Browse, Search and UserTransaction activities.")
+	webProcess.AddSuper(uml.MustClass(uml.MetaUseCase))
+	webProcess.AddRefs("activities", uml.MustClass(uml.MetaAction)).
+		SetDoc("The activities refining this process.")
+
+	return w
+}
+
+// MustClass resolves a WebRE (or imported UML) metaclass by name.
+func MustClass(name string) *metamodel.Class {
+	c, ok := Metamodel().FindClass(name)
+	if !ok {
+		panic(fmt.Errorf("webre: unknown metaclass %q", name))
+	}
+	return c
+}
+
+// TableRow is one row of the paper's Table 2: a WebRE element with its
+// published description.
+type TableRow struct {
+	// Element is the WebRE metaclass name.
+	Element string
+	// Description is the Table 2 text.
+	Description string
+}
+
+// Table2 returns the paper's Table 2 verbatim, in the paper's row order.
+// The descriptions here are the published ones; Metamodel() carries the same
+// text as class documentation, and the tests assert both stay in sync.
+func Table2() []TableRow {
+	return []TableRow{
+		{MetaWebUser, "Represents any user who interacts with the Web application."},
+		{MetaNavigation, "Represents a specific use case which includes a set of \"Browse\" type activities that the WebUser will be able to perform to reach a target node."},
+		{MetaWebProcess, "Models the main functionalities (normally business process) of the Web application. It represents another use case which can be refined by different Browse, Search and UserTransaction type activities."},
+		{MetaBrowse, "Represents a normal browse activity in the system; it can be improved by a Search activity."},
+		{MetaSearch, "It has a set of parameters, which allow us to define queries on the data storage in \"Content\" metaclass. The results will be shown in the target node."},
+		{MetaUserTransaction, "Represents complex activities that can be expressed in terms of transactions initiated by users."},
+		{MetaNode, "Represents a point of navigation at which the user can find information. Each instance of a Browse activity starts in a node (source) and finishes in another node (target). The Nodes are shown to the users as pages."},
+		{MetaContent, "Represents where the different pieces of information are stored."},
+		{MetaWebUI, "Represents the concept of Web page."},
+	}
+}
+
+// WellFormednessRule is an OCL constraint scoped to one WebRE metaclass.
+// The validation engine evaluates Expr with `self` bound to each instance.
+type WellFormednessRule struct {
+	// ID names the rule in diagnostics.
+	ID string
+	// Class is the metaclass whose instances the rule constrains.
+	Class string
+	// Expr is the boolean OCL expression.
+	Expr string
+	// Doc is the prose reading.
+	Doc string
+}
+
+// Rules returns the WebRE well-formedness rules beyond plain multiplicities.
+func Rules() []WellFormednessRule {
+	return []WellFormednessRule{
+		{
+			ID:    "webre-navigation-has-browse",
+			Class: MetaNavigation,
+			Expr:  "self.browses->notEmpty()",
+			Doc:   "A Navigation includes at least one Browse activity.",
+		},
+		{
+			ID:    "webre-browse-distinct-nodes",
+			Class: MetaBrowse,
+			Expr:  "self.source <> self.target",
+			Doc:   "A Browse starts in a node and finishes in another node.",
+		},
+		{
+			ID:    "webre-search-has-parameters",
+			Class: MetaSearch,
+			Expr:  "self.parameters->notEmpty() implies self.queriedContent->notEmpty()",
+			Doc:   "A parameterized Search queries some Content.",
+		},
+		{
+			ID:    "webre-webprocess-named",
+			Class: MetaWebProcess,
+			Expr:  "not self.name.oclIsUndefined() and self.name.size() > 0",
+			Doc:   "A WebProcess carries a meaningful name.",
+		},
+		{
+			ID:    "webre-navigation-target-reached",
+			Class: MetaNavigation,
+			Expr:  "self.targetNode.oclIsUndefined() or self.browses->exists(b | b.target = self.targetNode)",
+			Doc:   "If a Navigation declares a target node, some Browse reaches it.",
+		},
+	}
+}

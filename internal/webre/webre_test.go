@@ -1,0 +1,334 @@
+package webre
+
+import (
+	"testing"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/ocl"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+func TestMetamodelStructure(t *testing.T) {
+	w := Metamodel()
+	if w.Name() != "WebRE" {
+		t.Fatalf("name = %q", w.Name())
+	}
+	behavior, ok := w.Package("Behavior")
+	if !ok {
+		t.Fatal("Behavior package missing")
+	}
+	structure, ok := w.Package("Structure")
+	if !ok {
+		t.Fatal("Structure package missing")
+	}
+	for _, name := range []string{MetaWebUser, MetaNavigation, MetaWebProcess, MetaBrowse, MetaSearch, MetaUserTransaction} {
+		if _, ok := behavior.Class(name); !ok {
+			t.Errorf("%s not in Behavior", name)
+		}
+	}
+	for _, name := range []string{MetaNode, MetaContent, MetaWebUI} {
+		if _, ok := structure.Class(name); !ok {
+			t.Errorf("%s not in Structure", name)
+		}
+	}
+	if reg, ok := metamodel.Lookup("WebRE"); !ok || reg != w {
+		t.Fatal("WebRE not registered")
+	}
+}
+
+// TestSpecializationOfUML pins the UML base class of each WebRE metaclass,
+// which is what lets WebRE models be treated as UML models (and lets the
+// DQ_WebRE profile apply to them).
+func TestSpecializationOfUML(t *testing.T) {
+	cases := []struct {
+		sub, super string
+	}{
+		{MetaWebUser, uml.MetaActor},
+		{MetaNavigation, uml.MetaUseCase},
+		{MetaWebProcess, uml.MetaUseCase},
+		{MetaBrowse, uml.MetaAction},
+		{MetaSearch, MetaBrowse},
+		{MetaSearch, uml.MetaAction},
+		{MetaUserTransaction, uml.MetaAction},
+		{MetaNode, uml.MetaClass},
+		{MetaContent, uml.MetaClass},
+		{MetaWebUI, uml.MetaClass},
+	}
+	for _, c := range cases {
+		sub := MustClass(c.sub)
+		super := MustClass(c.super)
+		if !sub.ConformsTo(super) {
+			t.Errorf("%s should conform to %s", c.sub, c.super)
+		}
+	}
+}
+
+func TestUMLImportResolvesInWebREModels(t *testing.T) {
+	m := uml.NewModel("test", Metamodel())
+	b := uml.NewBuilder(m)
+	actor := b.Actor("plain UML actor") // resolved via package import
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	wu := m.MustCreate(MetaWebUser)
+	wu.MustSet("name", metamodel.String("reviewer"))
+	if !actor.IsA(uml.MustClass(uml.MetaActor)) {
+		t.Fatal("actor class wrong")
+	}
+	if !wu.IsA(uml.MustClass(uml.MetaActor)) {
+		t.Fatal("WebUser should be an Actor")
+	}
+}
+
+func TestTable2MatchesMetamodelDocs(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 9 {
+		t.Fatalf("Table 2 rows = %d, want 9", len(rows))
+	}
+	order := []string{MetaWebUser, MetaNavigation, MetaWebProcess, MetaBrowse,
+		MetaSearch, MetaUserTransaction, MetaNode, MetaContent, MetaWebUI}
+	for i, row := range rows {
+		if row.Element != order[i] {
+			t.Errorf("row %d = %s, want %s", i, row.Element, order[i])
+		}
+		if row.Description == "" {
+			t.Errorf("row %s has empty description", row.Element)
+		}
+		// Every Table 2 element exists in the metamodel and is documented.
+		c := MustClass(row.Element)
+		if c.Doc() == "" {
+			t.Errorf("metaclass %s lacks documentation", row.Element)
+		}
+	}
+}
+
+func TestBrowseSourceTargetRequired(t *testing.T) {
+	m := uml.NewModel("t", Metamodel())
+	browse := m.MustCreate(MetaBrowse)
+	browse.MustSet("name", metamodel.String("go home"))
+	vs := metamodel.CheckConformance(m.Model)
+	// source and target are both [1]; missing both.
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v", vs)
+	}
+	node1 := m.MustCreate(MetaNode)
+	node1.MustSet("name", metamodel.String("home"))
+	node2 := m.MustCreate(MetaNode)
+	node2.MustSet("name", metamodel.String("reviews"))
+	browse.MustSet("source", metamodel.Ref{Target: node1})
+	browse.MustSet("target", metamodel.Ref{Target: node2})
+	if vs := metamodel.CheckConformance(m.Model); len(vs) != 0 {
+		t.Fatalf("violations after fix = %v", vs)
+	}
+}
+
+// TestRulesEvaluate runs every WebRE OCL rule against conforming and
+// violating instances.
+func TestRulesEvaluate(t *testing.T) {
+	m := uml.NewModel("t", Metamodel())
+	n1 := m.MustCreate(MetaNode)
+	n2 := m.MustCreate(MetaNode)
+	good := m.MustCreate(MetaBrowse)
+	good.MustSet("source", metamodel.Ref{Target: n1})
+	good.MustSet("target", metamodel.Ref{Target: n2})
+	bad := m.MustCreate(MetaBrowse)
+	bad.MustSet("source", metamodel.Ref{Target: n1})
+	bad.MustSet("target", metamodel.Ref{Target: n1}) // same node: violates rule
+
+	nav := m.MustCreate(MetaNavigation)
+	nav.MustAppend("browses", metamodel.Ref{Target: good})
+	emptyNav := m.MustCreate(MetaNavigation) // violates navigation-has-browse
+
+	rules := map[string]WellFormednessRule{}
+	for _, r := range Rules() {
+		rules[r.ID] = r
+	}
+
+	check := func(ruleID string, self *metamodel.Object, want bool) {
+		t.Helper()
+		r, ok := rules[ruleID]
+		if !ok {
+			t.Fatalf("rule %q missing", ruleID)
+		}
+		env := &ocl.Env{Model: m.Model, Vars: map[string]any{"self": self}}
+		got, err := ocl.EvalBool(r.Expr, env)
+		if err != nil {
+			t.Fatalf("rule %s: %v", ruleID, err)
+		}
+		if got != want {
+			t.Errorf("rule %s on %s = %v, want %v", ruleID, self.Label(), got, want)
+		}
+	}
+
+	check("webre-browse-distinct-nodes", good, true)
+	check("webre-browse-distinct-nodes", bad, false)
+	check("webre-navigation-has-browse", nav, true)
+	check("webre-navigation-has-browse", emptyNav, false)
+}
+
+func TestSearchRule(t *testing.T) {
+	m := uml.NewModel("t", Metamodel())
+	n1 := m.MustCreate(MetaNode)
+	n2 := m.MustCreate(MetaNode)
+	s := m.MustCreate(MetaSearch)
+	s.MustSet("source", metamodel.Ref{Target: n1})
+	s.MustSet("target", metamodel.Ref{Target: n2})
+	s.MustAppend("parameters", metamodel.String("title"))
+
+	var rule WellFormednessRule
+	for _, r := range Rules() {
+		if r.ID == "webre-search-has-parameters" {
+			rule = r
+		}
+	}
+	env := &ocl.Env{Model: m.Model, Vars: map[string]any{"self": s}}
+	got, err := ocl.EvalBool(rule.Expr, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("parameterized search without content should violate")
+	}
+	content := m.MustCreate(MetaContent)
+	s.MustSet("queriedContent", metamodel.Ref{Target: content})
+	got, err = ocl.EvalBool(rule.Expr, env)
+	if err != nil || !got {
+		t.Fatalf("after content: %v, %v", got, err)
+	}
+}
+
+func TestNavigationTargetRule(t *testing.T) {
+	m := uml.NewModel("t", Metamodel())
+	n1 := m.MustCreate(MetaNode)
+	n2 := m.MustCreate(MetaNode)
+	b := m.MustCreate(MetaBrowse)
+	b.MustSet("source", metamodel.Ref{Target: n1})
+	b.MustSet("target", metamodel.Ref{Target: n2})
+	nav := m.MustCreate(MetaNavigation)
+	nav.MustAppend("browses", metamodel.Ref{Target: b})
+
+	var rule WellFormednessRule
+	for _, r := range Rules() {
+		if r.ID == "webre-navigation-target-reached" {
+			rule = r
+		}
+	}
+	env := &ocl.Env{Model: m.Model, Vars: map[string]any{"self": nav}}
+	// No target node declared: rule holds vacuously.
+	if got, err := ocl.EvalBool(rule.Expr, env); err != nil || !got {
+		t.Fatalf("no-target case: %v, %v", got, err)
+	}
+	nav.MustSet("targetNode", metamodel.Ref{Target: n2})
+	if got, err := ocl.EvalBool(rule.Expr, env); err != nil || !got {
+		t.Fatalf("reached-target case: %v, %v", got, err)
+	}
+	nav.MustSet("targetNode", metamodel.Ref{Target: n1})
+	if got, err := ocl.EvalBool(rule.Expr, env); err != nil || got {
+		t.Fatalf("unreached-target case: %v, %v", got, err)
+	}
+}
+
+func TestMustClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustClass("Nonexistent")
+}
+
+func TestRuleIDsUniqueAndParseable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Rules() {
+		if seen[r.ID] {
+			t.Errorf("duplicate rule id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if _, err := ocl.Parse(r.Expr); err != nil {
+			t.Errorf("rule %s does not parse: %v", r.ID, err)
+		}
+		if _, ok := Metamodel().FindClass(r.Class); !ok {
+			t.Errorf("rule %s targets unknown class %q", r.ID, r.Class)
+		}
+	}
+}
+
+func TestWebREProfileCoversTable2(t *testing.T) {
+	p := Profile()
+	rows := Table2()
+	if got := len(p.Stereotypes()); got != len(rows) {
+		t.Fatalf("stereotypes = %d, want %d", got, len(rows))
+	}
+	for _, row := range rows {
+		s, ok := p.Stereotype(row.Element)
+		if !ok {
+			t.Errorf("stereotype %s missing", row.Element)
+			continue
+		}
+		if s.Doc() != row.Description {
+			t.Errorf("%s doc out of sync with Table 2", row.Element)
+		}
+		// The lightweight base matches the heavyweight superclass.
+		heavy := MustClass(row.Element)
+		base := s.Bases()[0]
+		if !heavy.ConformsTo(base) {
+			t.Errorf("%s: heavyweight class does not conform to profile base %s",
+				row.Element, base.Name())
+		}
+	}
+}
+
+// TestPureProfilePath builds a model out of NOTHING but plain UML elements
+// with WebRE + DQ_WebRE stereotypes — the Enterprise Architect path the
+// paper demonstrates — and shows the Table 3 constraints hold through the
+// hasStereotype machinery alone.
+func TestPureProfilePath(t *testing.T) {
+	m := uml.NewModel("pure-profile", uml.Metamodel())
+	m.ApplyProfile(Profile())
+	b := uml.NewBuilder(m)
+
+	process := b.UseCase(uml.MetaUseCase, "Add new review to submission")
+	ic := b.UseCase(uml.MetaUseCase, "Add all data as result of review")
+	req := b.UseCase(uml.MetaUseCase, "verify completeness")
+	b.Include(process, ic)
+	b.Include(ic, req)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	b.Apply(process, MetaWebProcess)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasStereotype(process, MetaWebProcess) {
+		t.Fatal("WebProcess stereotype missing")
+	}
+
+	// The DQ_WebRE constraints reference 'WebProcess'/'InformationCase'
+	// stereotypes; with only UML + the two profiles, the OCL must hold.
+	env := func(self *metamodel.Object) *ocl.Env {
+		return &ocl.Env{
+			Model: m.Model,
+			Vars:  map[string]any{"self": self},
+			Stereotypes: func(o *metamodel.Object) []string {
+				return m.StereotypeNames(o)
+			},
+		}
+	}
+	// The InformationCase constraint from DQ_WebRE's Table 3 (lightweight
+	// clause): some «WebProcess» use case includes self.
+	icConstraint := "UseCase.allInstances()->exists(w | w.hasStereotype('WebProcess') and w.include->exists(i | i.addition = self))"
+	ok, err := ocl.EvalBool(icConstraint, env(ic))
+	if err != nil || !ok {
+		t.Fatalf("IC constraint = %v, %v", ok, err)
+	}
+	// The requirement is NOT included by a stereotyped InformationCase yet.
+	reqConstraint := "UseCase.allInstances()->exists(c | c.hasStereotype('InformationCase') and c.include->exists(i | i.addition = self))"
+	ok, err = ocl.EvalBool(reqConstraint, env(req))
+	if err != nil || ok {
+		t.Fatalf("req constraint before stereotype = %v, %v", ok, err)
+	}
+	b.Apply(ic, "Content") // wrong stereotype on purpose: UseCase vs Class base
+	if b.Err() == nil {
+		t.Fatal("Content stereotype should not apply to a use case")
+	}
+}

@@ -1,0 +1,175 @@
+package xmi
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+// DiffKind classifies one model difference.
+type DiffKind string
+
+// Difference kinds.
+const (
+	// DiffAdded: the element exists only in the new model.
+	DiffAdded DiffKind = "added"
+	// DiffRemoved: the element exists only in the old model.
+	DiffRemoved DiffKind = "removed"
+	// DiffClassChanged: same id, different metaclass.
+	DiffClassChanged DiffKind = "class-changed"
+	// DiffSlotChanged: a slot was set, cleared or changed.
+	DiffSlotChanged DiffKind = "slot-changed"
+	// DiffStereotypesChanged: the applied stereotype set differs.
+	DiffStereotypesChanged DiffKind = "stereotypes-changed"
+	// DiffTagChanged: a tagged value was set, cleared or changed.
+	DiffTagChanged DiffKind = "tag-changed"
+)
+
+// Difference is one structural difference between two models, keyed by the
+// elements' stable external ids.
+type Difference struct {
+	// Kind classifies the difference.
+	Kind DiffKind
+	// XID identifies the element.
+	XID string
+	// Detail names the slot/tag/stereotype involved, when applicable.
+	Detail string
+	// Old and New render the differing values ("" when absent).
+	Old, New string
+}
+
+// String renders the difference for reports.
+func (d Difference) String() string {
+	switch d.Kind {
+	case DiffAdded:
+		return fmt.Sprintf("+ %s (%s)", d.XID, d.New)
+	case DiffRemoved:
+		return fmt.Sprintf("- %s (%s)", d.XID, d.Old)
+	default:
+		detail := ""
+		if d.Detail != "" {
+			detail = "." + d.Detail
+		}
+		return fmt.Sprintf("~ %s%s: %s -> %s [%s]", d.XID, detail, orNone(d.Old), orNone(d.New), d.Kind)
+	}
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "<unset>"
+	}
+	return s
+}
+
+// Diff computes the structural differences from old to new: elements are
+// matched by external id (AssignXIDs is invoked on both, so models built
+// in the same element order align; models loaded from XMI keep their
+// serialized ids). The result is deterministic: sorted by xid, then kind,
+// then detail.
+func Diff(oldM, newM *uml.Model) []Difference {
+	oldM.AssignXIDs()
+	newM.AssignXIDs()
+
+	oldByID := map[string]*metamodel.Object{}
+	for _, o := range oldM.Objects() {
+		oldByID[o.XID()] = o
+	}
+	newByID := map[string]*metamodel.Object{}
+	for _, o := range newM.Objects() {
+		newByID[o.XID()] = o
+	}
+
+	var out []Difference
+	for id, o := range oldByID {
+		n, ok := newByID[id]
+		if !ok {
+			out = append(out, Difference{Kind: DiffRemoved, XID: id, Old: o.Label()})
+			continue
+		}
+		out = append(out, diffElement(oldM, newM, id, o, n)...)
+	}
+	for id, n := range newByID {
+		if _, ok := oldByID[id]; !ok {
+			out = append(out, Difference{Kind: DiffAdded, XID: id, New: n.Label()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].XID != out[j].XID {
+			return out[i].XID < out[j].XID
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Detail < out[j].Detail
+	})
+	return out
+}
+
+func diffElement(oldM, newM *uml.Model, id string, o, n *metamodel.Object) []Difference {
+	var out []Difference
+	if o.Class().Name() != n.Class().Name() {
+		out = append(out, Difference{
+			Kind: DiffClassChanged, XID: id,
+			Old: o.Class().Name(), New: n.Class().Name(),
+		})
+		// Slots of different classes are not comparable.
+		return out
+	}
+	// Slots.
+	slots := map[string]bool{}
+	for _, s := range o.SetProperties() {
+		slots[s] = true
+	}
+	for _, s := range n.SetProperties() {
+		slots[s] = true
+	}
+	for s := range slots {
+		ov, oOK := o.Get(s)
+		nv, nOK := n.Get(s)
+		switch {
+		case oOK && !nOK:
+			out = append(out, Difference{Kind: DiffSlotChanged, XID: id, Detail: s, Old: ov.String()})
+		case !oOK && nOK:
+			out = append(out, Difference{Kind: DiffSlotChanged, XID: id, Detail: s, New: nv.String()})
+		case oOK && nOK && !valueEquivalent(ov, nv):
+			out = append(out, Difference{Kind: DiffSlotChanged, XID: id, Detail: s,
+				Old: ov.String(), New: nv.String()})
+		}
+	}
+	// Stereotypes.
+	oSt, nSt := oldM.StereotypeNames(o), newM.StereotypeNames(n)
+	if !sameStringSet(oSt, nSt) {
+		out = append(out, Difference{Kind: DiffStereotypesChanged, XID: id,
+			Old: fmt.Sprintf("%v", oSt), New: fmt.Sprintf("%v", nSt)})
+	} else {
+		for _, name := range oSt {
+			oa, _ := oldM.Application(o, name)
+			na, _ := newM.Application(n, name)
+			tags := map[string]bool{}
+			for _, tg := range oa.TagNames() {
+				tags[tg] = true
+			}
+			for _, tg := range na.TagNames() {
+				tags[tg] = true
+			}
+			for tg := range tags {
+				ov, oOK := oa.Tag(tg)
+				nv, nOK := na.Tag(tg)
+				switch {
+				case oOK && !nOK:
+					out = append(out, Difference{Kind: DiffTagChanged, XID: id,
+						Detail: name + "/" + tg, Old: ov.String()})
+				case !oOK && nOK:
+					out = append(out, Difference{Kind: DiffTagChanged, XID: id,
+						Detail: name + "/" + tg, New: nv.String()})
+				case oOK && nOK && !valueEquivalent(ov, nv):
+					out = append(out, Difference{Kind: DiffTagChanged, XID: id,
+						Detail: name + "/" + tg, Old: ov.String(), New: nv.String()})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package xmi
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+// jsonDoc mirrors Document for JSON encoding. The XML attribute tags do not
+// carry over, so the structure is redeclared with json tags.
+type jsonDoc struct {
+	Version   string     `json:"version"`
+	Name      string     `json:"name"`
+	Metamodel string     `json:"metamodel"`
+	Profiles  []string   `json:"profiles,omitempty"`
+	Elements  []jsonElem `json:"elements"`
+	Applied   []jsonAppl `json:"stereotypes,omitempty"`
+}
+
+type jsonElem struct {
+	XID   string             `json:"id"`
+	Class string             `json:"class"`
+	Slots map[string]jsonVal `json:"slots,omitempty"`
+}
+
+type jsonAppl struct {
+	Element    string             `json:"element"`
+	Profile    string             `json:"profile"`
+	Stereotype string             `json:"stereotype"`
+	Tags       map[string]jsonVal `json:"tags,omitempty"`
+}
+
+type jsonVal struct {
+	Kind    string    `json:"kind"`
+	Text    string    `json:"text,omitempty"`
+	Enum    string    `json:"enum,omitempty"`
+	Literal string    `json:"literal,omitempty"`
+	Ref     string    `json:"ref,omitempty"`
+	Items   []jsonVal `json:"items,omitempty"`
+}
+
+func toJSONVal(x XValue) jsonVal {
+	out := jsonVal{Kind: x.Kind, Text: x.Text, Enum: x.Enum, Literal: x.Literal, Ref: x.Ref}
+	for _, item := range x.Items {
+		out.Items = append(out.Items, toJSONVal(item))
+	}
+	return out
+}
+
+func fromJSONVal(j jsonVal) XValue {
+	out := XValue{Kind: j.Kind, Text: j.Text, Enum: j.Enum, Literal: j.Literal, Ref: j.Ref}
+	for _, item := range j.Items {
+		out.Items = append(out.Items, fromJSONVal(item))
+	}
+	return out
+}
+
+// MarshalJSON serializes the model as JSON (an alternative interchange form
+// to the XML produced by Marshal).
+func MarshalJSON(m *uml.Model) ([]byte, error) {
+	doc, err := ToDocument(m)
+	if err != nil {
+		return nil, err
+	}
+	jd := jsonDoc{
+		Version:   doc.Version,
+		Name:      doc.Name,
+		Metamodel: doc.Metamodel,
+		Profiles:  doc.Profiles,
+	}
+	for _, el := range doc.Elements {
+		je := jsonElem{XID: el.XID, Class: el.Class}
+		if len(el.Slots) > 0 {
+			je.Slots = make(map[string]jsonVal, len(el.Slots))
+			for _, s := range el.Slots {
+				je.Slots[s.Name] = toJSONVal(s.Value)
+			}
+		}
+		jd.Elements = append(jd.Elements, je)
+	}
+	for _, a := range doc.Applied {
+		ja := jsonAppl{Element: a.Element, Profile: a.Profile, Stereotype: a.Stereotype}
+		if len(a.Tags) > 0 {
+			ja.Tags = make(map[string]jsonVal, len(a.Tags))
+			for _, tg := range a.Tags {
+				ja.Tags[tg.Name] = toJSONVal(tg.Value)
+			}
+		}
+		jd.Applied = append(jd.Applied, ja)
+	}
+	return json.MarshalIndent(jd, "", "  ")
+}
+
+// UnmarshalJSON reconstructs a model from the JSON form.
+func UnmarshalJSON(data []byte, opts Options) (*uml.Model, error) {
+	var jd jsonDoc
+	if err := json.Unmarshal(data, &jd); err != nil {
+		return nil, fmt.Errorf("xmi: json parse: %w", err)
+	}
+	doc := &Document{
+		Version:   jd.Version,
+		Name:      jd.Name,
+		Metamodel: jd.Metamodel,
+		Profiles:  jd.Profiles,
+	}
+	for _, je := range jd.Elements {
+		el := Element{XID: je.XID, Class: je.Class}
+		// Deterministic slot order for reproducible re-marshals.
+		for _, name := range sortedKeys(je.Slots) {
+			el.Slots = append(el.Slots, Slot{Name: name, Value: fromJSONVal(je.Slots[name])})
+		}
+		doc.Elements = append(doc.Elements, el)
+	}
+	for _, ja := range jd.Applied {
+		a := Applied{Element: ja.Element, Profile: ja.Profile, Stereotype: ja.Stereotype}
+		for _, name := range sortedKeys(ja.Tags) {
+			a.Tags = append(a.Tags, Slot{Name: name, Value: fromJSONVal(ja.Tags[name])})
+		}
+		doc.Applied = append(doc.Applied, a)
+	}
+	return FromDocument(doc, opts)
+}
+
+func sortedKeys(m map[string]jsonVal) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Small maps; insertion sort keeps this dependency-free and readable.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

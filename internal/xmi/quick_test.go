@@ -1,0 +1,141 @@
+package xmi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/modeldriven/dqwebre/internal/dqwebre"
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+)
+
+// randomModel builds a pseudo-random but well-formed DQ_WebRE model from a
+// seed: a variable number of processes, contents, requirements and
+// structural elements with randomized names and payloads.
+func randomModel(seed int64) (*dqwebre.RequirementsModel, error) {
+	rng := rand.New(rand.NewSource(seed))
+	rm := dqwebre.NewRequirementsModel("random")
+	dims := iso25012.Names()
+	user := rm.WebUser(randName(rng, "user"))
+	nProcs := 1 + rng.Intn(4)
+	for i := 0; i < nProcs; i++ {
+		proc := rm.WebProcess(randName(rng, "proc"), user)
+		var fields []string
+		for f := 0; f < 1+rng.Intn(4); f++ {
+			fields = append(fields, randName(rng, "field"))
+		}
+		content := rm.Content(randName(rng, "content"), fields...)
+		ic := rm.InformationCase(randName(rng, "ic"), proc, content)
+		for r := 0; r < rng.Intn(3); r++ {
+			dim := dims[rng.Intn(len(dims))]
+			req := rm.DQRequirement(randName(rng, "req"), dim, ic)
+			if rng.Intn(2) == 0 {
+				rm.Specify(req, int64(rng.Intn(1000)+1), randName(rng, "text"))
+			}
+		}
+		if rng.Intn(2) == 0 {
+			ui := rm.WebUI(randName(rng, "page"))
+			v := rm.DQValidator(randName(rng, "validator"),
+				[]string{"check_" + randName(rng, "op")}, ui)
+			lo := int64(rng.Intn(10))
+			rm.DQConstraint(randName(rng, "constraint"), lo, lo+int64(rng.Intn(10)),
+				[]string{randName(rng, "payload")}, v)
+		}
+		if rng.Intn(2) == 0 {
+			rm.DQMetadata(randName(rng, "metadata"),
+				[]string{randName(rng, "md"), randName(rng, "md")}, content)
+		}
+	}
+	return rm, rm.Err()
+}
+
+var nameParts = []string{"alpha", "beta", "gamma", "delta", "épsilon", "zeta", "review", "score", "データ"}
+
+func randName(rng *rand.Rand, prefix string) string {
+	return prefix + " " + nameParts[rng.Intn(len(nameParts))] + " " + nameParts[rng.Intn(len(nameParts))]
+}
+
+// TestQuickXMLRoundTrip: any random well-formed model survives the XML
+// round trip isomorphically.
+func TestQuickXMLRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rm, err := randomModel(seed)
+		if err != nil {
+			return false
+		}
+		data, err := Marshal(rm.Model)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(data, opts())
+		if err != nil {
+			return false
+		}
+		ok, diff := Equivalent(rm.Model, back)
+		if !ok {
+			t.Logf("seed %d: %s", seed, diff)
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickJSONRoundTrip: same property through the JSON form.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rm, err := randomModel(seed)
+		if err != nil {
+			return false
+		}
+		data, err := MarshalJSON(rm.Model)
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalJSON(data, opts())
+		if err != nil {
+			return false
+		}
+		ok, diff := Equivalent(rm.Model, back)
+		if !ok {
+			t.Logf("seed %d: %s", seed, diff)
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCrossFormatAgreement: XML→model→JSON→model yields an equivalent
+// model.
+func TestQuickCrossFormatAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rm, err := randomModel(seed)
+		if err != nil {
+			return false
+		}
+		xmlData, err := Marshal(rm.Model)
+		if err != nil {
+			return false
+		}
+		viaXML, err := Unmarshal(xmlData, opts())
+		if err != nil {
+			return false
+		}
+		jsonData, err := MarshalJSON(viaXML)
+		if err != nil {
+			return false
+		}
+		viaJSON, err := UnmarshalJSON(jsonData, opts())
+		if err != nil {
+			return false
+		}
+		ok, _ := Equivalent(rm.Model, viaJSON)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

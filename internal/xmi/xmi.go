@@ -1,0 +1,422 @@
+// Package xmi serializes profiled models to an XMI-flavoured XML document
+// and back, and to an equivalent JSON form. The format is deliberately
+// simple and explicit: every object carries a stable external id (xid), its
+// metaclass name, and its explicitly set slots; stereotype applications with
+// their tagged values follow in a trailer. Round-tripping a model yields an
+// isomorphic model (same classes, slots, references and applications).
+package xmi
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+// Document is the XML document root.
+type Document struct {
+	XMLName   xml.Name  `xml:"xmi"`
+	Version   string    `xml:"version,attr"`
+	Name      string    `xml:"name,attr"`
+	Metamodel string    `xml:"metamodel,attr"`
+	Elements  []Element `xml:"element"`
+	Applied   []Applied `xml:"stereotypes>application"`
+	Profiles  []string  `xml:"profiles>profile,omitempty"`
+}
+
+// Element is one serialized object.
+type Element struct {
+	XID   string `xml:"id,attr"`
+	Class string `xml:"class,attr"`
+	Slots []Slot `xml:"slot"`
+}
+
+// Slot is one explicitly set property value.
+type Slot struct {
+	Name  string `xml:"name,attr"`
+	Value XValue `xml:"value"`
+}
+
+// XValue is the XML encoding of a metamodel.Value; exactly one field is
+// populated, discriminated by Kind.
+type XValue struct {
+	Kind    string   `xml:"kind,attr"`
+	Text    string   `xml:"text,attr,omitempty"`
+	Enum    string   `xml:"enum,attr,omitempty"`
+	Literal string   `xml:"literal,attr,omitempty"`
+	Ref     string   `xml:"ref,attr,omitempty"`
+	Items   []XValue `xml:"item,omitempty"`
+}
+
+// Applied is one serialized stereotype application.
+type Applied struct {
+	Element    string `xml:"element,attr"`
+	Profile    string `xml:"profile,attr"`
+	Stereotype string `xml:"stereotype,attr"`
+	Tags       []Slot `xml:"tag"`
+}
+
+// Marshal serializes the model. External ids are assigned first, so the
+// output is deterministic for a given model construction order.
+func Marshal(m *uml.Model) ([]byte, error) {
+	doc, err := ToDocument(m)
+	if err != nil {
+		return nil, err
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("xmi: marshal: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// ToDocument builds the serializable document form of a model.
+func ToDocument(m *uml.Model) (*Document, error) {
+	m.AssignXIDs()
+	doc := &Document{
+		Version:   "2.1",
+		Name:      m.Name(),
+		Metamodel: m.Metamodel().Name(),
+	}
+	for _, p := range m.Profiles() {
+		doc.Profiles = append(doc.Profiles, p.Name())
+	}
+	for _, o := range m.Objects() {
+		el := Element{XID: o.XID(), Class: o.Class().Name()}
+		for _, prop := range o.SetProperties() {
+			v, _ := o.Get(prop)
+			xv, err := encodeValue(v)
+			if err != nil {
+				return nil, fmt.Errorf("xmi: %s.%s: %w", o.Label(), prop, err)
+			}
+			el.Slots = append(el.Slots, Slot{Name: prop, Value: xv})
+		}
+		doc.Elements = append(doc.Elements, el)
+
+		for _, app := range m.Applications(o) {
+			a := Applied{
+				Element:    o.XID(),
+				Profile:    app.Stereotype.Profile().Name(),
+				Stereotype: app.Stereotype.Name(),
+			}
+			for _, tag := range app.TagNames() {
+				v, _ := app.Tag(tag)
+				xv, err := encodeValue(v)
+				if err != nil {
+					return nil, fmt.Errorf("xmi: tag %s on %s: %w", tag, o.Label(), err)
+				}
+				a.Tags = append(a.Tags, Slot{Name: tag, Value: xv})
+			}
+			doc.Applied = append(doc.Applied, a)
+		}
+	}
+	return doc, nil
+}
+
+func encodeValue(v metamodel.Value) (XValue, error) {
+	switch t := v.(type) {
+	case metamodel.String:
+		return XValue{Kind: "string", Text: string(t)}, nil
+	case metamodel.Int:
+		return XValue{Kind: "int", Text: fmt.Sprintf("%d", int64(t))}, nil
+	case metamodel.Bool:
+		return XValue{Kind: "bool", Text: fmt.Sprintf("%t", bool(t))}, nil
+	case metamodel.Real:
+		return XValue{Kind: "real", Text: fmt.Sprintf("%g", float64(t))}, nil
+	case metamodel.EnumLit:
+		return XValue{Kind: "enum", Enum: t.Enum.Name(), Literal: t.Literal}, nil
+	case metamodel.Ref:
+		if t.Target == nil {
+			return XValue{}, fmt.Errorf("nil reference")
+		}
+		if t.Target.XID() == "" {
+			return XValue{}, fmt.Errorf("reference to %s outside the model (no xid)", t.Target.Label())
+		}
+		return XValue{Kind: "ref", Ref: t.Target.XID()}, nil
+	case *metamodel.List:
+		out := XValue{Kind: "list"}
+		for _, item := range t.Items {
+			xi, err := encodeValue(item)
+			if err != nil {
+				return XValue{}, err
+			}
+			out.Items = append(out.Items, xi)
+		}
+		return out, nil
+	default:
+		return XValue{}, fmt.Errorf("unsupported value kind %T", v)
+	}
+}
+
+// Options configure Unmarshal.
+type Options struct {
+	// Metamodels resolves metamodel names; defaults to the process-wide
+	// metamodel registry.
+	Metamodels func(name string) (*metamodel.Package, bool)
+	// Profiles supplies the profiles referenced by the document.
+	Profiles []*uml.Profile
+}
+
+// Unmarshal parses an XMI document and reconstructs the model. Objects are
+// created in document order in a first pass; slots and stereotype
+// applications are wired in a second pass, so forward references are legal.
+func Unmarshal(data []byte, opts Options) (*uml.Model, error) {
+	var doc Document
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("xmi: parse: %w", err)
+	}
+	return FromDocument(&doc, opts)
+}
+
+// FromDocument reconstructs a model from its document form.
+func FromDocument(doc *Document, opts Options) (*uml.Model, error) {
+	lookup := opts.Metamodels
+	if lookup == nil {
+		lookup = metamodel.Lookup
+	}
+	mm, ok := lookup(doc.Metamodel)
+	if !ok {
+		return nil, fmt.Errorf("xmi: unknown metamodel %q", doc.Metamodel)
+	}
+	m := uml.NewModel(doc.Name, mm)
+
+	profByName := map[string]*uml.Profile{}
+	for _, p := range opts.Profiles {
+		profByName[p.Name()] = p
+		m.ApplyProfile(p)
+	}
+	for _, want := range doc.Profiles {
+		if _, ok := profByName[want]; !ok {
+			return nil, fmt.Errorf("xmi: document references profile %q not supplied in Options", want)
+		}
+	}
+
+	// Pass 1: create objects.
+	byXID := map[string]*metamodel.Object{}
+	for _, el := range doc.Elements {
+		if el.XID == "" {
+			return nil, fmt.Errorf("xmi: element of class %q lacks an id", el.Class)
+		}
+		if _, dup := byXID[el.XID]; dup {
+			return nil, fmt.Errorf("xmi: duplicate element id %q", el.XID)
+		}
+		o, err := m.Create(el.Class)
+		if err != nil {
+			return nil, fmt.Errorf("xmi: element %q: %w", el.XID, err)
+		}
+		o.SetXID(el.XID)
+		byXID[el.XID] = o
+	}
+
+	// Pass 2: slots.
+	for _, el := range doc.Elements {
+		o := byXID[el.XID]
+		for _, slot := range el.Slots {
+			v, err := decodeValue(slot.Value, m, byXID)
+			if err != nil {
+				return nil, fmt.Errorf("xmi: %s.%s: %w", el.XID, slot.Name, err)
+			}
+			if err := o.Set(slot.Name, v); err != nil {
+				return nil, fmt.Errorf("xmi: %s: %w", el.XID, err)
+			}
+		}
+	}
+
+	// Pass 3: stereotype applications.
+	for _, a := range doc.Applied {
+		o, ok := byXID[a.Element]
+		if !ok {
+			return nil, fmt.Errorf("xmi: application references unknown element %q", a.Element)
+		}
+		p, ok := profByName[a.Profile]
+		if !ok {
+			return nil, fmt.Errorf("xmi: application references unknown profile %q", a.Profile)
+		}
+		s, ok := p.Stereotype(a.Stereotype)
+		if !ok {
+			return nil, fmt.Errorf("xmi: profile %q has no stereotype %q", a.Profile, a.Stereotype)
+		}
+		app, err := m.Apply(o, s)
+		if err != nil {
+			return nil, fmt.Errorf("xmi: %w", err)
+		}
+		for _, tag := range a.Tags {
+			v, err := decodeValue(tag.Value, m, byXID)
+			if err != nil {
+				return nil, fmt.Errorf("xmi: tag %s on %s: %w", tag.Name, a.Element, err)
+			}
+			if err := app.SetTag(tag.Name, v); err != nil {
+				return nil, fmt.Errorf("xmi: %w", err)
+			}
+		}
+	}
+	// Index the external ids with the model so ByXID resolves.
+	m.AssignXIDs()
+	return m, nil
+}
+
+func decodeValue(xv XValue, m *uml.Model, byXID map[string]*metamodel.Object) (metamodel.Value, error) {
+	switch xv.Kind {
+	case "string":
+		return metamodel.String(xv.Text), nil
+	case "int":
+		var n int64
+		if _, err := fmt.Sscanf(xv.Text, "%d", &n); err != nil {
+			return nil, fmt.Errorf("bad int %q", xv.Text)
+		}
+		return metamodel.Int(n), nil
+	case "bool":
+		switch xv.Text {
+		case "true":
+			return metamodel.Bool(true), nil
+		case "false":
+			return metamodel.Bool(false), nil
+		}
+		return nil, fmt.Errorf("bad bool %q", xv.Text)
+	case "real":
+		var f float64
+		if _, err := fmt.Sscanf(xv.Text, "%g", &f); err != nil {
+			return nil, fmt.Errorf("bad real %q", xv.Text)
+		}
+		return metamodel.Real(f), nil
+	case "enum":
+		cl, ok := m.Metamodel().FindClassifier(xv.Enum)
+		if !ok {
+			return nil, fmt.Errorf("unknown enumeration %q", xv.Enum)
+		}
+		en, ok := cl.(*metamodel.Enumeration)
+		if !ok {
+			return nil, fmt.Errorf("%q is not an enumeration", xv.Enum)
+		}
+		if !en.Has(xv.Literal) {
+			return nil, fmt.Errorf("%q is not a literal of %q", xv.Literal, xv.Enum)
+		}
+		return metamodel.EnumLit{Enum: en, Literal: xv.Literal}, nil
+	case "ref":
+		target, ok := byXID[xv.Ref]
+		if !ok {
+			return nil, fmt.Errorf("unresolved reference %q", xv.Ref)
+		}
+		return metamodel.Ref{Target: target}, nil
+	case "list":
+		out := &metamodel.List{}
+		for _, item := range xv.Items {
+			v, err := decodeValue(item, m, byXID)
+			if err != nil {
+				return nil, err
+			}
+			out.Items = append(out.Items, v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown value kind %q", xv.Kind)
+	}
+}
+
+// Equivalent reports whether two models are isomorphic under their external
+// ids: same metamodel, same element set (by xid and class), same slots and
+// same stereotype applications. It is used by round-trip tests and the CLI's
+// diff mode; the returned string describes the first difference found.
+func Equivalent(a, b *uml.Model) (bool, string) {
+	a.AssignXIDs()
+	b.AssignXIDs()
+	if a.Metamodel().Name() != b.Metamodel().Name() {
+		return false, fmt.Sprintf("metamodel %q vs %q", a.Metamodel().Name(), b.Metamodel().Name())
+	}
+	ao, bo := a.Objects(), b.Objects()
+	if len(ao) != len(bo) {
+		return false, fmt.Sprintf("element count %d vs %d", len(ao), len(bo))
+	}
+	bByXID := map[string]*metamodel.Object{}
+	for _, o := range bo {
+		bByXID[o.XID()] = o
+	}
+	for _, oa := range ao {
+		ob, ok := bByXID[oa.XID()]
+		if !ok {
+			return false, fmt.Sprintf("element %q missing", oa.XID())
+		}
+		if oa.Class().Name() != ob.Class().Name() {
+			return false, fmt.Sprintf("element %q class %q vs %q", oa.XID(), oa.Class().Name(), ob.Class().Name())
+		}
+		pa, pb := oa.SetProperties(), ob.SetProperties()
+		if len(pa) != len(pb) {
+			return false, fmt.Sprintf("element %q slot count %d vs %d", oa.XID(), len(pa), len(pb))
+		}
+		for _, prop := range pa {
+			va, _ := oa.Get(prop)
+			vb, okb := ob.Get(prop)
+			if !okb {
+				return false, fmt.Sprintf("element %q slot %q missing", oa.XID(), prop)
+			}
+			if !valueEquivalent(va, vb) {
+				return false, fmt.Sprintf("element %q slot %q differs: %s vs %s",
+					oa.XID(), prop, va.String(), vb.String())
+			}
+		}
+		appsA, appsB := a.StereotypeNames(oa), b.StereotypeNames(ob)
+		if !sameStringSet(appsA, appsB) {
+			return false, fmt.Sprintf("element %q stereotypes %v vs %v", oa.XID(), appsA, appsB)
+		}
+		for _, name := range appsA {
+			aa, _ := a.Application(oa, name)
+			ab, _ := b.Application(ob, name)
+			ta, tb := aa.TagNames(), ab.TagNames()
+			if !sameStringSet(ta, tb) {
+				return false, fmt.Sprintf("element %q «%s» tags %v vs %v", oa.XID(), name, ta, tb)
+			}
+			for _, tag := range ta {
+				va, _ := aa.Tag(tag)
+				vb, _ := ab.Tag(tag)
+				if !valueEquivalent(va, vb) {
+					return false, fmt.Sprintf("element %q «%s» tag %q differs", oa.XID(), name, tag)
+				}
+			}
+		}
+	}
+	return true, ""
+}
+
+// valueEquivalent compares values across models: references compare by
+// target xid rather than identity.
+func valueEquivalent(a, b metamodel.Value) bool {
+	switch ta := a.(type) {
+	case metamodel.Ref:
+		tb, ok := b.(metamodel.Ref)
+		return ok && ta.Target != nil && tb.Target != nil && ta.Target.XID() == tb.Target.XID()
+	case metamodel.EnumLit:
+		tb, ok := b.(metamodel.EnumLit)
+		return ok && ta.Enum.Name() == tb.Enum.Name() && ta.Literal == tb.Literal
+	case *metamodel.List:
+		tb, ok := b.(*metamodel.List)
+		if !ok || len(ta.Items) != len(tb.Items) {
+			return false
+		}
+		for i := range ta.Items {
+			if !valueEquivalent(ta.Items[i], tb.Items[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a.Equal(b)
+	}
+}
+
+func sameStringSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sa := append([]string(nil), a...)
+	sb := append([]string(nil), b...)
+	sort.Strings(sa)
+	sort.Strings(sb)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
