@@ -17,6 +17,7 @@ import (
 	"github.com/modeldriven/dqwebre/internal/easychair"
 	"github.com/modeldriven/dqwebre/internal/iso25012"
 	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/obs"
 	"github.com/modeldriven/dqwebre/internal/transform"
 	"github.com/modeldriven/dqwebre/internal/webre"
 	"github.com/modeldriven/dqwebre/internal/xmi"
@@ -375,3 +376,41 @@ func BenchmarkFig7Execution(b *testing.B) {
 		}
 	}
 }
+
+// ---- Observability overhead ----
+
+// benchEnforcerCheck drives the enforcement hot path — CheckInput over the
+// case study's review record — with or without metric instrumentation.
+func benchEnforcerCheck(b *testing.B, instrumented bool) {
+	e := easychair.MustBuildModel()
+	dqsr, _, err := transform.RunDQR2DQSR(e.Model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enf, err := dqwebre.BuildEnforcer(dqsr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if instrumented {
+		enf.Instrument(obs.NewRegistry())
+	}
+	record := dqwebre.Record{
+		"first_name": "Grace", "last_name": "Hopper",
+		"email_address": "g@h.io", "overall_evaluation": "2",
+		"reviewer_confidence": "4",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !enf.CheckInput(record).Passed() {
+			b.Fatal("record should pass")
+		}
+	}
+}
+
+// BenchmarkEnforcerUninstrumented is the baseline enforcement cost.
+func BenchmarkEnforcerUninstrumented(b *testing.B) { benchEnforcerCheck(b, false) }
+
+// BenchmarkEnforcerInstrumented is the same path with dq_checks_total
+// counters live; compare against the baseline to bound the observability
+// tax on every form submission (it must stay within a few percent).
+func BenchmarkEnforcerInstrumented(b *testing.B) { benchEnforcerCheck(b, true) }

@@ -14,6 +14,7 @@
 //	dqwebre transform -design easychair.xml
 //	dqwebre codegen -kind sql easychair.xml
 //	dqwebre stats easychair.xml
+//	dqwebre trace easychair.xml            # traced pipeline run (span tree)
 package main
 
 import (

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	easychair [-addr :8080]
+//	easychair [-addr :8080] [-pprof]
 //
 // Try it:
 //
@@ -16,20 +16,32 @@
 //	curl -b c.txt localhost:8080/reviews/1
 //	curl -b c.txt localhost:8080/reviews/1/audit
 //	curl localhost:8080/dq/requirements
+//
+// Observability:
+//
+//	curl localhost:8080/metrics       # Prometheus text exposition
+//	curl localhost:8080/healthz      # liveness probe (JSON)
+//	curl localhost:8080/debug/spans  # recent request span trees
+//
+// With -pprof, the Go profiling endpoints are mounted under
+// /debug/pprof/ on the same listener (CPU profile, heap, goroutines, ...).
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"github.com/modeldriven/dqwebre/internal/easychair"
+	"github.com/modeldriven/dqwebre/internal/obs"
 	"github.com/modeldriven/dqwebre/internal/webapp"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "easychair ", log.LstdFlags)
@@ -37,14 +49,32 @@ func main() {
 	if err != nil {
 		logger.Fatalf("startup: %v", err)
 	}
-	app.Router.Use(webapp.Recover(logger), webapp.Logging(logger))
+	// NewApp installed the Metrics middleware outermost; Recover and
+	// Logging nest inside it so panics are counted with their real status.
+	app.Router.Use(webapp.Recover(logger, app.Registry()), webapp.Logging(logger))
 
-	logger.Printf("DQ requirements in force:")
+	handler := http.Handler(app.Router)
+	if *enablePprof {
+		// The profiling endpoints are opt-in: they expose stacks and heap
+		// contents, which a production deployment may not want public.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", app.Router)
+		handler = mux
+		logger.Printf("pprof enabled at /debug/pprof/")
+	}
+
+	sl := obs.Logger("easychair")
+	sl.Info("DQ requirements in force", "count", len(app.Enforcer().Requirements()))
 	for _, r := range app.Enforcer().Requirements() {
 		logger.Printf("  DQSR-%d [%s/%s] %s", r.ID, r.Dimension, r.Mechanism, r.Title)
 	}
-	logger.Printf("listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, app.Router); err != nil {
+	logger.Printf("listening on %s (metrics at /metrics, health at /healthz, spans at /debug/spans)", *addr)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		logger.Fatal(err)
 	}
 }

@@ -5,6 +5,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -13,9 +14,11 @@ import (
 
 	"github.com/modeldriven/dqwebre/internal/codegen"
 	"github.com/modeldriven/dqwebre/internal/diagram"
+	"github.com/modeldriven/dqwebre/internal/dqruntime"
 	idq "github.com/modeldriven/dqwebre/internal/dqwebre"
 	"github.com/modeldriven/dqwebre/internal/easychair"
 	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/obs"
 	"github.com/modeldriven/dqwebre/internal/transform"
 	"github.com/modeldriven/dqwebre/internal/uml"
 	"github.com/modeldriven/dqwebre/internal/validate"
@@ -44,17 +47,25 @@ func Run(args []string, out io.Writer) error {
 		return cmdStats(args[1:], out)
 	case "diff":
 		return cmdDiff(args[1:], out)
+	case "trace":
+		return cmdTrace(args[1:], out)
 	default:
 		return fmt.Errorf("unknown command %q; %s", args[0], usageLine)
 	}
 }
 
 // usageLine summarizes the commands for error messages.
-const usageLine = "commands: demo, validate, diagram, transform, codegen, stats, diff"
+const usageLine = "commands: demo, validate, diagram, transform, codegen, stats, diff, trace"
 
 // loadModel reads an XMI (or JSON) model with the DQ_WebRE profile
 // available.
 func loadModel(path string) (*uml.Model, error) {
+	return loadModelContext(context.Background(), path)
+}
+
+// loadModelContext is loadModel under the context's active span, so the
+// deserialization cost shows up in trace trees.
+func loadModelContext(ctx context.Context, path string) (*uml.Model, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -62,9 +73,9 @@ func loadModel(path string) (*uml.Model, error) {
 	opts := xmi.Options{Profiles: []*uml.Profile{webre.Profile(), idq.Profile()}}
 	idq.Metamodel() // ensure registered
 	if strings.HasPrefix(strings.TrimSpace(string(data)), "{") {
-		return xmi.UnmarshalJSON(data, opts)
+		return xmi.UnmarshalJSONContext(ctx, data, opts)
 	}
-	return xmi.Unmarshal(data, opts)
+	return xmi.UnmarshalContext(ctx, data, opts)
 }
 
 // asRequirements wraps a loaded model in the analyst API. Loaded models are
@@ -318,6 +329,87 @@ func cmdStats(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "  %-20s %d\n", "«applications»", applied)
 	fmt.Fprintf(out, "registered metamodels: %s\n", strings.Join(metamodel.RegisteredNames(), ", "))
+	return nil
+}
+
+// cmdTrace runs the full DQR→DQSR→design→enforcement pipeline on one model
+// under a tracer and prints the resulting span tree with per-stage
+// durations — the observability layer's answer to "where does the time
+// go?". With -json the tree is emitted as JSON instead of text.
+func cmdTrace(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the span tree as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace needs exactly one model file")
+	}
+
+	tracer := obs.NewTracer(16)
+	ctx, root := tracer.Start(context.Background(), "pipeline")
+	runErr := runTracedPipeline(ctx, fs.Arg(0))
+	root.Fail(runErr)
+	root.End()
+
+	if *asJSON {
+		data, err := obs.MarshalSpanJSON(root)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(data))
+	} else {
+		obs.WriteTree(out, root)
+	}
+	return runErr
+}
+
+// runTracedPipeline executes load → validate → DQR2DQSR → DQSR2Design →
+// enforcer assembly → a sample enforcement check, each stage under its own
+// span in ctx.
+func runTracedPipeline(ctx context.Context, path string) error {
+	loadCtx, load := obs.StartSpan(ctx, "load")
+	load.SetAttr("file", path)
+	m, err := loadModelContext(loadCtx, path)
+	if err != nil {
+		load.Fail(err)
+		load.End()
+		return err
+	}
+	load.SetAttr("elements", m.Len())
+	load.End()
+
+	eng := validate.New(m)
+	for _, r := range idq.Rules() {
+		eng.AddRules(validate.Rule{ID: r.ID, Class: r.Class, Expr: r.Expr, Doc: r.Doc})
+	}
+	eng.AddProfileConstraints(idq.Profile())
+	if rep := eng.RunContext(ctx); !rep.OK() {
+		return fmt.Errorf("model is not well-formed: %d error(s)", len(rep.Errors()))
+	}
+
+	dqsr, _, err := transform.RunDQR2DQSRContext(ctx, asRequirements(m))
+	if err != nil {
+		return err
+	}
+	if _, _, err := transform.RunDQSR2DesignContext(ctx, dqsr); err != nil {
+		return err
+	}
+
+	_, build := obs.StartSpan(ctx, "enforcer.build")
+	enforcer, err := dqruntime.BuildFromDQSR(dqsr)
+	if err != nil {
+		build.Fail(err)
+		build.End()
+		return err
+	}
+	build.SetAttr("requirements", len(enforcer.Requirements()))
+	build.SetAttr("checks", len(enforcer.Validator().Checks()))
+	build.End()
+
+	// Exercise the enforcement hot path once so the trace shows its cost;
+	// an empty record drives every check.
+	enforcer.CheckInputContext(ctx, dqruntime.Record{})
 	return nil
 }
 

@@ -257,3 +257,50 @@ func TestDiffCommand(t *testing.T) {
 		t.Fatal("missing first file accepted")
 	}
 }
+
+// TestTracePrintsSpanTree runs the traced pipeline on the demo model and
+// checks the nested span tree covers every stage with durations.
+func TestTracePrintsSpanTree(t *testing.T) {
+	path := demoModelFile(t)
+	out, err := run(t, "trace", path)
+	if err != nil {
+		t.Fatalf("trace: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"pipeline ",
+		"├─ load ",
+		"xmi.unmarshal",
+		"validate.run",
+		"transform.DQR2DQSR",
+		"transform.DQSR2Design",
+		"enforcer.build",
+		"enforcer.check_input",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+	// Every line carries a duration.
+	if !strings.Contains(out, "µs") && !strings.Contains(out, "ms") {
+		t.Errorf("trace output has no durations:\n%s", out)
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	path := demoModelFile(t)
+	out, err := run(t, "trace", "-json", path)
+	if err != nil {
+		t.Fatalf("trace -json: %v\n%s", err, out)
+	}
+	for _, want := range []string{`"name": "pipeline"`, `"duration_ms"`, `"children"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceNeedsOneFile(t *testing.T) {
+	if _, err := run(t, "trace"); err == nil {
+		t.Fatal("trace with no file should error")
+	}
+}

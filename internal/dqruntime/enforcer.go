@@ -1,12 +1,14 @@
 package dqruntime
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"github.com/modeldriven/dqwebre/internal/iso25012"
 	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/obs"
 	"github.com/modeldriven/dqwebre/internal/uml"
 )
 
@@ -27,6 +29,14 @@ type Enforcer struct {
 	dqModel *iso25012.DQModel
 	// requirements summarizes the source requirements for reporting.
 	requirements []RequirementSummary
+	// reg, when non-nil, receives per-characteristic pass/fail counters on
+	// every check execution (see Instrument).
+	reg *obs.Registry
+	// checkCounters caches the {pass, fail} counter pair per check, in
+	// validator check order, so the instrumented hot path is two atomic
+	// increments away from the uninstrumented one instead of a label-map
+	// allocation and registry lookup per check.
+	checkCounters [][2]*obs.Counter
 }
 
 // RequirementSummary is one DQSR entry as seen by the enforcer.
@@ -225,8 +235,79 @@ func (e *Enforcer) Requirements() []RequirementSummary {
 // DQModel returns the required-levels model for assessments.
 func (e *Enforcer) DQModel() *iso25012.DQModel { return e.dqModel }
 
+// Instrument routes per-characteristic pass/fail counters from every check
+// execution into the given metric registry (dq_checks_total, labeled by
+// characteristic, check and result). A nil registry disables
+// instrumentation; the uninstrumented path stays allocation-free.
+func (e *Enforcer) Instrument(reg *obs.Registry) *Enforcer {
+	e.reg = reg
+	e.checkCounters = nil
+	if reg == nil {
+		return e
+	}
+	for _, c := range e.validator.Checks() {
+		e.checkCounters = append(e.checkCounters, [2]*obs.Counter{
+			e.checkCounter(c.Name(), c.Characteristic(), true),
+			e.checkCounter(c.Name(), c.Characteristic(), false),
+		})
+	}
+	return e
+}
+
+// checkCounter resolves the dq_checks_total series for one check outcome.
+func (e *Enforcer) checkCounter(check string, ch iso25012.Characteristic, passed bool) *obs.Counter {
+	result := "fail"
+	if passed {
+		result = "pass"
+	}
+	return e.reg.Counter("dq_checks_total",
+		"DQ check executions, by ISO/IEC 25012 characteristic, check and result",
+		obs.Labels{
+			"characteristic": string(ch),
+			"check":          check,
+			"result":         result,
+		})
+}
+
 // CheckInput validates user input against all assembled checks.
-func (e *Enforcer) CheckInput(r Record) *Report { return e.validator.Validate(r) }
+func (e *Enforcer) CheckInput(r Record) *Report {
+	return e.CheckInputContext(context.Background(), r)
+}
+
+// CheckInputContext validates user input with observability: when the
+// context carries an active span a child span "enforcer.check_input"
+// records check count and failures, and when the enforcer is Instrumented
+// every check result increments its pass/fail counter — the operational
+// view the DQ measurement substrate (internal/metrics) complements with
+// score time series.
+func (e *Enforcer) CheckInputContext(ctx context.Context, r Record) *Report {
+	_, span := obs.StartSpan(ctx, "enforcer.check_input")
+	rep := e.validator.Validate(r)
+	if e.reg != nil {
+		for i, res := range rep.Results {
+			if i < len(e.checkCounters) {
+				// Results are in validator check order; use the counter
+				// pair cached at Instrument time.
+				if res.Passed {
+					e.checkCounters[i][0].Inc()
+				} else {
+					e.checkCounters[i][1].Inc()
+				}
+				continue
+			}
+			// Check added after Instrument: resolve through the registry.
+			e.checkCounter(res.Check, res.Characteristic, res.Passed).Inc()
+		}
+	}
+	if span != nil {
+		span.SetAttr("checks", len(rep.Results))
+		if failed := len(rep.Failures()); failed > 0 {
+			span.SetAttr("failed", failed)
+		}
+		span.End()
+	}
+	return rep
+}
 
 // OnStore captures metadata for an initial write, honoring the enabled
 // requirements: no-ops when neither traceability nor confidentiality was

@@ -11,6 +11,7 @@ import (
 	"github.com/modeldriven/dqwebre/internal/dqruntime"
 	"github.com/modeldriven/dqwebre/internal/iso25012"
 	"github.com/modeldriven/dqwebre/internal/metrics"
+	"github.com/modeldriven/dqwebre/internal/obs"
 	"github.com/modeldriven/dqwebre/internal/transform"
 	"github.com/modeldriven/dqwebre/internal/webapp"
 )
@@ -32,6 +33,10 @@ type App struct {
 	store     *webapp.Store
 	enforcer  *dqruntime.Enforcer
 	collector *metrics.Collector
+	// reg and tracer are the app's operational observability: reg backs
+	// /metrics (Prometheus text format), tracer backs /debug/spans.
+	reg    *obs.Registry
+	tracer *obs.Tracer
 	// reviewForm is the HTML form generated from the model at startup.
 	reviewForm string
 }
@@ -82,13 +87,23 @@ func NewApp() (*App, error) {
 	if err != nil {
 		return nil, fmt.Errorf("easychair: generating review form: %w", err)
 	}
+	// Operational observability: the process-wide registry (so library-
+	// level counters from validate/transform/xmi surface on /metrics too)
+	// plus an app-owned tracer whose ring buffer backs /debug/spans.
+	reg := obs.Default()
+	enforcer.Instrument(reg)
 	app := &App{
 		Router:     webapp.NewRouter(),
 		store:      webapp.NewStore(),
 		enforcer:   enforcer,
 		collector:  collector,
+		reg:        reg,
+		tracer:     obs.NewTracer(256),
 		reviewForm: form,
 	}
+	// Metrics outermost so its bookkeeping observes the 500 that Recover
+	// writes for panicking handlers.
+	app.Router.Use(webapp.Metrics(reg, app.tracer))
 	app.routes()
 	return app, nil
 }
@@ -96,6 +111,12 @@ func NewApp() (*App, error) {
 // Collector exposes the DQ measurement collector (for tests and
 // diagnostics).
 func (a *App) Collector() *metrics.Collector { return a.collector }
+
+// Registry exposes the operational metric registry backing /metrics.
+func (a *App) Registry() *obs.Registry { return a.reg }
+
+// Tracer exposes the request tracer backing /debug/spans.
+func (a *App) Tracer() *obs.Tracer { return a.tracer }
 
 // Enforcer exposes the DQ enforcer (for tests and diagnostics).
 func (a *App) Enforcer() *dqruntime.Enforcer { return a.enforcer }
@@ -119,6 +140,9 @@ func (a *App) routes() {
 	r.GET("/dq/metrics", a.handleMetrics)
 	r.GET("/dq/violations", a.handleViolations)
 	r.GET("/papers/:id/reviews/new", a.handleNewReviewForm)
+	r.GET("/metrics", a.handlePrometheus)
+	r.GET("/healthz", a.handleHealthz)
+	r.GET("/debug/spans", a.handleSpans)
 }
 
 // observe records a validation report's scores into the measurement
@@ -235,7 +259,7 @@ func (a *App) handleAddReview(c *webapp.Context) {
 	for _, f := range ReviewFields {
 		record[f] = c.FormValue(f)
 	}
-	report := a.enforcer.CheckInput(record)
+	report := a.enforcer.CheckInputContext(c.R.Context(), record)
 	a.observe(report, "papers/"+c.Param("id"))
 	if !report.Passed() {
 		var b strings.Builder
@@ -317,7 +341,7 @@ func (a *App) handleEditReview(c *webapp.Context) {
 		}
 		record[f] = v
 	}
-	report := a.enforcer.CheckInput(record)
+	report := a.enforcer.CheckInputContext(c.R.Context(), record)
 	a.observe(report, "reviews/"+c.Param("id"))
 	if !report.Passed() {
 		var b strings.Builder
@@ -413,6 +437,45 @@ func (a *App) handleViolations(c *webapp.Context) {
 	var b strings.Builder
 	for _, v := range vs {
 		fmt.Fprintf(&b, "%s\n", v)
+	}
+	c.Text(http.StatusOK, "%s", b.String())
+}
+
+// handlePrometheus serves the operational metric registry in the
+// Prometheus text exposition format: request latency histograms and
+// status-aware counters from the webapp middleware, the enforcer's
+// per-characteristic DQ check counters, library counters
+// (validate/transform/xmi), and — exported at scrape time — the aggregates
+// of the DQ measurement collector.
+func (a *App) handlePrometheus(c *webapp.Context) {
+	a.collector.Export(a.reg)
+	c.W.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.W.WriteHeader(http.StatusOK)
+	_ = a.reg.WritePrometheus(c.W)
+}
+
+// handleHealthz is a liveness/readiness probe: the pipeline assembled at
+// startup (enforcer, collector, store) is the only state that can be
+// unhealthy, so reaching this handler with all of it in place is "ok".
+func (a *App) handleHealthz(c *webapp.Context) {
+	c.W.Header().Set("Content-Type", "application/json; charset=utf-8")
+	c.W.WriteHeader(http.StatusOK)
+	fmt.Fprintf(c.W,
+		`{"status":"ok","requirements":%d,"papers":%d,"reviews":%d}`+"\n",
+		len(a.enforcer.Requirements()),
+		a.store.Table("papers").Len(), a.store.Table("reviews").Len())
+}
+
+// handleSpans dumps the most recent request span trees from the tracer's
+// ring buffer, newest first — a zero-dependency stand-in for a tracing
+// backend.
+func (a *App) handleSpans(c *webapp.Context) {
+	spans := a.tracer.Finished()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d recent spans (newest first)\n\n", len(spans))
+	for _, s := range spans {
+		obs.WriteTree(&b, s)
+		b.WriteByte('\n')
 	}
 	c.Text(http.StatusOK, "%s", b.String())
 }

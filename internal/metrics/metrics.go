@@ -19,6 +19,7 @@ import (
 
 	"github.com/modeldriven/dqwebre/internal/dqruntime"
 	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/obs"
 )
 
 // Scale classifies a measure's scale per ISO/IEC 15939.
@@ -330,6 +331,34 @@ func (c *Collector) RecordReport(rep *dqruntime.Report, entity string) error {
 		}
 	}
 	return nil
+}
+
+// Export publishes every measure's overall aggregate into an operational
+// metric registry as gauges (dq_measure_mean, dq_measure_min,
+// dq_measure_max, dq_measure_observations), labeled by measure and
+// ISO/IEC 25012 characteristic. It is a call-time snapshot: servers invoke
+// it right before rendering /metrics, so the Prometheus view of data
+// quality tracks this collector without the collector depending on scrape
+// cadence.
+func (c *Collector) Export(reg *obs.Registry) {
+	for _, m := range c.Measures() {
+		s := c.Aggregate(m.Name, time.Time{})
+		labels := obs.Labels{
+			"measure":        m.Name,
+			"characteristic": string(m.Characteristic),
+		}
+		reg.Gauge("dq_measure_mean",
+			"mean of all recorded values of a DQ measure", labels).Set(s.Mean)
+		reg.Gauge("dq_measure_min",
+			"minimum recorded value of a DQ measure", labels).Set(s.Min)
+		reg.Gauge("dq_measure_max",
+			"maximum recorded value of a DQ measure", labels).Set(s.Max)
+		reg.Gauge("dq_measure_observations",
+			"number of recorded values of a DQ measure", labels).Set(float64(s.Count))
+	}
+	reg.Gauge("dq_threshold_violations",
+		"DQ measures currently below their monitoring threshold", nil).
+		Set(float64(len(c.Violations(time.Time{}))))
 }
 
 // Snapshot renders a sorted, human-readable view of all measures' overall

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapeLabelValue escapes a label value per the Prometheus text format:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only (quotes are
+// legal there).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatLE renders a bucket bound for the le label.
+func formatLE(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sampleLine writes one `name{labels} value` line; labelFragment may be "".
+func sampleLine(w io.Writer, name, labelFragment, value string) error {
+	if labelFragment == "" {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, value)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labelFragment, value)
+	return err
+}
+
+// joinLabels appends extra to a canonical label fragment.
+func joinLabels(fragment, extra string) string {
+	if fragment == "" {
+		return extra
+	}
+	return fragment + "," + extra
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each preceded by its
+// # HELP and # TYPE lines, series sorted by label key. Histograms emit
+// cumulative `_bucket` samples with le labels (ending at +Inf), plus
+// `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshot() {
+		f.mu.RLock()
+		ordered := append([]*series(nil), f.order...)
+		f.mu.RUnlock()
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].key < ordered[j].key })
+
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range ordered {
+			switch m := s.metric.(type) {
+			case *Counter:
+				if err := sampleLine(w, f.name, s.key, strconv.FormatUint(m.Value(), 10)); err != nil {
+					return err
+				}
+			case *Gauge:
+				if err := sampleLine(w, f.name, s.key, formatFloat(m.Value())); err != nil {
+					return err
+				}
+			case *Histogram:
+				cum := m.cumulative()
+				for i, upper := range m.upper {
+					frag := joinLabels(s.key, `le="`+formatLE(upper)+`"`)
+					if err := sampleLine(w, f.name+"_bucket", frag, strconv.FormatUint(cum[i], 10)); err != nil {
+						return err
+					}
+				}
+				frag := joinLabels(s.key, `le="+Inf"`)
+				if err := sampleLine(w, f.name+"_bucket", frag, strconv.FormatUint(cum[len(cum)-1], 10)); err != nil {
+					return err
+				}
+				if err := sampleLine(w, f.name+"_sum", s.key, formatFloat(m.Sum())); err != nil {
+					return err
+				}
+				if err := sampleLine(w, f.name+"_count", s.key, strconv.FormatUint(cum[len(cum)-1], 10)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PrometheusText renders the registry to a string; see WritePrometheus.
+func (r *Registry) PrometheusText() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels name one time series within a metric family. A nil map is the
+// unlabeled series.
+type Labels map[string]string
+
+// canonical renders labels as a stable series key and exposition fragment:
+// `k1="v1",k2="v2"` with keys sorted and values escaped. Empty for nil.
+func (l Labels) canonical() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// clone copies the labels so callers can reuse their map.
+func (l Labels) clone() Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// Counter is a monotonically increasing count, safe for concurrent use.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a value that can go up and down, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets, safe for concurrent
+// use. Buckets are upper bounds; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Uint64 // len(upper)+1; the last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+}
+
+// DefBuckets are latency-oriented default bucket bounds in seconds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	upper := append([]float64(nil), buckets...)
+	sort.Float64s(upper)
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// cumulative returns the per-bucket cumulative counts, +Inf last.
+func (h *Histogram) cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var running uint64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		out[i] = running
+	}
+	return out
+}
+
+// metric family types.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one (labels, metric) pair of a family.
+type series struct {
+	labels Labels
+	key    string
+	metric any
+}
+
+// family groups all series of one metric name.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	buckets []float64 // histograms only
+	mu      sync.RWMutex
+	series  map[string]*series
+	order   []*series // insertion order; sorted at render time
+}
+
+func (f *family) getOrCreate(labels Labels, create func() any) any {
+	key := labels.canonical()
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s.metric
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s.metric
+	}
+	s = &series{labels: labels.clone(), key: key, metric: create()}
+	f.series[key] = s
+	f.order = append(f.order, s)
+	return s.metric
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. It is safe for concurrent use; metrics are created on
+// first touch and live for the life of the registry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ string, buckets []float64) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if f, ok = r.families[name]; !ok {
+			f = &family{
+				name: name, help: help, typ: typ, buckets: buckets,
+				series: make(map[string]*series),
+			}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// Counter returns the counter for the given family and labels, creating
+// both on first use. Requesting an existing name as a different metric
+// type panics: that is a programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	f := r.family(name, help, typeCounter, nil)
+	return f.getOrCreate(labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge for the given family and labels.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	f := r.family(name, help, typeGauge, nil)
+	return f.getOrCreate(labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram for the given family and labels. The
+// bucket bounds of the first call win for the whole family; nil buckets
+// mean DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.family(name, help, typeHistogram, buckets)
+	return f.getOrCreate(labels, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// snapshot returns the families sorted by name with their series sorted by
+// canonical label key, for deterministic rendering.
+func (r *Registry) snapshot() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusExpositionGolden pins the exact text exposition output:
+// family ordering, HELP/TYPE lines, label rendering, histogram bucket
+// cumulativity and the _sum/_count samples.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last", "sorts last", nil).Add(7)
+	r.Counter("requests_total", "requests served", Labels{"route": "/papers", "method": "GET"}).Add(3)
+	r.Counter("requests_total", "requests served", Labels{"route": "/login", "method": "POST"}).Inc()
+	r.Gauge("temperature", "current level", nil).Set(1.5)
+	h := r.Histogram("latency_seconds", "request latency", []float64{0.1, 0.5, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(2) // lands in +Inf only
+
+	want := strings.Join([]string{
+		`# HELP latency_seconds request latency`,
+		`# TYPE latency_seconds histogram`,
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="0.5"} 3`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="+Inf"} 4`,
+		`latency_seconds_sum 2.4`,
+		`latency_seconds_count 4`,
+		`# HELP requests_total requests served`,
+		`# TYPE requests_total counter`,
+		`requests_total{method="GET",route="/papers"} 3`,
+		`requests_total{method="POST",route="/login"} 1`,
+		`# HELP temperature current level`,
+		`# TYPE temperature gauge`,
+		`temperature 1.5`,
+		`# HELP zz_last sorts last`,
+		`# TYPE zz_last counter`,
+		`zz_last 7`,
+		``,
+	}, "\n")
+	if got := r.PrometheusText(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", `help with \backslash
+and newline`, Labels{"k": "quote\" backslash\\ newline\n end"}).Inc()
+	got := r.PrometheusText()
+	wantHelp := `# HELP m help with \\backslash\nand newline`
+	wantSample := `m{k="quote\" backslash\\ newline\n end"} 1`
+	if !strings.Contains(got, wantHelp) {
+		t.Errorf("help not escaped: %q", got)
+	}
+	if !strings.Contains(got, wantSample) {
+		t.Errorf("label value not escaped: %q", got)
+	}
+}
+
+func TestHistogramBucketsAreCumulative(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 2.5, 3, 10} {
+		h.Observe(v)
+	}
+	cum := h.cumulative()
+	// le=1 catches 0.5 and 1 (bounds are inclusive); le=2 adds 1.5 and 2; ...
+	want := []uint64{2, 4, 6, 7}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("bucket %d: got %d want %d", i, cum[i], want[i])
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count: got %d want 7", h.Count())
+	}
+	if math.Abs(h.Sum()-20.5) > 1e-9 {
+		t.Errorf("sum: got %g want 20.5", h.Sum())
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, gauge and histogram from many
+// goroutines; run with -race this verifies the atomic paths.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("c_total", "", Labels{"shard": "x"}).Inc()
+				r.Gauge("g", "", nil).Add(1)
+				r.Histogram("h", "", []float64{0.5}, nil).Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	const want = goroutines * perG
+	if got := r.Counter("c_total", "", Labels{"shard": "x"}).Value(); got != want {
+		t.Errorf("counter: got %d want %d", got, want)
+	}
+	if got := r.Gauge("g", "", nil).Value(); got != want {
+		t.Errorf("gauge: got %g want %d", got, want)
+	}
+	h := r.Histogram("h", "", nil, nil)
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count: got %d want %d", got, want)
+	}
+	if got := h.Sum(); math.Abs(got-want*0.25) > 1e-6 {
+		t.Errorf("histogram sum: got %g want %g", got, float64(want)*0.25)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("requesting a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("m", "", nil)
+}
+
+func TestGaugeSetAndAdd(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge: got %g want 1.5", got)
+	}
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are stringified at
+// set time so snapshots need no reflection.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed operation in a trace tree. Spans are created through a
+// Tracer (or StartSpan) and must be finished with End. A nil *Span is a
+// valid no-op: every method checks the receiver, so untraced code paths
+// can call instrumentation unconditionally.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []Attr
+	err      error
+	children []*Span
+}
+
+// Name returns the span's name, "" on nil.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr annotates the span; the value is rendered with %v.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: fmt.Sprintf("%v", value)})
+	s.mu.Unlock()
+}
+
+// Fail marks the span as errored. Calling Fail after End is legal (the
+// recover path of a panicking request does exactly that); the recorded
+// tree shows the error either way.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+}
+
+// Err returns the recorded error, nil on nil.
+func (s *Span) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// End finishes the span. Finished root spans are recorded in the tracer's
+// ring buffer; double End keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	already := !s.end.IsZero()
+	if !already {
+		s.end = s.tracer.now()
+	}
+	s.mu.Unlock()
+	if !already && s.parent == nil {
+		s.tracer.record(s)
+	}
+}
+
+// Duration returns the span's length; for an unfinished span, the time
+// since it started.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return s.tracer.now().Sub(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// Snapshot is the exported, immutable form of a span tree, suitable for
+// JSON encoding.
+type Snapshot struct {
+	// Name is the span name.
+	Name string `json:"name"`
+	// Start is the span's start time.
+	Start time.Time `json:"start"`
+	// DurationMS is the span length in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// Error is the failure message, "" on success.
+	Error string `json:"error,omitempty"`
+	// Attrs holds the annotations in set order.
+	Attrs []Attr `json:"attrs,omitempty"`
+	// Children are the nested spans in start order.
+	Children []Snapshot `json:"children,omitempty"`
+}
+
+// Snapshot captures the span tree rooted here.
+func (s *Span) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	s.mu.Lock()
+	snap := Snapshot{
+		Name:       s.name,
+		Start:      s.start,
+		DurationMS: float64(s.durationLocked()) / float64(time.Millisecond),
+		Attrs:      append([]Attr(nil), s.attrs...),
+	}
+	if s.err != nil {
+		snap.Error = s.err.Error()
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.Snapshot())
+	}
+	return snap
+}
+
+// durationLocked computes the duration with s.mu already held.
+func (s *Span) durationLocked() time.Duration {
+	if s.end.IsZero() {
+		return s.tracer.now().Sub(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// Tracer creates spans and keeps the most recent finished root spans in a
+// fixed-size ring buffer. It is safe for concurrent use. A nil *Tracer is
+// a valid no-op tracer: Start returns the context unchanged and a nil
+// span.
+type Tracer struct {
+	clock func() time.Time
+
+	mu     sync.Mutex
+	ring   []*Span
+	next   int
+	filled bool
+}
+
+// NewTracer creates a tracer keeping the last capacity finished root
+// spans; capacity < 1 defaults to 64.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 64
+	}
+	return &Tracer{ring: make([]*Span, capacity), clock: time.Now}
+}
+
+// SetClock injects a deterministic clock for tests; nil restores time.Now.
+func (t *Tracer) SetClock(clock func() time.Time) {
+	if clock == nil {
+		clock = time.Now
+	}
+	t.clock = clock
+}
+
+func (t *Tracer) now() time.Time {
+	if t == nil {
+		return time.Now()
+	}
+	return t.clock()
+}
+
+func (t *Tracer) newSpan(name string, parent *Span) *Span {
+	s := &Span{tracer: t, parent: parent, name: name, start: t.now()}
+	if parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+	}
+	return s
+}
+
+// Start begins a span as a child of the context's active span (a root span
+// when there is none) and returns the context carrying it. On a nil
+// tracer it returns the inputs untouched.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := t.newSpan(name, SpanFromContext(ctx))
+	return ContextWithSpan(ctx, s), s
+}
+
+func (t *Tracer) record(s *Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next, t.filled = 0, true
+	}
+	t.mu.Unlock()
+}
+
+// Finished returns the recorded root spans, newest first.
+func (t *Tracer) Finished() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*Span
+	for i := t.next - 1; i >= 0; i-- {
+		out = append(out, t.ring[i])
+	}
+	if t.filled {
+		for i := len(t.ring) - 1; i >= t.next; i-- {
+			out = append(out, t.ring[i])
+		}
+	}
+	return out
+}
+
+// WriteTree renders a span tree as indented text, one span per line:
+//
+//	name duration {attr=value ...}
+//	├─ child duration
+//	│  └─ grandchild duration ERROR: message
+//	└─ child duration
+func WriteTree(w io.Writer, s *Span) {
+	writeTreeSnap(w, s.Snapshot(), "", "")
+}
+
+// TreeString renders a span tree to a string; see WriteTree.
+func TreeString(s *Span) string {
+	var b strings.Builder
+	WriteTree(&b, s)
+	return b.String()
+}
+
+func writeTreeSnap(w io.Writer, snap Snapshot, prefix, childPrefix string) {
+	fmt.Fprintf(w, "%s%s %s", prefix, snap.Name, formatDurationMS(snap.DurationMS))
+	if len(snap.Attrs) > 0 {
+		parts := make([]string, len(snap.Attrs))
+		for i, a := range snap.Attrs {
+			parts[i] = a.Key + "=" + a.Value
+		}
+		fmt.Fprintf(w, " {%s}", strings.Join(parts, " "))
+	}
+	if snap.Error != "" {
+		fmt.Fprintf(w, " ERROR: %s", snap.Error)
+	}
+	fmt.Fprintln(w)
+	for i, c := range snap.Children {
+		if i == len(snap.Children)-1 {
+			writeTreeSnap(w, c, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			writeTreeSnap(w, c, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+// formatDurationMS renders a millisecond duration compactly.
+func formatDurationMS(ms float64) string {
+	return time.Duration(ms * float64(time.Millisecond)).Round(time.Microsecond).String()
+}
+
+// MarshalSpanJSON renders a span tree as indented JSON via its Snapshot.
+func MarshalSpanJSON(s *Span) ([]byte, error) {
+	return json.MarshalIndent(s.Snapshot(), "", "  ")
+}

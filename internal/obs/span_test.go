@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per call, making durations deterministic.
+func fakeClock(step time.Duration) func() time.Time {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	n := 0
+	var mu sync.Mutex
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return base.Add(time.Duration(n) * step)
+	}
+}
+
+func TestSpanTreeNestingAndExport(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetClock(fakeClock(time.Millisecond))
+
+	ctx, root := tr.Start(context.Background(), "pipeline")
+	root.SetAttr("model", "easychair")
+
+	ctx2, child := StartSpan(ctx, "load")
+	if child == nil {
+		t.Fatal("StartSpan under an active span must create a child")
+	}
+	_, grand := StartSpan(ctx2, "parse")
+	grand.Fail(errors.New("boom"))
+	grand.End()
+	child.End()
+
+	_, sibling := StartSpan(ctx, "validate")
+	sibling.End()
+	root.End()
+
+	tree := TreeString(root)
+	for _, want := range []string{"pipeline", "{model=easychair}", "├─ load", "│  └─ parse", "ERROR: boom", "└─ validate"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+
+	data, err := MarshalSpanJSON(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Name != "pipeline" || len(snap.Children) != 2 {
+		t.Errorf("snapshot shape wrong: %+v", snap)
+	}
+	if snap.Children[0].Children[0].Error != "boom" {
+		t.Errorf("grandchild error not exported: %+v", snap.Children[0])
+	}
+}
+
+func TestStartSpanWithoutTracerIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "anything")
+	if s != nil {
+		t.Fatal("no active span in context must yield a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("context must pass through unchanged")
+	}
+	// All nil-span methods must be safe.
+	s.SetAttr("k", 1)
+	s.Fail(errors.New("x"))
+	s.End()
+	if s.Duration() != 0 || s.Name() != "" || s.Err() != nil {
+		t.Fatal("nil span accessors must return zero values")
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.Start(context.Background(), "x")
+	if s != nil || SpanFromContext(ctx) != nil {
+		t.Fatal("nil tracer must not create spans")
+	}
+	if tr.Finished() != nil {
+		t.Fatal("nil tracer has no finished spans")
+	}
+}
+
+func TestRingBufferKeepsNewestRoots(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		_, s := tr.Start(context.Background(), string(rune('a'+i)))
+		s.End()
+	}
+	fin := tr.Finished()
+	if len(fin) != 3 {
+		t.Fatalf("got %d finished spans, want 3", len(fin))
+	}
+	if fin[0].Name() != "e" || fin[1].Name() != "d" || fin[2].Name() != "c" {
+		t.Errorf("wrong order/content: %s %s %s", fin[0].Name(), fin[1].Name(), fin[2].Name())
+	}
+}
+
+func TestChildSpansAreNotRecordedAsRoots(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.Start(context.Background(), "root")
+	_, child := StartSpan(ctx, "child")
+	child.End()
+	if len(tr.Finished()) != 0 {
+		t.Fatal("finished child must not enter the ring buffer")
+	}
+	root.End()
+	if len(tr.Finished()) != 1 {
+		t.Fatal("finished root must enter the ring buffer")
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.Start(context.Background(), "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, s := StartSpan(ctx, "child")
+			s.SetAttr("i", 1)
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Snapshot().Children); got != 32 {
+		t.Errorf("got %d children, want 32", got)
+	}
+}

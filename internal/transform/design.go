@@ -1,6 +1,7 @@
 package transform
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -169,5 +170,10 @@ func classNameFor(name string) string {
 
 // RunDQSR2Design transforms a DQSR model into a UML design model.
 func RunDQSR2Design(dqsr *uml.Model) (*uml.Model, *Trace, error) {
-	return DQSR2Design().Run(dqsr, uml.Metamodel(), dqsr.Name()+"-design")
+	return RunDQSR2DesignContext(context.Background(), dqsr)
+}
+
+// RunDQSR2DesignContext is RunDQSR2Design under the context's active span.
+func RunDQSR2DesignContext(ctx context.Context, dqsr *uml.Model) (*uml.Model, *Trace, error) {
+	return DQSR2Design().RunContext(ctx, dqsr, uml.Metamodel(), dqsr.Name()+"-design")
 }

@@ -1,6 +1,7 @@
 package transform
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -317,5 +318,11 @@ func wireRealizations(t *Trace) error {
 // RunDQR2DQSR is a convenience wrapper: transform a requirements model and
 // return the DQSR model with its trace.
 func RunDQR2DQSR(rm *dqwebre.RequirementsModel) (*uml.Model, *Trace, error) {
-	return DQR2DQSR().Run(rm.Model, DQSRMetamodel(), rm.Name()+"-DQSR")
+	return RunDQR2DQSRContext(context.Background(), rm)
+}
+
+// RunDQR2DQSRContext is RunDQR2DQSR under the context's active span, so
+// the transformation's phases appear in the caller's trace.
+func RunDQR2DQSRContext(ctx context.Context, rm *dqwebre.RequirementsModel) (*uml.Model, *Trace, error) {
+	return DQR2DQSR().RunContext(ctx, rm.Model, DQSRMetamodel(), rm.Name()+"-DQSR")
 }

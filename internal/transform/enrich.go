@@ -1,11 +1,13 @@
 package transform
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/modeldriven/dqwebre/internal/dqwebre"
 	"github.com/modeldriven/dqwebre/internal/iso25012"
 	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/obs"
 )
 
 // EnrichWithDQ performs the paper's proactive customization step on an
@@ -20,6 +22,24 @@ import (
 // sketches: plain web requirements → DQ-aware requirements → DQ software
 // requirements.
 func EnrichWithDQ(rm *dqwebre.RequirementsModel, dims []iso25012.Characteristic) (int, error) {
+	return EnrichWithDQContext(context.Background(), rm, dims)
+}
+
+// EnrichWithDQContext is EnrichWithDQ under the context's active span: a
+// "transform.EnrichWithDQ" span records the number of InformationCases
+// added, and the process-wide registry counts enrichment runs.
+func EnrichWithDQContext(ctx context.Context, rm *dqwebre.RequirementsModel, dims []iso25012.Characteristic) (int, error) {
+	_, span := obs.StartSpan(ctx, "transform.EnrichWithDQ")
+	added, err := enrichWithDQ(rm, dims)
+	span.SetAttr("added", added)
+	span.Fail(err)
+	span.End()
+	obs.Default().Counter("transform_runs_total", "model-to-model transformation runs",
+		obs.Labels{"transformation": "EnrichWithDQ"}).Inc()
+	return added, err
+}
+
+func enrichWithDQ(rm *dqwebre.RequirementsModel, dims []iso25012.Characteristic) (int, error) {
 	if len(dims) == 0 {
 		return 0, fmt.Errorf("transform: EnrichWithDQ needs at least one characteristic")
 	}

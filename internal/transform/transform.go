@@ -15,9 +15,11 @@
 package transform
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/obs"
 	"github.com/modeldriven/dqwebre/internal/ocl"
 	"github.com/modeldriven/dqwebre/internal/uml"
 )
@@ -128,6 +130,35 @@ func (t *Trace) TargetsOf(rule string) []*metamodel.Object {
 // Run executes the transformation: phase 1 instantiates targets for every
 // rule match; phase 2 binds them; phase 3 finalizes.
 func (tr *Transformation) Run(src *uml.Model, targetMeta *metamodel.Package, targetName string) (*uml.Model, *Trace, error) {
+	return tr.RunContext(context.Background(), src, targetMeta, targetName)
+}
+
+// RunContext is Run with observability: under an active span in ctx the
+// engine nests "transform.<name>" with one child span per phase (match,
+// bind, finalize) carrying match and trace-link counts, and the
+// process-wide registry counts runs and produced links per transformation.
+func (tr *Transformation) RunContext(ctx context.Context, src *uml.Model, targetMeta *metamodel.Package, targetName string) (*uml.Model, *Trace, error) {
+	ctx, span := obs.StartSpan(ctx, "transform."+tr.Name)
+	span.SetAttr("source", src.Name())
+	dst, t, err := tr.run(ctx, src, targetMeta, targetName)
+	if err != nil {
+		span.Fail(err)
+	} else {
+		span.SetAttr("links", len(t.Links))
+	}
+	span.End()
+
+	reg := obs.Default()
+	labels := obs.Labels{"transformation": tr.Name}
+	reg.Counter("transform_runs_total", "model-to-model transformation runs", labels).Inc()
+	if err == nil {
+		reg.Counter("transform_links_total", "trace links produced by transformations", labels).
+			Add(uint64(len(t.Links)))
+	}
+	return dst, t, err
+}
+
+func (tr *Transformation) run(ctx context.Context, src *uml.Model, targetMeta *metamodel.Package, targetName string) (*uml.Model, *Trace, error) {
 	dst := uml.NewModel(targetName, targetMeta)
 	t := newTrace(src, dst)
 
@@ -137,10 +168,12 @@ func (tr *Transformation) Run(src *uml.Model, targetMeta *metamodel.Package, tar
 	}
 	var binds []pending
 
+	_, mspan := obs.StartSpan(ctx, "match")
 	for i := range tr.Rules {
 		rule := &tr.Rules[i]
 		cls, ok := src.Metamodel().FindClass(rule.From)
 		if !ok {
+			mspan.End()
 			return nil, nil, fmt.Errorf("transform %s: rule %s: unknown source class %q",
 				tr.Name, rule.Name, rule.From)
 		}
@@ -154,6 +187,7 @@ func (tr *Transformation) Run(src *uml.Model, targetMeta *metamodel.Package, tar
 					},
 				})
 				if err != nil {
+					mspan.End()
 					return nil, nil, fmt.Errorf("transform %s: rule %s guard: %w",
 						tr.Name, rule.Name, err)
 				}
@@ -166,23 +200,34 @@ func (tr *Transformation) Run(src *uml.Model, targetMeta *metamodel.Package, tar
 			}
 			d, err := dst.Create(rule.To)
 			if err != nil {
+				mspan.End()
 				return nil, nil, fmt.Errorf("transform %s: rule %s: %w", tr.Name, rule.Name, err)
 			}
 			t.record(rule.Name, s, d)
 			binds = append(binds, pending{rule: rule, src: s, dst: d})
 		}
 	}
+	mspan.SetAttr("rules", len(tr.Rules))
+	mspan.SetAttr("matches", len(binds))
+	mspan.End()
 
+	_, bspan := obs.StartSpan(ctx, "bind")
 	for _, p := range binds {
 		if p.rule.Bind == nil {
 			continue
 		}
 		if err := p.rule.Bind(t, p.src, p.dst); err != nil {
+			bspan.End()
 			return nil, nil, fmt.Errorf("transform %s: rule %s bind: %w", tr.Name, p.rule.Name, err)
 		}
 	}
+	bspan.End()
 	if tr.Finalize != nil {
-		if err := tr.Finalize(t); err != nil {
+		_, fspan := obs.StartSpan(ctx, "finalize")
+		err := tr.Finalize(t)
+		fspan.Fail(err)
+		fspan.End()
+		if err != nil {
 			return nil, nil, fmt.Errorf("transform %s: finalize: %w", tr.Name, err)
 		}
 	}

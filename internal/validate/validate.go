@@ -8,12 +8,14 @@
 package validate
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 
 	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/obs"
 	"github.com/modeldriven/dqwebre/internal/ocl"
 	"github.com/modeldriven/dqwebre/internal/uml"
 )
@@ -230,7 +232,30 @@ func (e *Engine) CheckRules() []error {
 // Run executes all passes and returns the report. OCL evaluation errors
 // (e.g. a rule navigating a property the element lacks) surface as
 // diagnostics, not Go errors: a broken rule must not hide other findings.
-func (e *Engine) Run() *Report {
+func (e *Engine) Run() *Report { return e.RunContext(context.Background()) }
+
+// RunContext is Run with observability: when the context carries an active
+// span the engine nests "validate.run" with per-pass child spans
+// (conformance, rules) and annotates job and worker counts; run and
+// finding totals are always counted on the process-wide metric registry.
+func (e *Engine) RunContext(ctx context.Context) *Report {
+	ctx, span := obs.StartSpan(ctx, "validate.run")
+	span.SetAttr("model", e.model.Name())
+	rep := e.run(ctx)
+	span.SetAttr("checked", rep.Checked)
+	span.SetAttr("findings", len(rep.Diagnostics))
+	span.End()
+
+	reg := obs.Default()
+	reg.Counter("validate_runs_total", "model validation runs", nil).Inc()
+	for _, d := range rep.Diagnostics {
+		reg.Counter("validate_findings_total", "validation diagnostics produced, by severity",
+			obs.Labels{"severity": d.Severity.String()}).Inc()
+	}
+	return rep
+}
+
+func (e *Engine) run(ctx context.Context) *Report {
 	rep := &Report{}
 
 	// Memoize class extents for the duration of the run: the model is not
@@ -251,6 +276,8 @@ func (e *Engine) Run() *Report {
 	e.extent = extent
 
 	if !e.skipConformance {
+		_, cspan := obs.StartSpan(ctx, "conformance")
+		violations := 0
 		for _, v := range metamodel.CheckConformance(e.model.Model) {
 			rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
 				Severity: Error,
@@ -259,7 +286,10 @@ func (e *Engine) Run() *Report {
 				Message:  v.Message,
 			})
 			rep.Checked++
+			violations++
 		}
+		cspan.SetAttr("violations", violations)
+		cspan.End()
 	}
 
 	// Build the work list: (element, rule) pairs.
@@ -303,6 +333,9 @@ func (e *Engine) Run() *Report {
 	}
 	rep.Checked += len(jobs)
 
+	_, rspan := obs.StartSpan(ctx, "rules")
+	rspan.SetAttr("jobs", len(jobs))
+
 	workers := e.workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -331,6 +364,8 @@ func (e *Engine) Run() *Report {
 	}
 	close(next)
 	wg.Wait()
+	rspan.SetAttr("workers", workers)
+	rspan.End()
 
 	for _, ds := range results {
 		rep.Diagnostics = append(rep.Diagnostics, ds...)

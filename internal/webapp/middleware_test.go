@@ -1,0 +1,116 @@
+package webapp
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/modeldriven/dqwebre/internal/obs"
+)
+
+func TestLoggingCapturesStatusAndBytes(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRouter()
+	r.Use(Logging(log.New(&buf, "", 0)))
+	r.GET("/teapot", func(c *Context) { c.Text(http.StatusTeapot, "short and stout") })
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/teapot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	line := buf.String()
+	if !strings.Contains(line, " 418 ") {
+		t.Errorf("log line missing status 418: %q", line)
+	}
+	if !strings.Contains(line, "15B") {
+		t.Errorf("log line missing byte count: %q", line)
+	}
+}
+
+func TestMetricsMiddlewareRecordsPerRoute(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(8)
+	r := NewRouter()
+	r.Use(Metrics(reg, tracer))
+	r.GET("/reviews/:id", func(c *Context) { c.Text(http.StatusOK, "review %s", c.Param("id")) })
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+
+	for _, id := range []string{"1", "2", "3"} {
+		resp, err := http.Get(srv.URL + "/reviews/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	got := reg.PrometheusText()
+	if !strings.Contains(got, `http_requests_total{method="GET",route="/reviews/:id",status="200"} 3`) {
+		t.Errorf("request counter missing or mislabeled:\n%s", got)
+	}
+	if !strings.Contains(got, `http_request_duration_seconds_count{route="/reviews/:id"} 3`) {
+		t.Errorf("latency histogram missing:\n%s", got)
+	}
+	fin := tracer.Finished()
+	if len(fin) != 3 || fin[0].Name() != "GET /reviews/:id" {
+		t.Errorf("spans not recorded per request: %d", len(fin))
+	}
+}
+
+func TestRecoverCountsPanicsAndFailsSpan(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(8)
+	r := NewRouter()
+	r.Use(Metrics(reg, tracer), Recover(log.New(io.Discard, "", 0), reg))
+	r.GET("/boom", func(c *Context) { panic("kaboom") })
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	got := reg.PrometheusText()
+	if !strings.Contains(got, `webapp_panics_total{route="/boom"} 1`) {
+		t.Errorf("panic counter missing:\n%s", got)
+	}
+	// Metrics (outermost) must see the 500 Recover wrote.
+	if !strings.Contains(got, `http_requests_total{method="GET",route="/boom",status="500"} 1`) {
+		t.Errorf("panicking request not recorded with status 500:\n%s", got)
+	}
+	fin := tracer.Finished()
+	if len(fin) != 1 || fin[0].Err() == nil {
+		t.Fatalf("span not recorded as errored: %+v", fin)
+	}
+}
+
+func TestResponseRecorderDefaultsAndNoDoubleWrap(t *testing.T) {
+	rec := httptest.NewRecorder()
+	rr := NewResponseRecorder(rec)
+	if NewResponseRecorder(rr) != rr {
+		t.Fatal("wrapping a recorder must return it unchanged")
+	}
+	if rr.Status() != http.StatusOK {
+		t.Fatalf("default status = %d", rr.Status())
+	}
+	rr.WriteHeader(http.StatusCreated)
+	rr.WriteHeader(http.StatusAccepted) // first write wins
+	if _, err := rr.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status() != http.StatusCreated || rr.Bytes() != 5 {
+		t.Fatalf("status=%d bytes=%d", rr.Status(), rr.Bytes())
+	}
+}

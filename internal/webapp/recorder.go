@@ -1,0 +1,59 @@
+package webapp
+
+import "net/http"
+
+// ResponseRecorder wraps an http.ResponseWriter to capture the status code
+// and body size actually sent, which the raw writer never exposes. The
+// Logging and Metrics middleware install it so log lines and metrics can
+// report the response outcome.
+type ResponseRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// NewResponseRecorder wraps w; when w is already a recorder it is returned
+// unchanged, so stacked middleware share one recorder.
+func NewResponseRecorder(w http.ResponseWriter) *ResponseRecorder {
+	if rr, ok := w.(*ResponseRecorder); ok {
+		return rr
+	}
+	return &ResponseRecorder{ResponseWriter: w}
+}
+
+// WriteHeader records the first explicit status code and forwards it.
+func (r *ResponseRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write counts body bytes, defaulting the status to 200 like net/http.
+func (r *ResponseRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Status returns the response status; 200 when the handler wrote neither a
+// header nor a body (net/http sends 200 on its behalf).
+func (r *ResponseRecorder) Status() int {
+	if r.status == 0 {
+		return http.StatusOK
+	}
+	return r.status
+}
+
+// Bytes returns the number of body bytes written.
+func (r *ResponseRecorder) Bytes() int64 { return r.bytes }
+
+// Flush forwards to the underlying writer when it supports flushing.
+func (r *ResponseRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -20,6 +20,10 @@ type Context struct {
 	R *http.Request
 	// Params holds path parameters, e.g. {"id": "42"} for /reviews/:id.
 	Params map[string]string
+	// Pattern is the registered route pattern that matched, e.g.
+	// "/reviews/:id/edit"; "" for the NotFound handler. Middleware uses it
+	// as a bounded-cardinality route label.
+	Pattern string
 	// Session is the request's session; never nil when the router has a
 	// session manager.
 	Session *Session
@@ -59,6 +63,7 @@ type Middleware func(HandlerFunc) HandlerFunc
 // route is one registered pattern.
 type route struct {
 	method   string
+	pattern  string
 	segments []string // literal or ":param"
 	handler  HandlerFunc
 }
@@ -90,7 +95,7 @@ func (r *Router) Use(mw ...Middleware) { r.mws = append(r.mws, mw...) }
 // Handle registers a handler for a method and pattern.
 func (r *Router) Handle(method, pattern string, h HandlerFunc) {
 	segs := splitPath(pattern)
-	r.routes = append(r.routes, route{method: method, segments: segs, handler: h})
+	r.routes = append(r.routes, route{method: method, pattern: pattern, segments: segs, handler: h})
 }
 
 // GET registers a GET handler.
@@ -112,7 +117,7 @@ func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 			allowed = append(allowed, rt.method)
 			continue
 		}
-		c := &Context{W: w, R: req, Params: params}
+		c := &Context{W: w, R: req, Params: params, Pattern: rt.pattern}
 		c.Session = r.sessions.Get(w, req)
 		h := rt.handler
 		for i := len(r.mws) - 1; i >= 0; i-- {

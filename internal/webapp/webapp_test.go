@@ -188,7 +188,7 @@ func TestMiddlewareOrderAndRecover(t *testing.T) {
 	}
 	r.Use(mk("outer"), mk("inner"))
 	r.GET("/ok", func(c *Context) { c.Text(200, "ok") })
-	r.Use(Recover(log.New(io.Discard, "", 0)))
+	r.Use(Recover(log.New(io.Discard, "", 0), nil))
 	r.GET("/boom", func(c *Context) { panic("kaboom") })
 	srv := httptest.NewServer(r)
 	defer srv.Close()

@@ -1,6 +1,7 @@
 package xmi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -59,6 +60,10 @@ func fromJSONVal(j jsonVal) XValue {
 // MarshalJSON serializes the model as JSON (an alternative interchange form
 // to the XML produced by Marshal).
 func MarshalJSON(m *uml.Model) ([]byte, error) {
+	return MarshalJSONContext(context.Background(), m)
+}
+
+func marshalJSON(m *uml.Model) ([]byte, error) {
 	doc, err := ToDocument(m)
 	if err != nil {
 		return nil, err
@@ -94,6 +99,10 @@ func MarshalJSON(m *uml.Model) ([]byte, error) {
 
 // UnmarshalJSON reconstructs a model from the JSON form.
 func UnmarshalJSON(data []byte, opts Options) (*uml.Model, error) {
+	return UnmarshalJSONContext(context.Background(), data, opts)
+}
+
+func unmarshalJSON(data []byte, opts Options) (*uml.Model, error) {
 	var jd jsonDoc
 	if err := json.Unmarshal(data, &jd); err != nil {
 		return nil, fmt.Errorf("xmi: json parse: %w", err)

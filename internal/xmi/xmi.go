@@ -7,6 +7,7 @@
 package xmi
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"sort"
@@ -61,6 +62,10 @@ type Applied struct {
 // Marshal serializes the model. External ids are assigned first, so the
 // output is deterministic for a given model construction order.
 func Marshal(m *uml.Model) ([]byte, error) {
+	return MarshalContext(context.Background(), m)
+}
+
+func marshal(m *uml.Model) ([]byte, error) {
 	doc, err := ToDocument(m)
 	if err != nil {
 		return nil, err
@@ -163,6 +168,10 @@ type Options struct {
 // created in document order in a first pass; slots and stereotype
 // applications are wired in a second pass, so forward references are legal.
 func Unmarshal(data []byte, opts Options) (*uml.Model, error) {
+	return UnmarshalContext(context.Background(), data, opts)
+}
+
+func unmarshal(data []byte, opts Options) (*uml.Model, error) {
 	var doc Document
 	if err := xml.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("xmi: parse: %w", err)
