@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	easychair [-addr :8080] [-pprof]
+//	easychair [-addr :8080] [-pprof] [flags]
 //
 // Try it:
 //
@@ -25,36 +25,119 @@
 //
 // With -pprof, the Go profiling endpoints are mounted under
 // /debug/pprof/ on the same listener (CPU profile, heap, goroutines, ...).
+//
+// Resilience: the server runs with read/write/idle timeouts and a header
+// size cap, sheds load with 503 (concurrency bound) and 429 (per-client
+// rate limit) once saturated, expires idle sessions, and drains in-flight
+// requests on SIGINT/SIGTERM before exiting. Drive it with
+// `dqwebre load -url http://localhost:8080` to watch the limiters work on
+// /metrics.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/modeldriven/dqwebre/internal/easychair"
 	"github.com/modeldriven/dqwebre/internal/obs"
 	"github.com/modeldriven/dqwebre/internal/webapp"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-	flag.Parse()
+// config collects every serving knob; flag defaults are production-lean.
+type config struct {
+	addr           string
+	enablePprof    bool
+	readTimeout    time.Duration
+	writeTimeout   time.Duration
+	idleTimeout    time.Duration
+	maxHeaderBytes int
+	drainTimeout   time.Duration
 
+	maxConcurrent int
+	ratePerSec    float64
+	rateBurst     int
+
+	sessionTTL   time.Duration
+	sessionSweep time.Duration
+	maxSessions  int
+}
+
+// testAppHook, when non-nil, lets tests adjust the app (e.g. register a
+// deliberately slow route to hold requests in flight) before serving.
+var testAppHook func(*easychair.App)
+
+// parseFlags builds the config from args (without the program name).
+func parseFlags(args []string) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("easychair", flag.ContinueOnError)
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.BoolVar(&cfg.enablePprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	fs.DurationVar(&cfg.readTimeout, "read-timeout", 10*time.Second, "max time to read a request (slowloris guard)")
+	fs.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "max time to write a response")
+	fs.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+	fs.IntVar(&cfg.maxHeaderBytes, "max-header-bytes", 1<<20, "request header size cap")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
+	fs.IntVar(&cfg.maxConcurrent, "max-concurrent", 256, "in-flight request bound; excess is shed with 503 (0 disables)")
+	fs.Float64Var(&cfg.ratePerSec, "rate", 0, "per-client sustained requests/second; excess is shed with 429 (0 disables)")
+	fs.IntVar(&cfg.rateBurst, "rate-burst", 32, "per-client burst headroom above -rate")
+	fs.DurationVar(&cfg.sessionTTL, "session-ttl", 30*time.Minute, "idle session time-to-live (0 = never expire)")
+	fs.DurationVar(&cfg.sessionSweep, "session-sweep", time.Minute, "expired-session sweep interval")
+	fs.IntVar(&cfg.maxSessions, "max-sessions", 100000, "live session cap, oldest evicted first (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
 	logger := log.New(os.Stderr, "easychair ", log.LstdFlags)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, logger, nil); err != nil {
+		logger.Fatalf("serve: %v", err)
+	}
+}
+
+// run builds the app and serves it until ctx is cancelled, then drains
+// in-flight requests within cfg.drainTimeout. When ln is nil a listener is
+// opened on cfg.addr; tests pass their own to learn the bound port.
+func run(ctx context.Context, cfg config, logger *log.Logger, ln net.Listener) error {
 	app, err := easychair.NewApp()
 	if err != nil {
-		logger.Fatalf("startup: %v", err)
+		return fmt.Errorf("startup: %w", err)
 	}
+	if testAppHook != nil {
+		testAppHook(app)
+	}
+	installResilience(app, cfg, logger)
+
 	// NewApp installed the Metrics middleware outermost; Recover and
 	// Logging nest inside it so panics are counted with their real status.
 	app.Router.Use(webapp.Recover(logger, app.Registry()), webapp.Logging(logger))
 
+	sessions := app.Router.Sessions()
+	sessions.SetTTL(cfg.sessionTTL)
+	sessions.SetMaxSessions(cfg.maxSessions)
+	sessions.Instrument(app.Registry())
+	stopSweeper := sessions.StartSweeper(cfg.sessionSweep)
+	defer stopSweeper()
+
 	handler := http.Handler(app.Router)
-	if *enablePprof {
+	if cfg.enablePprof {
 		// The profiling endpoints are opt-in: they expose stacks and heap
 		// contents, which a production deployment may not want public.
 		mux := http.NewServeMux()
@@ -68,13 +151,80 @@ func main() {
 		logger.Printf("pprof enabled at /debug/pprof/")
 	}
 
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           handler,
+		ReadTimeout:       cfg.readTimeout,
+		ReadHeaderTimeout: cfg.readTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+		MaxHeaderBytes:    cfg.maxHeaderBytes,
+		ErrorLog:          logger,
+		// Note: no BaseContext tied to ctx — in-flight requests must be
+		// allowed to finish during the drain, not have their contexts
+		// cancelled the moment the shutdown signal lands.
+	}
+
+	if ln == nil {
+		ln, err = net.Listen("tcp", cfg.addr)
+		if err != nil {
+			return err
+		}
+	}
+
 	sl := obs.Logger("easychair")
 	sl.Info("DQ requirements in force", "count", len(app.Enforcer().Requirements()))
 	for _, r := range app.Enforcer().Requirements() {
 		logger.Printf("  DQSR-%d [%s/%s] %s", r.ID, r.Dimension, r.Mechanism, r.Title)
 	}
-	logger.Printf("listening on %s (metrics at /metrics, health at /healthz, spans at /debug/spans)", *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
-		logger.Fatal(err)
+	logger.Printf("listening on %s (metrics at /metrics, health at /healthz, spans at /debug/spans)", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Serve never returns nil; any return before a shutdown signal is
+		// a real failure (port stolen, listener closed, ...).
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutdown: draining in-flight requests (up to %s)", cfg.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		// Drain deadline exceeded: hard-close what remains rather than
+		// hanging forever on a stuck handler.
+		_ = srv.Close()
+		<-errc // reap the Serve goroutine
+		return fmt.Errorf("drain incomplete after %s: %w", cfg.drainTimeout, err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("shutdown complete")
+	return nil
+}
+
+// installResilience wires the load-shedding middleware into the app. The
+// limiters sit inside the Metrics middleware (NewApp installed it first,
+// outermost), so shed responses are recorded in http_requests_total with
+// their 429/503 status as well as in http_requests_shed_total. Probes,
+// metrics and debug endpoints are exempt: they must answer precisely when
+// the server is saturated.
+func installResilience(app *easychair.App, cfg config, logger *log.Logger) {
+	exempt := []string{"/healthz", "/metrics", "/debug"}
+	if cfg.maxConcurrent > 0 {
+		cl := webapp.NewConcurrencyLimiter(cfg.maxConcurrent)
+		cl.Instrument(app.Registry())
+		app.Router.Use(cl.Middleware(exempt...))
+		logger.Printf("load shedding: max %d concurrent requests (503 beyond)", cfg.maxConcurrent)
+	}
+	if cfg.ratePerSec > 0 {
+		rl := webapp.NewRateLimiter(cfg.ratePerSec, cfg.rateBurst)
+		rl.Instrument(app.Registry())
+		app.Router.Use(rl.Middleware(exempt...))
+		logger.Printf("load shedding: %.1f req/s per client, burst %d (429 beyond)", cfg.ratePerSec, cfg.rateBurst)
 	}
 }

@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/modeldriven/dqwebre/internal/loadgen"
+)
+
+// cmdLoad drives concurrent traffic at a running server (typically
+// cmd/easychair) and reports throughput, latency percentiles and how much
+// traffic the resilience layer shed — the operational counterpart of the
+// library's micro-benchmarks.
+func cmdLoad(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("load", flag.ContinueOnError)
+	url := fs.String("url", "http://localhost:8080", "target base URL")
+	paths := fs.String("paths", "/", "comma-separated request paths, hit round-robin")
+	concurrency := fs.Int("c", 8, "concurrent workers")
+	requests := fs.Int("n", 0, "total requests (0 = run for -d)")
+	duration := fs.Duration("d", 0, "run duration (0 with -n 0 = 2048 requests)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("load takes no positional arguments")
+	}
+	var pathList []string
+	for _, p := range strings.Split(*paths, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			pathList = append(pathList, p)
+		}
+	}
+	cfg := loadgen.Config{
+		URL:         *url,
+		Paths:       pathList,
+		Concurrency: *concurrency,
+		Requests:    *requests,
+		Duration:    *duration,
+		Timeout:     *timeout,
+	}
+	fmt.Fprintf(out, "load: %s %s, %d workers", *url, strings.Join(pathList, ","), cfg.Concurrency)
+	if *requests > 0 {
+		fmt.Fprintf(out, ", %d requests\n", *requests)
+	} else if *duration > 0 {
+		fmt.Fprintf(out, ", %s\n", *duration)
+	} else {
+		fmt.Fprintln(out, ", 2048 requests")
+	}
+	res, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	res.WriteReport(out)
+	if res.Total == 0 && res.Errors > 0 {
+		return fmt.Errorf("load: no request completed (%d transport errors) — is the server up?", res.Errors)
+	}
+	return nil
+}

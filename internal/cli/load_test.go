@@ -1,0 +1,51 @@
+package cli
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLoadCommandReportsAgainstLiveServer runs the load subcommand at a
+// live server that sheds part of the traffic and checks the report carries
+// throughput, latency percentiles and the shed count.
+func TestLoadCommandReportsAgainstLiveServer(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%5 == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	out, err := run(t, "load", "-url", srv.URL, "-c", "4", "-n", "60")
+	if err != nil {
+		t.Fatalf("load: %v\n%s", err, out)
+	}
+	for _, want := range []string{"throughput:", "p50=", "p99=", "status 200:", "status 503:", "shed:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("load report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadCommandRejectsPositionalArgs(t *testing.T) {
+	if _, err := run(t, "load", "extra"); err == nil {
+		t.Fatal("positional args accepted")
+	}
+}
+
+func TestLoadCommandFailsWhenServerDown(t *testing.T) {
+	// A closed server: every request is a transport error.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+	if _, err := run(t, "load", "-url", url, "-c", "2", "-n", "8"); err == nil {
+		t.Fatal("load against a dead server should error")
+	}
+}

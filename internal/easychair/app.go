@@ -152,9 +152,27 @@ func (a *App) observe(rep *dqruntime.Report, entity string) {
 	_ = a.collector.RecordReport(rep, entity)
 }
 
+// ValidRoles are the identities the case study recognises at login.
+var ValidRoles = map[string]bool{"author": true, "reviewer": true, "pc": true, "chair": true}
+
+// currentUser resolves the session's identity. A stored clearance level
+// that does not parse means the session state was tampered with (login
+// only ever stores validated integers), so the whole identity is rejected
+// rather than silently downgraded to level 0 — which would still pass the
+// user != "" checks and reach level-0 resources.
 func (a *App) currentUser(c *webapp.Context) (user string, level int) {
 	user = c.Session.Get("user")
-	level, _ = strconv.Atoi(c.Session.Get("level"))
+	if user == "" {
+		return "", 0
+	}
+	stored := c.Session.Get("level")
+	if stored == "" {
+		return user, 0
+	}
+	level, err := strconv.Atoi(stored)
+	if err != nil || level < 0 {
+		return "", 0
+	}
 	return user, level
 }
 
@@ -173,9 +191,23 @@ func (a *App) handleLogin(c *webapp.Context) {
 		c.Text(http.StatusBadRequest, "user is required\n")
 		return
 	}
+	role := strings.TrimSpace(c.FormValue("role"))
+	if role != "" && !ValidRoles[role] {
+		c.Text(http.StatusBadRequest, "unknown role %q\n", role)
+		return
+	}
+	level := 0
+	if v := strings.TrimSpace(c.FormValue("level")); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			c.Text(http.StatusBadRequest, "level must be a non-negative integer\n")
+			return
+		}
+		level = n
+	}
 	c.Session.Set("user", user)
-	c.Session.Set("role", c.FormValue("role"))
-	c.Session.Set("level", c.FormValue("level"))
+	c.Session.Set("role", role)
+	c.Session.Set("level", strconv.Itoa(level))
 	c.Text(http.StatusOK, "logged in as %s\n", user)
 }
 

@@ -1,6 +1,11 @@
 package webapp
 
-import "net/http"
+import (
+	"bufio"
+	"io"
+	"net"
+	"net/http"
+)
 
 // ResponseRecorder wraps an http.ResponseWriter to capture the status code
 // and body size actually sent, which the raw writer never exposes. The
@@ -57,3 +62,36 @@ func (r *ResponseRecorder) Flush() {
 		f.Flush()
 	}
 }
+
+// Hijack forwards to the underlying writer so handlers can take over the
+// connection (WebSocket upgrades and the like) through the middleware
+// stack. Without this passthrough the wrapper would hide the capability
+// net/http's writer provides.
+func (r *ResponseRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if hj, ok := r.ResponseWriter.(http.Hijacker); ok {
+		return hj.Hijack()
+	}
+	return nil, nil, http.ErrNotSupported
+}
+
+// ReadFrom preserves the underlying writer's io.ReaderFrom fast path
+// (net/http uses it for sendfile-style copies), still counting the bytes
+// and defaulting the status like Write. When the underlying writer lacks
+// it, a plain copy through Write keeps the semantics identical.
+func (r *ResponseRecorder) ReadFrom(src io.Reader) (int64, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	if rf, ok := r.ResponseWriter.(io.ReaderFrom); ok {
+		n, err := rf.ReadFrom(src)
+		r.bytes += n
+		return n, err
+	}
+	n, err := io.Copy(r.ResponseWriter, src)
+	r.bytes += n
+	return n, err
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController, which
+// discovers capabilities (deadlines, flushing, hijacking) by unwrapping.
+func (r *ResponseRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }

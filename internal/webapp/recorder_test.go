@@ -1,0 +1,143 @@
+package webapp
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// hijackableRecorder simulates net/http's real writer, which implements
+// http.Hijacker and io.ReaderFrom; httptest.ResponseRecorder implements
+// neither, which is exactly the capability loss the passthroughs prevent.
+type hijackableRecorder struct {
+	*httptest.ResponseRecorder
+	hijacked bool
+	conn     net.Conn
+	readFrom int64
+}
+
+func (h *hijackableRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	h.hijacked = true
+	server, client := net.Pipe()
+	h.conn = client
+	go func() { _, _ = io.Copy(io.Discard, server) }()
+	return h.conn, bufio.NewReadWriter(bufio.NewReader(h.conn), bufio.NewWriter(h.conn)), nil
+}
+
+func (h *hijackableRecorder) ReadFrom(src io.Reader) (int64, error) {
+	n, err := io.Copy(h.ResponseRecorder, src)
+	h.readFrom += n
+	return n, err
+}
+
+func TestResponseRecorderHijackPassthrough(t *testing.T) {
+	inner := &hijackableRecorder{ResponseRecorder: httptest.NewRecorder()}
+	rr := NewResponseRecorder(inner)
+
+	hj, ok := http.ResponseWriter(rr).(http.Hijacker)
+	if !ok {
+		t.Fatal("recorder does not expose http.Hijacker")
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		t.Fatalf("Hijack: %v", err)
+	}
+	defer conn.Close()
+	if !inner.hijacked {
+		t.Fatal("hijack not forwarded to the wrapped writer")
+	}
+}
+
+func TestResponseRecorderHijackUnsupported(t *testing.T) {
+	rr := NewResponseRecorder(httptest.NewRecorder())
+	if _, _, err := rr.Hijack(); err == nil {
+		t.Fatal("Hijack on a non-hijackable writer must error")
+	}
+}
+
+func TestResponseRecorderReadFromFastPath(t *testing.T) {
+	inner := &hijackableRecorder{ResponseRecorder: httptest.NewRecorder()}
+	rr := NewResponseRecorder(inner)
+
+	// Wrap the reader so io.Copy cannot take src's WriterTo shortcut; the
+	// copy must go through rr.ReadFrom, which net/http uses for sendfile.
+	n, err := io.Copy(rr, struct{ io.Reader }{strings.NewReader("sendfile body")})
+	if err != nil || n != 13 {
+		t.Fatalf("copy: n=%d err=%v", n, err)
+	}
+	if inner.readFrom != 13 {
+		t.Fatalf("fast path bypassed: inner ReadFrom saw %d bytes", inner.readFrom)
+	}
+	if rr.Bytes() != 13 {
+		t.Fatalf("recorder counted %d bytes, want 13", rr.Bytes())
+	}
+	if rr.Status() != http.StatusOK {
+		t.Fatalf("status = %d", rr.Status())
+	}
+	if inner.Body.String() != "sendfile body" {
+		t.Fatalf("body = %q", inner.Body.String())
+	}
+}
+
+func TestResponseRecorderReadFromFallback(t *testing.T) {
+	inner := httptest.NewRecorder() // no io.ReaderFrom
+	rr := NewResponseRecorder(inner)
+	n, err := rr.ReadFrom(strings.NewReader("plain copy"))
+	if err != nil || n != 10 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if rr.Bytes() != 10 || inner.Body.String() != "plain copy" {
+		t.Fatalf("bytes=%d body=%q", rr.Bytes(), inner.Body.String())
+	}
+}
+
+func TestResponseRecorderUnwrap(t *testing.T) {
+	inner := httptest.NewRecorder()
+	rr := NewResponseRecorder(inner)
+	if rr.Unwrap() != http.ResponseWriter(inner) {
+		t.Fatal("Unwrap did not return the wrapped writer")
+	}
+}
+
+// TestHijackThroughMiddleware proves the original bug is fixed end to end:
+// a handler behind Logging+Metrics can still hijack the connection.
+func TestHijackThroughMiddleware(t *testing.T) {
+	r := NewRouter()
+	r.Use(Logging(nil))
+	r.GET("/upgrade", func(c *Context) {
+		hj, ok := c.W.(http.Hijacker)
+		if !ok {
+			c.Text(http.StatusInternalServerError, "no hijacker")
+			return
+		}
+		conn, buf, err := hj.Hijack()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf.WriteString("HTTP/1.1 101 Switching Protocols\r\n\r\nhello")
+		buf.Flush()
+	})
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /upgrade HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "101 Switching Protocols") {
+		t.Fatalf("hijacked response = %q", raw)
+	}
+}

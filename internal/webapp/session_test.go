@@ -1,0 +1,218 @@
+package webapp
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/modeldriven/dqwebre/internal/obs"
+)
+
+// fakeClock is a mutex-guarded clock for deterministic TTL tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func sessionRequest(m *SessionManager, cookieValue string) (*Session, *httptest.ResponseRecorder) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/", nil)
+	if cookieValue != "" {
+		req.AddCookie(&http.Cookie{Name: "c", Value: cookieValue})
+	}
+	return m.Get(rec, req), rec
+}
+
+func TestSessionCookieSameSiteLax(t *testing.T) {
+	m := NewSessionManager("c")
+	_, rec := sessionRequest(m, "")
+	cs := rec.Result().Cookies()
+	if len(cs) != 1 {
+		t.Fatalf("cookies = %d", len(cs))
+	}
+	if cs[0].SameSite != http.SameSiteLaxMode {
+		t.Errorf("SameSite = %v, want Lax", cs[0].SameSite)
+	}
+	if !cs[0].HttpOnly {
+		t.Error("cookie not HttpOnly")
+	}
+}
+
+func TestSessionTTLExpiry(t *testing.T) {
+	clk := newFakeClock()
+	m := NewSessionManager("c")
+	m.now = clk.Now
+	m.SetTTL(time.Minute)
+
+	s, _ := sessionRequest(m, "")
+	s.Set("user", "ada")
+
+	// Within the TTL the session survives and each access renews it.
+	clk.Advance(45 * time.Second)
+	if got, _ := sessionRequest(m, s.ID); got != s {
+		t.Fatal("session lost before TTL")
+	}
+	clk.Advance(45 * time.Second) // 90s since creation, 45s since access
+	if got, _ := sessionRequest(m, s.ID); got != s {
+		t.Fatal("access did not renew the TTL")
+	}
+
+	// Past the TTL the cookie resolves to a fresh session.
+	clk.Advance(2 * time.Minute)
+	got, rec := sessionRequest(m, s.ID)
+	if got == s {
+		t.Fatal("expired session resurrected")
+	}
+	if got.Get("user") != "" {
+		t.Fatal("expired session leaked values")
+	}
+	if len(rec.Result().Cookies()) != 1 {
+		t.Fatal("replacement session did not set a cookie")
+	}
+	if _, ok := m.Lookup(s.ID); ok {
+		t.Fatal("Lookup returned an expired session")
+	}
+}
+
+func TestSessionSweepReclaimsExpired(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	m := NewSessionManager("c")
+	m.now = clk.Now
+	m.SetTTL(time.Minute)
+	m.Instrument(reg)
+
+	for i := 0; i < 5; i++ {
+		sessionRequest(m, "")
+	}
+	clk.Advance(30 * time.Second)
+	keep, _ := sessionRequest(m, "") // fresh, survives the sweep
+	clk.Advance(45 * time.Second)    // first 5 now 75s idle, keep 45s idle
+
+	if n := m.Sweep(); n != 5 {
+		t.Fatalf("swept %d, want 5", n)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d after sweep", m.Len())
+	}
+	if _, ok := m.Lookup(keep.ID); !ok {
+		t.Fatal("sweep removed a live session")
+	}
+	text := reg.PrometheusText()
+	if !strings.Contains(text, `webapp_sessions_removed_total{reason="expired"} 5`) {
+		t.Errorf("expired counter missing:\n%s", text)
+	}
+	if !strings.Contains(text, "webapp_sessions_active 1") {
+		t.Errorf("active gauge wrong:\n%s", text)
+	}
+}
+
+func TestSessionMaxSessionsEvictsOldest(t *testing.T) {
+	clk := newFakeClock()
+	m := NewSessionManager("c")
+	m.now = clk.Now
+	m.SetMaxSessions(3)
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		s, _ := sessionRequest(m, "")
+		ids = append(ids, s.ID)
+		clk.Advance(time.Second)
+	}
+	// Touch the first session so the second becomes the LRU victim.
+	if _, ok := m.Lookup(ids[0]); !ok {
+		t.Fatal("lookup")
+	}
+	clk.Advance(time.Second)
+
+	s4, _ := sessionRequest(m, "")
+	if m.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (cap)", m.Len())
+	}
+	if _, ok := m.Lookup(ids[1]); ok {
+		t.Fatal("least recently used session not evicted")
+	}
+	for _, id := range []string{ids[0], ids[2], s4.ID} {
+		if _, ok := m.Lookup(id); !ok {
+			t.Fatalf("session %s wrongly evicted", id)
+		}
+	}
+}
+
+func TestSessionSweeperBackground(t *testing.T) {
+	m := NewSessionManager("c")
+	m.SetTTL(time.Nanosecond)
+	sessionRequest(m, "")
+	stop := m.StartSweeper(time.Millisecond)
+	defer stop()
+	deadline := time.After(5 * time.Second)
+	for m.Len() != 0 {
+		select {
+		case <-deadline:
+			t.Fatal("sweeper never reclaimed the expired session")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	stop()
+	stop() // idempotent
+}
+
+// TestSessionManagerConcurrency races creation, cookie resolution, value
+// access, lookups, sweeps and capacity eviction; -race is the assertion.
+func TestSessionManagerConcurrency(t *testing.T) {
+	m := NewSessionManager("c")
+	m.SetTTL(500 * time.Microsecond)
+	m.SetMaxSessions(64)
+	m.Instrument(obs.NewRegistry())
+
+	stop := m.StartSweeper(time.Millisecond)
+	defer stop()
+
+	var wg sync.WaitGroup
+	var ids sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				s, _ := sessionRequest(m, "")
+				s.Set("n", fmt.Sprint(i))
+				_ = s.Get("n")
+				ids.Store(s.ID, struct{}{})
+				// Re-resolve an arbitrary known id through cookie and Lookup.
+				ids.Range(func(k, _ any) bool {
+					m.Lookup(k.(string))
+					sessionRequest(m, k.(string))
+					return false // just one
+				})
+				if i%50 == 0 {
+					m.Sweep()
+					_ = m.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Len() > 64 {
+		t.Fatalf("cap breached: %d sessions", m.Len())
+	}
+}
