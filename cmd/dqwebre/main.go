@@ -15,6 +15,7 @@
 //	dqwebre codegen -kind sql easychair.xml
 //	dqwebre stats easychair.xml
 //	dqwebre trace easychair.xml            # traced pipeline run (span tree)
+//	dqwebre batch -model easychair.xml -in records.ndjson -report json
 package main
 
 import (

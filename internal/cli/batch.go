@@ -1,0 +1,130 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"github.com/modeldriven/dqwebre/internal/dqbatch"
+	"github.com/modeldriven/dqwebre/internal/dqruntime"
+	"github.com/modeldriven/dqwebre/internal/transform"
+)
+
+// cmdBatch validates a whole record file against a model's DQ
+// requirements: the dataset-scale counterpart of the per-form enforcement
+// the EasyChair app performs. It accepts either a DQSR model directly or
+// a DQ_WebRE requirements model (which it transforms first), streams
+// NDJSON or CSV records through the dqbatch worker pool, and reports the
+// merged per-characteristic statistics as text or JSON.
+func cmdBatch(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "DQSR (or DQ_WebRE requirements) model file")
+	in := fs.String("in", "", "records file: NDJSON or CSV ('-' = stdin)")
+	format := fs.String("format", "", "ndjson or csv (default: from the file extension)")
+	workers := fs.Int("workers", 0, "validation workers (0 = GOMAXPROCS)")
+	report := fs.String("report", "text", "report format: text or json")
+	exemplars := fs.Int("exemplars", 3, "failure exemplars kept per characteristic (-1 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("batch takes no positional arguments")
+	}
+	if *modelPath == "" || *in == "" {
+		return fmt.Errorf("batch needs -model and -in")
+	}
+	if *report != "text" && *report != "json" {
+		return fmt.Errorf("unknown report format %q (text or json)", *report)
+	}
+	if *format != "" && *format != "ndjson" && *format != "csv" {
+		return fmt.Errorf("unknown record format %q (ndjson or csv)", *format)
+	}
+
+	enf, err := loadEnforcer(*modelPath)
+	if err != nil {
+		return err
+	}
+	src, closeIn, err := openSource(*in, *format)
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+
+	// A batch over millions of records can run a while; Ctrl-C stops the
+	// stream and still prints the partial report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, runErr := dqbatch.Run(ctx, enf.Validator(), src, dqbatch.Options{
+		Workers:      *workers,
+		MaxExemplars: *exemplars,
+	})
+	if *report == "json" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(data))
+	} else {
+		res.WriteText(out)
+	}
+	return runErr
+}
+
+// loadEnforcer loads a model file and assembles its runtime enforcer,
+// running the DQR→DQSR transformation first when the file holds a
+// requirements model rather than a DQSR model.
+func loadEnforcer(path string) (*dqruntime.Enforcer, error) {
+	m, err := loadModel(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := m.Metamodel().FindClass("SoftwareRequirement"); !ok {
+		dqsr, _, err := transform.RunDQR2DQSR(asRequirements(m))
+		if err != nil {
+			return nil, err
+		}
+		m = dqsr
+	}
+	return dqruntime.BuildFromDQSR(m)
+}
+
+// openSource opens the record stream, picking the decoder from -format or
+// the file extension (.csv → CSV, anything else → NDJSON).
+func openSource(path, format string) (dqbatch.Source, func() error, error) {
+	var r io.Reader
+	closeIn := func() error { return nil }
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		r = f
+		closeIn = f.Close
+	}
+	if format == "" {
+		if strings.EqualFold(filepath.Ext(path), ".csv") {
+			format = "csv"
+		} else {
+			format = "ndjson"
+		}
+	}
+	switch format {
+	case "ndjson":
+		return dqbatch.NewNDJSONSource(r), closeIn, nil
+	case "csv":
+		return dqbatch.NewCSVSource(r), closeIn, nil
+	default:
+		closeIn()
+		return nil, nil, fmt.Errorf("unknown record format %q (ndjson or csv)", format)
+	}
+}

@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/modeldriven/dqwebre/internal/easychair"
+	"github.com/modeldriven/dqwebre/internal/xmi"
+)
+
+// writeDemoModel marshals the case-study requirements model (a DQR model:
+// the batch command must transform it before enforcing).
+func writeDemoModel(t *testing.T, dir string) string {
+	t.Helper()
+	e, err := easychair.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := xmi.Marshal(e.Model.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "easychair.xml")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdBatchNDJSONJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	model := writeDemoModel(t, dir)
+	records := filepath.Join(dir, "records.ndjson")
+	ndjson := strings.Repeat(`{"first_name":"G","last_name":"H","email_address":"g@h.io","overall_evaluation":2,"reviewer_confidence":3}`+"\n", 40) +
+		`{"first_name":"G","last_name":"H","email_address":"g@h.io","overall_evaluation":9,"reviewer_confidence":3}` + "\n" +
+		"not json\n"
+	if err := os.WriteFile(records, []byte(ndjson), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	err := Run([]string{"batch", "-model", model, "-in", records, "-workers", "3", "-report", "json"}, &out)
+	if err != nil {
+		t.Fatalf("batch: %v\n%s", err, out.String())
+	}
+	var res struct {
+		Records   int64 `json:"records"`
+		Passed    int64 `json:"passed"`
+		Failed    int64 `json:"failed"`
+		Malformed int64 `json:"malformed"`
+		Workers   int   `json:"workers"`
+		Chars     []struct {
+			Characteristic string `json:"characteristic"`
+		} `json:"characteristics"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if res.Records != 41 || res.Passed != 40 || res.Failed != 1 || res.Malformed != 1 {
+		t.Fatalf("report = %+v", res)
+	}
+	if res.Workers != 3 || len(res.Chars) == 0 {
+		t.Fatalf("report = %+v", res)
+	}
+}
+
+func TestCmdBatchCSVTextReport(t *testing.T) {
+	dir := t.TempDir()
+	model := writeDemoModel(t, dir)
+	records := filepath.Join(dir, "records.csv")
+	csv := "first_name,last_name,email_address,overall_evaluation,reviewer_confidence\n" +
+		"Grace,Hopper,grace@navy.mil,2,3\n" +
+		"Alan,Turing,alan@bletchley.uk,9,3\n"
+	if err := os.WriteFile(records, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := Run([]string{"batch", "-model", model, "-in", records}, &out); err != nil {
+		t.Fatalf("batch: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"2 records", "passed 1, failed 1", "check_precision"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("text report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCmdBatchFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := Run([]string{"batch"}, &out); err == nil {
+		t.Fatal("missing -model/-in must error")
+	}
+	if err := Run([]string{"batch", "-model", "x", "-in", "y", "-report", "xml"}, &out); err == nil {
+		t.Fatal("unknown report format must error")
+	}
+	if err := Run([]string{"batch", "-model", "x", "-in", "y", "-format", "tsv"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "unknown record format") {
+		t.Fatalf("unknown record format: err = %v", err)
+	}
+}

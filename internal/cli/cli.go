@@ -51,13 +51,15 @@ func Run(args []string, out io.Writer) error {
 		return cmdTrace(args[1:], out)
 	case "load":
 		return cmdLoad(args[1:], out)
+	case "batch":
+		return cmdBatch(args[1:], out)
 	default:
 		return fmt.Errorf("unknown command %q; %s", args[0], usageLine)
 	}
 }
 
 // usageLine summarizes the commands for error messages.
-const usageLine = "commands: demo, validate, diagram, transform, codegen, stats, diff, trace, load"
+const usageLine = "commands: demo, validate, diagram, transform, codegen, stats, diff, trace, load, batch"
 
 // loadModel reads an XMI (or JSON) model with the DQ_WebRE profile
 // available.

@@ -1,0 +1,170 @@
+package dqbatch
+
+import (
+	"sort"
+
+	"github.com/modeldriven/dqwebre/internal/dqruntime"
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+)
+
+// shard accumulates statistics for one worker. Each worker owns exactly
+// one shard and touches it without synchronization; the engine merges the
+// shards single-threaded after the pool drains, so the reduce step never
+// contends with the map phase.
+type shard struct {
+	records int64
+	passed  int64
+	failed  int64
+	chars   map[iso25012.Characteristic]*charAgg
+	// byIdx memoizes the charAgg for each result position: a validator's
+	// check order is fixed, so after the first record the hot loop is a
+	// slice index instead of a map lookup per check. byChar mirrors the
+	// memoized characteristics to detect a shape change and fall back.
+	byIdx  []*charAgg
+	byChar []iso25012.Characteristic
+	// latency reservoir: stride-sampled per-record validation seconds,
+	// overwritten cyclically once full so memory stays bounded.
+	samples   []float64
+	sampleIdx int
+}
+
+// charAgg is one characteristic's running statistics inside a shard.
+type charAgg struct {
+	checks    int64
+	passed    int64
+	minScore  float64
+	sumScore  float64
+	exemplars []Exemplar
+}
+
+// Exemplar is one retained failure, capped per characteristic so a batch
+// with a million failures reports a handful of concrete ones instead of
+// drowning the caller.
+type Exemplar struct {
+	// Record is the 1-based ordinal of the failing record in the input.
+	Record int64 `json:"record"`
+	// Check names the failing check.
+	Check string `json:"check"`
+	// Details are the check's diagnostic messages.
+	Details []string `json:"details,omitempty"`
+}
+
+func newShard() *shard {
+	return &shard{chars: make(map[iso25012.Characteristic]*charAgg)}
+}
+
+// observe folds one record's validation report into the shard. ordinal is
+// the record's 1-based position in the input; maxExemplars caps retained
+// failures per characteristic.
+func (s *shard) observe(ordinal int64, rep *dqruntime.Report, maxExemplars int) (passed bool) {
+	s.records++
+	passed = true
+	for i := range rep.Results {
+		res := &rep.Results[i]
+		var ca *charAgg
+		if i < len(s.byIdx) && s.byChar[i] == res.Characteristic {
+			ca = s.byIdx[i]
+		} else {
+			ca = s.chars[res.Characteristic]
+			if ca == nil {
+				ca = &charAgg{minScore: 1}
+				s.chars[res.Characteristic] = ca
+			}
+			if i == len(s.byIdx) {
+				s.byIdx = append(s.byIdx, ca)
+				s.byChar = append(s.byChar, res.Characteristic)
+			}
+		}
+		ca.checks++
+		ca.sumScore += res.Score
+		if res.Score < ca.minScore {
+			ca.minScore = res.Score
+		}
+		if res.Passed {
+			ca.passed++
+			continue
+		}
+		passed = false
+		if len(ca.exemplars) < maxExemplars {
+			ca.exemplars = append(ca.exemplars, Exemplar{
+				Record:  ordinal,
+				Check:   res.Check,
+				Details: append([]string(nil), res.Details...),
+			})
+		}
+	}
+	if passed {
+		s.passed++
+	} else {
+		s.failed++
+	}
+	return passed
+}
+
+// sample records one per-record validation latency into the reservoir.
+func (s *shard) sample(seconds float64, cap int) {
+	if len(s.samples) < cap {
+		s.samples = append(s.samples, seconds)
+		return
+	}
+	s.samples[s.sampleIdx%cap] = seconds
+	s.sampleIdx++
+}
+
+// CharacteristicStats is the merged view of one ISO/IEC 25012
+// characteristic across the whole batch.
+type CharacteristicStats struct {
+	// Characteristic is the measured ISO/IEC 25012 characteristic.
+	Characteristic iso25012.Characteristic `json:"characteristic"`
+	// Checks counts check executions; Passed counts the passing ones.
+	Checks int64 `json:"checks"`
+	Passed int64 `json:"passed"`
+	// MinScore is the worst score seen; MeanScore the average.
+	MinScore  float64 `json:"min_score"`
+	MeanScore float64 `json:"mean_score"`
+	// Exemplars are retained failures, capped per characteristic.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// mergeShards folds the per-worker shards into sorted per-characteristic
+// statistics plus the pooled latency reservoir.
+func mergeShards(shards []*shard, maxExemplars int) (stats []CharacteristicStats, samples []float64) {
+	merged := map[iso25012.Characteristic]*charAgg{}
+	for _, s := range shards {
+		for ch, ca := range s.chars {
+			m := merged[ch]
+			if m == nil {
+				m = &charAgg{minScore: 1}
+				merged[ch] = m
+			}
+			m.checks += ca.checks
+			m.passed += ca.passed
+			m.sumScore += ca.sumScore
+			if ca.minScore < m.minScore {
+				m.minScore = ca.minScore
+			}
+			for _, ex := range ca.exemplars {
+				if len(m.exemplars) < maxExemplars {
+					m.exemplars = append(m.exemplars, ex)
+				}
+			}
+		}
+		samples = append(samples, s.samples...)
+	}
+	for ch, m := range merged {
+		cs := CharacteristicStats{
+			Characteristic: ch,
+			Checks:         m.checks,
+			Passed:         m.passed,
+			MinScore:       m.minScore,
+			Exemplars:      m.exemplars,
+		}
+		if m.checks > 0 {
+			cs.MeanScore = m.sumScore / float64(m.checks)
+		}
+		sort.Slice(cs.Exemplars, func(i, j int) bool { return cs.Exemplars[i].Record < cs.Exemplars[j].Record })
+		stats = append(stats, cs)
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Characteristic < stats[j].Characteristic })
+	return stats, samples
+}

@@ -1,0 +1,120 @@
+// Benchmarks for the batch engine: a single-threaded ValidateInto loop as
+// the honest baseline, then the worker pool at 2/4/8 workers over the
+// same dataset. Each reports records/sec plus stride-sampled per-record
+// latency percentiles; scripts/bench.sh parses them into BENCH_batch.json
+// so the throughput trajectory has data points.
+package dqbatch
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/modeldriven/dqwebre/internal/dqruntime"
+	"github.com/modeldriven/dqwebre/internal/easychair"
+	"github.com/modeldriven/dqwebre/internal/obs"
+	"github.com/modeldriven/dqwebre/internal/transform"
+)
+
+// benchRecords is the per-iteration dataset size: big enough that chunk
+// handoff amortizes to noise, small enough for quick -benchtime runs.
+const benchRecords = 50000
+
+func benchValidator(b *testing.B) *dqruntime.Validator {
+	b.Helper()
+	e := easychair.MustBuildModel()
+	dqsr, _, err := transform.RunDQR2DQSR(e.Model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enf, err := dqruntime.BuildFromDQSR(dqsr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return enf.Validator()
+}
+
+// benchDataset mixes ~10% failing records into the case-study shape so
+// the failure path (detail allocation, exemplar capture) is exercised.
+func benchDataset() []dqruntime.Record {
+	recs := make([]dqruntime.Record, benchRecords)
+	for i := range recs {
+		eval := "2"
+		if i%10 == 0 {
+			eval = "9"
+		}
+		recs[i] = dqruntime.Record{
+			"first_name":          "Grace",
+			"last_name":           "Hopper",
+			"email_address":       "grace@navy.mil",
+			"overall_evaluation":  eval,
+			"reviewer_confidence": "3",
+		}
+	}
+	return recs
+}
+
+// BenchmarkBatchSequential is the baseline: one goroutine, one reused
+// Report, no engine machinery.
+func BenchmarkBatchSequential(b *testing.B) {
+	v := benchValidator(b)
+	recs := benchDataset()
+	rep := &dqruntime.Report{}
+	var samples []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, r := range recs {
+			if j%64 == 0 {
+				t0 := time.Now()
+				v.ValidateInto(r, rep)
+				samples = append(samples, time.Since(t0).Seconds())
+			} else {
+				v.ValidateInto(r, rep)
+			}
+			if rep.Passed() && j%10 == 0 {
+				b.Fatal("failing record passed")
+			}
+		}
+	}
+	b.StopTimer()
+	reportThroughput(b, int64(b.N)*benchRecords)
+	sort.Float64s(samples)
+	b.ReportMetric(percentile(samples, 50)*1e9, "p50_ns")
+	b.ReportMetric(percentile(samples, 99)*1e9, "p99_ns")
+}
+
+func BenchmarkBatchParallel2(b *testing.B) { benchParallel(b, 2) }
+func BenchmarkBatchParallel4(b *testing.B) { benchParallel(b, 4) }
+func BenchmarkBatchParallel8(b *testing.B) { benchParallel(b, 8) }
+
+func benchParallel(b *testing.B, workers int) {
+	v := benchValidator(b)
+	recs := benchDataset()
+	reg := obs.NewRegistry()
+	var last *Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), v, NewSliceSource(recs), Options{
+			Workers: workers, Registry: reg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Records != benchRecords || res.Failed != benchRecords/10 {
+			b.Fatalf("result = %+v", res)
+		}
+		last = res
+	}
+	b.StopTimer()
+	reportThroughput(b, int64(b.N)*benchRecords)
+	b.ReportMetric(last.LatencyP50*1e9, "p50_ns")
+	b.ReportMetric(last.LatencyP99*1e9, "p99_ns")
+}
+
+// reportThroughput attaches records/sec over the timed section.
+func reportThroughput(b *testing.B, records int64) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(records)/s, "records/sec")
+	}
+}

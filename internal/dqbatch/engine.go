@@ -1,0 +1,312 @@
+package dqbatch
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/modeldriven/dqwebre/internal/dqruntime"
+	"github.com/modeldriven/dqwebre/internal/obs"
+)
+
+// Validating is the per-record validation dependency: anything with the
+// allocation-cheap ValidateInto path. *dqruntime.Validator implements it;
+// an Enforcer's Validator() is the usual way to obtain one. The engine
+// calls it concurrently from every worker, so implementations must be
+// safe for concurrent reads (the stock checks are value types).
+type Validating interface {
+	ValidateInto(r dqruntime.Record, rep *dqruntime.Report)
+}
+
+// Options tunes a batch run. The zero value is ready to use.
+type Options struct {
+	// Workers is the validation goroutine count; 0 means GOMAXPROCS.
+	Workers int
+	// ChunkSize is how many records travel per work item; chunking
+	// amortizes channel handoff to nothing per record. 0 means 256.
+	ChunkSize int
+	// MaxExemplars caps retained failures per characteristic; 0 means 3,
+	// negative means none.
+	MaxExemplars int
+	// SampleEvery is the per-record latency sampling stride (every n-th
+	// record per worker is timed); 0 means 64, negative disables sampling.
+	SampleEvery int
+	// Registry receives dqbatch_records_total{outcome} and
+	// dqbatch_batch_seconds; nil means obs.Default().
+	Registry *obs.Registry
+}
+
+// Result summarizes one batch run. All scores and latencies are merged
+// across workers; Characteristics is sorted by characteristic name.
+type Result struct {
+	// Records counts successfully decoded records; Passed/Failed split
+	// them by overall validation outcome. Malformed counts input records
+	// that failed to decode and were skipped.
+	Records   int64 `json:"records"`
+	Passed    int64 `json:"passed"`
+	Failed    int64 `json:"failed"`
+	Malformed int64 `json:"malformed"`
+	// Workers is the pool size the batch ran with.
+	Workers int `json:"workers"`
+	// Seconds is the wall-clock batch duration; RecordsPerSec the
+	// resulting throughput.
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// LatencyP50/LatencyP99 are per-record validation latency percentiles
+	// in seconds, from a bounded stride-sampled reservoir; 0 when
+	// sampling was disabled or no record was validated.
+	LatencyP50 float64 `json:"latency_p50_seconds"`
+	LatencyP99 float64 `json:"latency_p99_seconds"`
+	// Characteristics is the per-characteristic roll-up.
+	Characteristics []CharacteristicStats `json:"characteristics"`
+	// Duration is Seconds as a time.Duration, for callers doing math.
+	Duration time.Duration `json:"-"`
+}
+
+// chunk is one unit of work: a recycled block of records. Only the first
+// n entries of recs are valid; base is the 1-based ordinal of the first
+// one. scratch holds the recycled maps offered to the source — a
+// streaming decoder fills and returns them (recs[i] == scratch[i]), an
+// in-memory source returns its own records and the scratch maps idle.
+type chunk struct {
+	base    int64
+	n       int
+	recs    []dqruntime.Record
+	scratch []dqruntime.Record
+}
+
+// sampleCap bounds each worker's latency reservoir.
+const sampleCap = 4096
+
+// batchBuckets are dqbatch_batch_seconds bounds: batches run longer than
+// request latencies, so the tail extends into minutes.
+var batchBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Run streams records from src through a worker pool, validating each
+// with v and merging per-characteristic statistics. It honors ctx: on
+// cancellation the stream stops, workers drain, and the partial Result
+// comes back with ctx's error. Memory is bounded by the pool geometry
+// (roughly 2×workers chunks of ChunkSize records), never by input size.
+func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunkSize := opts.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = 256
+	}
+	maxExemplars := opts.MaxExemplars
+	if maxExemplars == 0 {
+		maxExemplars = 3
+	} else if maxExemplars < 0 {
+		maxExemplars = 0
+	}
+	stride := opts.SampleEvery
+	if stride == 0 {
+		stride = 64
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	const recordsHelp = "Batch-validated records, by outcome (pass, fail, error=malformed input)"
+	passC := reg.Counter("dqbatch_records_total", recordsHelp, obs.Labels{"outcome": "pass"})
+	failC := reg.Counter("dqbatch_records_total", recordsHelp, obs.Labels{"outcome": "fail"})
+	errC := reg.Counter("dqbatch_records_total", recordsHelp, obs.Labels{"outcome": "error"})
+	batchH := reg.Histogram("dqbatch_batch_seconds", "Wall-clock batch validation duration", batchBuckets, nil)
+
+	_, span := obs.StartSpan(ctx, "dqbatch.run")
+	start := time.Now()
+
+	// The free list is the memory bound: every chunk in flight came from
+	// here, so at most cap(free) chunks (and their record maps) exist.
+	free := make(chan *chunk, 2*workers+2)
+	for i := 0; i < cap(free); i++ {
+		free <- &chunk{
+			recs:    make([]dqruntime.Record, chunkSize),
+			scratch: make([]dqruntime.Record, chunkSize),
+		}
+	}
+	work := make(chan *chunk, workers)
+
+	var malformed int64
+	var readErr error
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		defer close(work)
+		var ordinal int64
+	read:
+		for {
+			var c *chunk
+			select {
+			case c = <-free:
+			case <-ctx.Done():
+				return
+			}
+			c.base = ordinal + 1
+			c.n = 0
+			for c.n < chunkSize {
+				rec := c.scratch[c.n]
+				if rec == nil {
+					rec = make(dqruntime.Record, 8)
+					c.scratch[c.n] = rec
+				}
+				got, err := src.Next(rec)
+				if err == nil {
+					c.recs[c.n] = got
+					ordinal++
+					c.n++
+					continue
+				}
+				if _, ok := err.(*RecordError); ok {
+					malformed++
+					errC.Inc()
+					continue
+				}
+				if err != io.EOF {
+					readErr = err
+				}
+				if c.n > 0 {
+					select {
+					case work <- c:
+					case <-ctx.Done():
+					}
+				}
+				break read
+			}
+			select {
+			case work <- c:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	shards := make([]*shard, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		sh := newShard()
+		shards[i] = sh
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep := &dqruntime.Report{}
+			var seen int64
+			for c := range work {
+				if ctx.Err() != nil {
+					return
+				}
+				var pass, fail uint64
+				for j := 0; j < c.n; j++ {
+					rec := c.recs[j]
+					if stride > 0 && seen%int64(stride) == 0 {
+						t0 := time.Now()
+						v.ValidateInto(rec, rep)
+						sh.sample(time.Since(t0).Seconds(), sampleCap)
+					} else {
+						v.ValidateInto(rec, rep)
+					}
+					seen++
+					if sh.observe(c.base+int64(j), rep, maxExemplars) {
+						pass++
+					} else {
+						fail++
+					}
+				}
+				passC.Add(pass)
+				failC.Add(fail)
+				select {
+				case free <- c:
+				default: // reader gone; chunk retires
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// The reader exits on EOF, source error, or ctx cancellation (every
+	// blocking point selects ctx.Done); waiting for it establishes the
+	// happens-before edge for malformed and readErr.
+	<-readerDone
+
+	dur := time.Since(start)
+	batchH.Observe(dur.Seconds())
+
+	res := &Result{
+		Malformed: malformed,
+		Workers:   workers,
+		Seconds:   dur.Seconds(),
+		Duration:  dur,
+	}
+	var samples []float64
+	res.Characteristics, samples = mergeShards(shards, maxExemplars)
+	for _, sh := range shards {
+		res.Records += sh.records
+		res.Passed += sh.passed
+		res.Failed += sh.failed
+	}
+	if res.Seconds > 0 {
+		res.RecordsPerSec = float64(res.Records) / res.Seconds
+	}
+	sort.Float64s(samples)
+	res.LatencyP50 = percentile(samples, 50)
+	res.LatencyP99 = percentile(samples, 99)
+
+	span.SetAttr("records", int(res.Records))
+	span.SetAttr("workers", workers)
+	if res.Failed > 0 {
+		span.SetAttr("failed", int(res.Failed))
+	}
+	span.End()
+
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, readErr
+}
+
+// percentile returns the p-th percentile of an ascending sample set; 0
+// when empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// WriteText renders the result as a human-readable report.
+func (r *Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "batch: %d records in %s (%.0f records/sec, %d workers)\n",
+		r.Records, r.Duration.Round(time.Millisecond), r.RecordsPerSec, r.Workers)
+	fmt.Fprintf(w, "  passed %d, failed %d, malformed %d\n", r.Passed, r.Failed, r.Malformed)
+	if r.LatencyP50 > 0 {
+		fmt.Fprintf(w, "  per-record latency p50 %s, p99 %s\n",
+			time.Duration(r.LatencyP50*float64(time.Second)).Round(time.Nanosecond),
+			time.Duration(r.LatencyP99*float64(time.Second)).Round(time.Nanosecond))
+	}
+	for _, cs := range r.Characteristics {
+		fmt.Fprintf(w, "  %-18s %d/%d checks passed, min %.2f, mean %.3f\n",
+			cs.Characteristic, cs.Passed, cs.Checks, cs.MinScore, cs.MeanScore)
+		for _, ex := range cs.Exemplars {
+			fmt.Fprintf(w, "      record %d: %s", ex.Record, ex.Check)
+			for _, d := range ex.Details {
+				fmt.Fprintf(w, " — %s", d)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package dqbatch validates whole datasets against a DQSR-derived
+// validator: where internal/dqruntime checks one web-form record at a
+// time, dqbatch streams millions of records from NDJSON or CSV sources
+// through a pool of workers and merges per-characteristic statistics
+// through sharded aggregators, so neither the input side nor the reduce
+// side becomes the bottleneck. It is the dataset-scale counterpart of the
+// paper's per-form enforcement loop.
+package dqbatch
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/modeldriven/dqwebre/internal/dqruntime"
+)
+
+// Source yields records one at a time. The engine offers a recycled map
+// rec; streaming decoders clear and fill it (overwriting every prior key)
+// and return it, while in-memory sources may ignore it and return their
+// own record, skipping the copy — the engine only reads returned records.
+// Next returns io.EOF at end of input. A *RecordError marks one malformed
+// record the engine counts and skips; any other error aborts the batch.
+type Source interface {
+	Next(rec dqruntime.Record) (dqruntime.Record, error)
+}
+
+// RecordError is a recoverable per-record input problem (a malformed
+// NDJSON line, a CSV row with the wrong field count). The engine counts
+// it under outcome="error" and moves on.
+type RecordError struct {
+	// Line is the 1-based input line (or CSV record) number.
+	Line int64
+	// Err is the underlying decode error.
+	Err error
+}
+
+// Error renders the line and cause.
+func (e *RecordError) Error() string { return fmt.Sprintf("record %d: %v", e.Line, e.Err) }
+
+// Unwrap exposes the cause.
+func (e *RecordError) Unwrap() error { return e.Err }
+
+// maxLineBytes bounds one NDJSON line; lines beyond it are a hard error
+// (bounded memory is part of the contract).
+const maxLineBytes = 1 << 20
+
+// NDJSONSource streams newline-delimited JSON objects. Values may be
+// strings, numbers, booleans or null; scalars are rendered to the string
+// form a web form would deliver (null and nested values are rejected —
+// records are flat field→string maps by construction). Memory use is one
+// line plus the scanner buffer, regardless of input size.
+type NDJSONSource struct {
+	sc   *bufio.Scanner
+	line int64
+}
+
+// NewNDJSONSource wraps a reader of NDJSON records.
+func NewNDJSONSource(r io.Reader) *NDJSONSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	return &NDJSONSource{sc: sc}
+}
+
+// Next decodes the next non-blank line into rec.
+func (s *NDJSONSource) Next(rec dqruntime.Record) (dqruntime.Record, error) {
+	for s.sc.Scan() {
+		s.line++
+		raw := s.sc.Bytes()
+		if len(trimSpaceBytes(raw)) == 0 {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(raw, &obj); err != nil {
+			return nil, &RecordError{Line: s.line, Err: err}
+		}
+		clear(rec)
+		for k, v := range obj {
+			str, err := scalarString(v)
+			if err != nil {
+				return nil, &RecordError{Line: s.line, Err: fmt.Errorf("field %q: %w", k, err)}
+			}
+			rec[k] = str
+		}
+		return rec, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return nil, fmt.Errorf("dqbatch: reading line %d: %w", s.line+1, err)
+	}
+	return nil, io.EOF
+}
+
+// scalarString renders one JSON value as the string a form field would
+// carry.
+func scalarString(v any) (string, error) {
+	switch t := v.(type) {
+	case string:
+		return t, nil
+	case float64:
+		return strconv.FormatFloat(t, 'f', -1, 64), nil
+	case bool:
+		return strconv.FormatBool(t), nil
+	default:
+		return "", fmt.Errorf("unsupported value type %T", v)
+	}
+}
+
+// trimSpaceBytes trims ASCII whitespace without allocating.
+func trimSpaceBytes(b []byte) []byte {
+	for len(b) > 0 && asciiSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && asciiSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func asciiSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+// CSVSource streams CSV rows, taking field names from the header row.
+// It reuses the csv.Reader's record storage, so memory stays bounded by
+// one row.
+type CSVSource struct {
+	r      *csv.Reader
+	header []string
+	line   int64
+}
+
+// NewCSVSource wraps a reader of CSV records whose first row names the
+// fields.
+func NewCSVSource(r io.Reader) *CSVSource {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1 // field-count mismatches are per-record errors
+	return &CSVSource{r: cr}
+}
+
+// Next decodes the next data row into rec.
+func (s *CSVSource) Next(rec dqruntime.Record) (dqruntime.Record, error) {
+	for {
+		row, err := s.r.Read()
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		s.line++
+		if err != nil {
+			if _, ok := err.(*csv.ParseError); ok {
+				return nil, &RecordError{Line: s.line, Err: err}
+			}
+			return nil, fmt.Errorf("dqbatch: reading CSV record %d: %w", s.line, err)
+		}
+		if s.header == nil {
+			s.header = append([]string(nil), row...)
+			continue
+		}
+		if len(row) != len(s.header) {
+			return nil, &RecordError{Line: s.line,
+				Err: fmt.Errorf("row has %d fields, header has %d", len(row), len(s.header))}
+		}
+		clear(rec)
+		for i, v := range row {
+			rec[s.header[i]] = v
+		}
+		return rec, nil
+	}
+}
+
+// SliceSource yields an in-memory record slice — the zero-I/O source the
+// benchmarks and tests drive the engine with. It returns its records
+// directly (no copy), so callers must not mutate them while the batch
+// runs.
+type SliceSource struct {
+	records []dqruntime.Record
+	next    int
+}
+
+// NewSliceSource wraps the given records; the slice is read, not copied.
+func NewSliceSource(records []dqruntime.Record) *SliceSource {
+	return &SliceSource{records: records}
+}
+
+// Next returns the next record as-is.
+func (s *SliceSource) Next(dqruntime.Record) (dqruntime.Record, error) {
+	if s.next >= len(s.records) {
+		return nil, io.EOF
+	}
+	r := s.records[s.next]
+	s.next++
+	return r, nil
+}

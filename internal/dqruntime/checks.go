@@ -282,10 +282,22 @@ func (v *Validator) Checks() []Check { return append([]Check(nil), v.checks...) 
 // Validate runs every check against the record.
 func (v *Validator) Validate(r Record) *Report {
 	rep := &Report{Validator: v.name}
+	v.ValidateInto(r, rep)
+	return rep
+}
+
+// ValidateInto runs every check against the record, writing the results
+// into rep and reusing its Results storage. It is the allocation-cheap
+// path for batch validation: a caller looping over millions of records
+// keeps one Report per worker and pays no per-record slice growth once
+// the capacity has warmed up (passing checks allocate nothing; failing
+// checks still allocate their Details).
+func (v *Validator) ValidateInto(r Record, rep *Report) {
+	rep.Validator = v.name
+	rep.Results = rep.Results[:0]
 	for _, c := range v.checks {
 		rep.Results = append(rep.Results, c.Apply(r))
 	}
-	return rep
 }
 
 // Report aggregates check results for one record.

@@ -133,7 +133,9 @@ func BuildFromDQSR(m *uml.Model) (*Enforcer, error) {
 }
 
 // boundsFromComponents scans the requirement's realizing constraint
-// components for lower_bound= / upper_bound= attributes.
+// components for lower_bound= / upper_bound= attributes. Reversed bounds
+// (lower > upper) are treated as an authoring slip and swapped — a check
+// that can never pass helps nobody.
 func boundsFromComponents(req *metamodel.Object) (lower, upper int64, found bool) {
 	for _, comp := range req.GetRefs("realizedBy") {
 		if comp.GetString("kind") != "constraint" {
@@ -151,6 +153,9 @@ func boundsFromComponents(req *metamodel.Object) (lower, upper int64, found bool
 				}
 			}
 		}
+	}
+	if found && lower > upper {
+		lower, upper = upper, lower
 	}
 	return lower, upper, found
 }
@@ -175,10 +180,15 @@ func fieldBoundsFromComponents(req *metamodel.Object) map[string][2]int64 {
 	return out
 }
 
-// parseRangePayload parses "field in [lo,hi]".
+// parseRangePayload parses "field in [lo,hi]". A blank field name or a
+// non-numeric bound rejects the payload; reversed bounds are swapped.
 func parseRangePayload(s string) (field string, lo, hi int64, ok bool) {
 	field, rest, found := strings.Cut(s, " in [")
 	if !found || !strings.HasSuffix(rest, "]") {
+		return "", 0, 0, false
+	}
+	field = strings.TrimSpace(field)
+	if field == "" {
 		return "", 0, 0, false
 	}
 	rest = strings.TrimSuffix(rest, "]")
@@ -191,7 +201,10 @@ func parseRangePayload(s string) (field string, lo, hi int64, ok bool) {
 	if err1 != nil || err2 != nil {
 		return "", 0, 0, false
 	}
-	return strings.TrimSpace(field), lo, hi, true
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return field, lo, hi, true
 }
 
 // looksNumeric reports whether a field name suggests a numeric score; the

@@ -1,0 +1,123 @@
+// Property-based tests for the validation runtime: whatever a web form
+// throws at it, scores stay in [0,1], the per-characteristic roll-up is
+// the minimum over that characteristic's checks, and validation is a pure
+// function of the record's contents.
+package dqruntime_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	. "github.com/modeldriven/dqwebre/internal/dqruntime"
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+)
+
+// randomRecord builds a record mixing the case-study field names (so the
+// enforcer's checks actually engage) with arbitrary keys and values.
+func randomRecord(rand *rand.Rand) Record {
+	fields := []string{
+		"first_name", "last_name", "email_address",
+		"overall_evaluation", "reviewer_confidence",
+	}
+	values := []string{
+		"", " ", "Grace", "grace@navy.mil", "not-an-email", "x@y",
+		"-3", "0", "3", "7", "-99", "2.5", "NaN", "三", "\x00",
+	}
+	r := Record{}
+	for _, f := range fields {
+		if rand.Intn(4) == 0 {
+			continue // leave some fields missing entirely
+		}
+		r[f] = values[rand.Intn(len(values))]
+	}
+	// A few arbitrary extra fields the checks ignore.
+	for i := rand.Intn(3); i > 0; i-- {
+		r[fmt.Sprintf("extra_%d", rand.Intn(10))] = values[rand.Intn(len(values))]
+	}
+	return r
+}
+
+func TestQuickScoresWithinUnitInterval(t *testing.T) {
+	enf := buildEnforcer(t)
+	f := func(seed int64) bool {
+		r := randomRecord(rand.New(rand.NewSource(seed)))
+		rep := enf.CheckInput(r)
+		for _, res := range rep.Results {
+			if res.Score < 0 || res.Score > 1 {
+				t.Logf("record %v: check %s score %v", r, res.Check, res.Score)
+				return false
+			}
+			if res.Passed && res.Score != 1 {
+				t.Logf("record %v: passing check %s with score %v", r, res.Check, res.Score)
+				return false
+			}
+		}
+		for ch, s := range rep.Scores() {
+			if s < 0 || s > 1 {
+				t.Logf("record %v: characteristic %s score %v", r, ch, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickScoresAreMinimumPerCharacteristic(t *testing.T) {
+	enf := buildEnforcer(t)
+	f := func(seed int64) bool {
+		r := randomRecord(rand.New(rand.NewSource(seed)))
+		rep := enf.CheckInput(r)
+		want := map[iso25012.Characteristic]float64{}
+		for _, res := range rep.Results {
+			if cur, ok := want[res.Characteristic]; !ok || res.Score < cur {
+				want[res.Characteristic] = res.Score
+			}
+		}
+		got := rep.Scores()
+		if !reflect.DeepEqual(got, want) {
+			t.Logf("record %v: Scores() = %v, want min-fold %v", r, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickValidateDeterministicAcrossClones(t *testing.T) {
+	enf := buildEnforcer(t)
+	v := enf.Validator()
+	f := func(seed int64) bool {
+		r := randomRecord(rand.New(rand.NewSource(seed)))
+		clone := r.Clone()
+		rep1 := v.Validate(r)
+		rep2 := v.Validate(clone)
+		if !reflect.DeepEqual(rep1, rep2) {
+			t.Logf("record %v: reports diverge:\n%+v\n%+v", r, rep1, rep2)
+			return false
+		}
+		// The cheap path must agree with the allocating path.
+		into := &Report{}
+		v.ValidateInto(clone, into)
+		if !reflect.DeepEqual(rep1, into) {
+			t.Logf("record %v: ValidateInto diverges:\n%+v\n%+v", r, rep1, into)
+			return false
+		}
+		// Validation must not mutate its input.
+		if !reflect.DeepEqual(r, clone) {
+			t.Logf("record mutated: %v vs %v", r, clone)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package ocl
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -30,6 +31,14 @@ func (e *LitExpr) String() string {
 		return "null"
 	case string:
 		return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+	case float64:
+		// %v would switch to exponent notation ("1e-05"), which the
+		// lexer has no syntax for; reals print as digits with a dot.
+		s := strconv.FormatFloat(v, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
 	default:
 		return fmt.Sprintf("%v", v)
 	}
@@ -175,7 +184,13 @@ func (e *UnExpr) String() string {
 	if e.Op == "not" {
 		return "not " + e.E.String()
 	}
-	return e.Op + e.E.String()
+	s := e.E.String()
+	if strings.HasPrefix(s, "-") {
+		// Adjacent minuses would render "--", which lexes as a line
+		// comment; keep the tokens apart.
+		return e.Op + " " + s
+	}
+	return e.Op + s
 }
 
 // IfExpr is if-then-else-endif.

@@ -356,9 +356,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 	switch t.kind {
 	case tokInt:
 		p.advance()
-		var v int64
-		for _, c := range t.text {
-			v = v*10 + int64(c-'0')
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			// Hand-rolled accumulation would silently wrap here; an
+			// out-of-range literal is a parse error, not MinInt64.
+			return nil, errAt(p.src, t.pos, "integer literal %q out of range", t.text)
 		}
 		return &LitExpr{Val: v, pos: t.pos}, nil
 	case tokReal:

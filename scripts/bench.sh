@@ -1,0 +1,50 @@
+#!/bin/sh
+# Batch-engine benchmark harness: runs BenchmarkBatchSequential and
+# BenchmarkBatchParallel{2,4,8} and distills their custom metrics
+# (records/sec, stride-sampled p50/p99 per-record latency) into
+# BENCH_batch.json, so every CI run leaves a machine-readable data point
+# on the throughput trajectory. Usage: scripts/bench.sh [output.json]
+# BENCHTIME overrides the go test -benchtime (default 1s).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_batch.json}"
+benchtime="${BENCHTIME:-1s}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkBatch(Sequential|Parallel[0-9]+)$' \
+	-benchtime "$benchtime" -count 1 ./internal/dqbatch/ | tee "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^BenchmarkBatch/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+	line = "    {\"name\": \"" name "\", \"iterations\": " $2
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		gsub(/[^A-Za-z0-9_]/, "_", unit)
+		line = line ", \"" unit "\": " $i
+		if (unit == "records_per_sec") rps[name] = $i
+	}
+	lines[n++] = line "}"
+}
+END {
+	print "{"
+	print "  \"date\": \"" date "\","
+	print "  \"cpu\": \"" cpu "\","
+	print "  \"benchtime\": \"'"$benchtime"'\","
+	print "  \"benchmarks\": ["
+	for (i = 0; i < n; i++) print lines[i] (i < n - 1 ? "," : "")
+	print "  ],"
+	seq = rps["BenchmarkBatchSequential"]
+	par = rps["BenchmarkBatchParallel8"]
+	speedup = (seq > 0) ? par / seq : 0
+	printf "  \"speedup_parallel8_vs_sequential\": %.2f\n", speedup
+	print "}"
+}' "$raw" > "$out"
+
+echo "wrote $out"
