@@ -124,6 +124,19 @@ func BuildFromDQSR(m *uml.Model) (*Enforcer, error) {
 			// generic runtime realization; applications add custom checks.
 			summary.Mechanism = "custom"
 		}
+		// Constraint components may carry an explicit OCL predicate
+		// ("ocl=<expr>"); each becomes a compiled OCLCheck regardless of
+		// dimension, upgrading custom requirements to validator-enforced.
+		for _, expr := range oclFromComponents(req) {
+			chk, err := NewOCLCheck(dim, expr)
+			if err != nil {
+				return nil, fmt.Errorf("dqruntime: requirement %q: %w", summary.Title, err)
+			}
+			e.validator.Add(chk)
+			if summary.Mechanism == "custom" {
+				summary.Mechanism = "validator"
+			}
+		}
 		if err := e.dqModel.Require(dim, 1.0); err != nil {
 			return nil, err
 		}
@@ -158,6 +171,23 @@ func boundsFromComponents(req *metamodel.Object) (lower, upper int64, found bool
 		lower, upper = upper, lower
 	}
 	return lower, upper, found
+}
+
+// oclFromComponents collects "ocl=" attribute payloads from the
+// requirement's realizing constraint components, in model order.
+func oclFromComponents(req *metamodel.Object) []string {
+	var out []string
+	for _, comp := range req.GetRefs("realizedBy") {
+		if comp.GetString("kind") != "constraint" {
+			continue
+		}
+		for _, a := range stringList(comp.GetList("attributes")) {
+			if expr, ok := strings.CutPrefix(a, "ocl="); ok && strings.TrimSpace(expr) != "" {
+				out = append(out, expr)
+			}
+		}
+	}
+	return out
 }
 
 // fieldBoundsFromComponents parses per-field range payloads of the form

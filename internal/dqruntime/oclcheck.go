@@ -1,0 +1,104 @@
+package dqruntime
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/ocl"
+)
+
+// OCLCheck evaluates an OCL boolean expression over a record, with the
+// record's fields bound as OCL variables. It is the generic realization of
+// DQSR constraint components that carry an explicit OCL predicate (an
+// "ocl=" attribute) instead of one of the fixed-shape payloads the other
+// checks parse. The expression is compiled once, at construction, through
+// the shared program cache; Apply binds field values into a pooled frame,
+// so steady-state evaluation performs no per-record parsing or compilation.
+type OCLCheck struct {
+	characteristic iso25012.Characteristic
+	prog           *ocl.Program
+	// fields are the expression's free variables, bound from the record on
+	// every Apply. A field absent from the record binds as OCL null, which
+	// the expression can test with oclIsUndefined().
+	fields []string
+	env    *ocl.Env
+}
+
+// NewOCLCheck compiles expr and derives the record fields it reads from the
+// expression's free variables.
+func NewOCLCheck(ch iso25012.Characteristic, expr string) (*OCLCheck, error) {
+	parsed, err := ocl.Parse(expr)
+	if err != nil {
+		return nil, fmt.Errorf("dqruntime: OCL check %q: %w", expr, err)
+	}
+	fields := ocl.FreeVars(parsed)
+	prog, err := ocl.CompileString(expr, ocl.CompileOptions{Vars: fields})
+	if err != nil {
+		return nil, fmt.Errorf("dqruntime: OCL check %q: %w", expr, err)
+	}
+	return &OCLCheck{
+		characteristic: ch,
+		prog:           prog,
+		fields:         fields,
+		env:            &ocl.Env{},
+	}, nil
+}
+
+// Name returns "check_ocl".
+func (*OCLCheck) Name() string { return "check_ocl" }
+
+// Characteristic returns the characteristic the check was built for.
+func (c *OCLCheck) Characteristic() iso25012.Characteristic { return c.characteristic }
+
+// Expression returns the compiled OCL source.
+func (c *OCLCheck) Expression() string { return c.prog.Source() }
+
+// Fields returns the record fields the expression reads, sorted.
+func (c *OCLCheck) Fields() []string { return append([]string(nil), c.fields...) }
+
+// Apply binds the record's fields and evaluates the predicate. A non-Boolean
+// result or an evaluation error fails the check with the diagnostic in
+// Details — a constraint that cannot be evaluated has not been satisfied.
+func (c *OCLCheck) Apply(r Record) CheckResult {
+	res := CheckResult{Check: c.Name(), Characteristic: c.characteristic}
+	fr := c.prog.NewFrame(c.env)
+	defer fr.Release()
+	for _, f := range c.fields {
+		fr.SetVar(f, recordOCLValue(r[f]))
+	}
+	ok, err := fr.EvalBool()
+	if err != nil {
+		res.Details = []string{fmt.Sprintf("%s: %v", c.prog.Source(), err)}
+		return res
+	}
+	if !ok {
+		res.Details = []string{"violates: " + c.prog.Source()}
+		return res
+	}
+	res.Passed, res.Score = true, 1
+	return res
+}
+
+// recordOCLValue lifts a raw form value into the OCL domain: blank → null,
+// integers and reals → numbers, true/false → Boolean, anything else → the
+// trimmed string.
+func recordOCLValue(raw string) any {
+	s := strings.TrimSpace(raw)
+	switch {
+	case s == "":
+		return nil
+	case s == "true":
+		return true
+	case s == "false":
+		return false
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}

@@ -1,0 +1,146 @@
+package dqruntime_test
+
+import (
+	"strings"
+	"testing"
+
+	. "github.com/modeldriven/dqwebre/internal/dqruntime"
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/metamodel"
+	"github.com/modeldriven/dqwebre/internal/transform"
+	"github.com/modeldriven/dqwebre/internal/uml"
+)
+
+func TestOCLCheckApply(t *testing.T) {
+	chk, err := NewOCLCheck(iso25012.Consistency,
+		"score.oclIsUndefined() or (score >= 0 and score <= 10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.Name() != "check_ocl" {
+		t.Fatalf("Name() = %q", chk.Name())
+	}
+	if chk.Characteristic() != iso25012.Consistency {
+		t.Fatalf("Characteristic() = %q", chk.Characteristic())
+	}
+	if got := chk.Fields(); len(got) != 1 || got[0] != "score" {
+		t.Fatalf("Fields() = %v, want [score]", got)
+	}
+	cases := []struct {
+		name   string
+		record Record
+		passed bool
+	}{
+		{"in range", Record{"score": "7"}, true},
+		{"lower edge", Record{"score": "0"}, true},
+		{"out of range", Record{"score": "11"}, false},
+		{"negative", Record{"score": "-1"}, false},
+		{"blank is null", Record{"score": "  "}, true},
+		{"absent is null", Record{}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := chk.Apply(tc.record)
+			if res.Passed != tc.passed {
+				t.Fatalf("Apply(%v) passed = %v, want %v (details %v)",
+					tc.record, res.Passed, tc.passed, res.Details)
+			}
+			if want := 0.0; res.Passed {
+				want = 1.0
+			} else if res.Score != want {
+				t.Fatalf("score = %v, want %v", res.Score, want)
+			}
+		})
+	}
+}
+
+func TestOCLCheckCoercion(t *testing.T) {
+	chk, err := NewOCLCheck(iso25012.Accuracy,
+		"active = true and ratio > 0.5 and name.size() > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := Record{"active": "true", "ratio": "0.75", "name": "ada"}
+	if res := chk.Apply(ok); !res.Passed {
+		t.Fatalf("coercion failed: %v", res.Details)
+	}
+	bad := Record{"active": "false", "ratio": "0.75", "name": "ada"}
+	if res := chk.Apply(bad); res.Passed {
+		t.Fatal("active=false should fail")
+	}
+}
+
+func TestOCLCheckEvaluationErrorFails(t *testing.T) {
+	// A non-numeric value where the expression needs a number: the check
+	// must fail with the OCL diagnostic rather than pass or panic.
+	chk, err := NewOCLCheck(iso25012.Precision, "score >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := chk.Apply(Record{"score": "seven"})
+	if res.Passed {
+		t.Fatal("unevaluable constraint passed")
+	}
+	if len(res.Details) == 0 || !strings.Contains(res.Details[0], "ocl") {
+		t.Fatalf("details = %v, want an OCL diagnostic", res.Details)
+	}
+}
+
+func TestNewOCLCheckRejectsBadExpression(t *testing.T) {
+	if _, err := NewOCLCheck(iso25012.Consistency, "score >="); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+}
+
+// TestBuildFromDQSRWiresOCLConstraints covers the model-to-runtime path: a
+// constraint component carrying an "ocl=" attribute becomes a compiled
+// OCLCheck, and a dimension with no fixed-shape realization is upgraded
+// from "custom" to "validator".
+func TestBuildFromDQSRWiresOCLConstraints(t *testing.T) {
+	m := uml.NewModel("ocl-dqsr", transform.DQSRMetamodel())
+	req := m.MustCreate(transform.MetaSoftwareRequirement)
+	req.MustSet("title", str("scores are consistent"))
+	req.MustSet("dimension", str("Consistency"))
+	comp := m.MustCreate(transform.MetaComponentSpec)
+	comp.MustSet("name", str("DQConstraint"))
+	comp.MustSet("kind", str(transform.KindConstraint))
+	comp.MustAppend("attributes", str("ocl=low.oclIsUndefined() or high.oclIsUndefined() or low <= high"))
+	req.MustAppend("realizedBy", metamodel.Ref{Target: comp})
+
+	enf, err := BuildFromDQSR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := enf.Requirements()
+	if len(reqs) != 1 || reqs[0].Mechanism != "validator" {
+		t.Fatalf("requirements = %+v, want one validator-backed entry", reqs)
+	}
+	checks := enf.Validator().Checks()
+	if len(checks) != 1 {
+		t.Fatalf("checks = %d, want 1", len(checks))
+	}
+	if _, ok := checks[0].(*OCLCheck); !ok {
+		t.Fatalf("check is %T, want *OCLCheck", checks[0])
+	}
+	if rep := enf.CheckInput(Record{"low": "2", "high": "5"}); !rep.Passed() {
+		t.Fatalf("consistent record failed: %v", rep.Failures())
+	}
+	if rep := enf.CheckInput(Record{"low": "9", "high": "5"}); rep.Passed() {
+		t.Fatal("inconsistent record passed")
+	}
+}
+
+func TestBuildFromDQSRRejectsBadOCLConstraint(t *testing.T) {
+	m := uml.NewModel("bad-ocl", transform.DQSRMetamodel())
+	req := m.MustCreate(transform.MetaSoftwareRequirement)
+	req.MustSet("title", str("broken"))
+	req.MustSet("dimension", str("Consistency"))
+	comp := m.MustCreate(transform.MetaComponentSpec)
+	comp.MustSet("name", str("DQConstraint"))
+	comp.MustSet("kind", str(transform.KindConstraint))
+	comp.MustAppend("attributes", str("ocl=1 +"))
+	req.MustAppend("realizedBy", metamodel.Ref{Target: comp})
+	if _, err := BuildFromDQSR(m); err == nil {
+		t.Fatal("malformed OCL constraint accepted")
+	}
+}

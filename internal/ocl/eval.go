@@ -49,9 +49,15 @@ func Eval(expr Expr, env *Env) (any, error) {
 	if env == nil {
 		env = &Env{}
 	}
-	ev := &evaluator{env: env, vars: map[string]any{}}
-	for k, v := range env.Vars {
-		ev.vars[k] = v
+	ev := &evaluator{env: env}
+	// Copy the bindings so shared Envs stay safe under the evaluator's
+	// let/iterator mutations — but only when there is something to copy; a
+	// nil or empty Vars must not cost a map allocation per call.
+	if len(env.Vars) > 0 {
+		ev.vars = make(map[string]any, len(env.Vars))
+		for k, v := range env.Vars {
+			ev.vars[k] = v
+		}
 	}
 	return ev.eval(expr)
 }
@@ -84,8 +90,17 @@ func EvalBool(src string, env *Env) (bool, error) {
 }
 
 type evaluator struct {
-	env  *Env
+	env *Env
+	// vars is lazily allocated: expressions without bindings never touch it.
 	vars map[string]any
+}
+
+// setVar binds a variable, allocating the map on first write.
+func (ev *evaluator) setVar(name string, v any) {
+	if ev.vars == nil {
+		ev.vars = make(map[string]any, 4)
+	}
+	ev.vars[name] = v
 }
 
 func (ev *evaluator) eval(e Expr) (any, error) {
@@ -97,63 +112,25 @@ func (ev *evaluator) eval(e Expr) (any, error) {
 			return v, nil
 		}
 		// A bare identifier that is not a variable denotes a type.
-		if mm := ev.env.meta(); mm != nil {
-			if c, ok := mm.FindClass(n.Name); ok {
-				return typeRef{c: c}, nil
-			}
-		}
-		return nil, fmt.Errorf("ocl: unknown variable or type %q", n.Name)
+		return resolveTypeName(ev.env, n.Name)
 	case *EnumExpr:
-		mm := ev.env.meta()
-		if mm == nil {
-			return nil, fmt.Errorf("ocl: no metamodel to resolve %s::%s", n.Enum, n.Literal)
-		}
-		cl, ok := mm.FindClassifier(n.Enum)
-		if !ok {
-			return nil, fmt.Errorf("ocl: unknown enumeration %q", n.Enum)
-		}
-		en, ok := cl.(*metamodel.Enumeration)
-		if !ok {
-			return nil, fmt.Errorf("ocl: %q is not an enumeration", n.Enum)
-		}
-		if !en.Has(n.Literal) {
-			return nil, fmt.Errorf("ocl: %q is not a literal of %q", n.Literal, n.Enum)
-		}
-		return metamodel.EnumLit{Enum: en, Literal: n.Literal}, nil
+		return resolveEnumLit(ev.env, n.Enum, n.Literal)
 	case *NavExpr:
 		recv, err := ev.eval(n.Recv)
 		if err != nil {
 			return nil, err
 		}
-		return ev.navigate(recv, n.Name)
+		return navigateValue(recv, n.Name)
 	case *CallExpr:
 		return ev.call(n)
 	case *ArrowExpr:
 		return ev.arrow(n)
-	case *BinExpr:
-		return ev.binary(n)
 	case *UnExpr:
 		v, err := ev.eval(n.E)
 		if err != nil {
 			return nil, err
 		}
-		switch n.Op {
-		case "not":
-			b, ok := v.(bool)
-			if !ok {
-				return nil, fmt.Errorf("ocl: 'not' needs Boolean, got %s", typeName(v))
-			}
-			return !b, nil
-		case "-":
-			switch t := v.(type) {
-			case int64:
-				return -t, nil
-			case float64:
-				return -t, nil
-			}
-			return nil, fmt.Errorf("ocl: unary '-' needs a number, got %s", typeName(v))
-		}
-		return nil, fmt.Errorf("ocl: unknown unary operator %q", n.Op)
+		return evalUnary(n.Op, v)
 	case *IfExpr:
 		c, err := ev.eval(n.Cond)
 		if err != nil {
@@ -177,20 +154,7 @@ func (ev *evaluator) eval(e Expr) (any, error) {
 			out = append(out, v)
 		}
 		if n.Kind == "Set" {
-			var dedup []any
-			for _, v := range out {
-				dup := false
-				for _, w := range dedup {
-					if oclEqual(v, w) {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					dedup = append(dedup, v)
-				}
-			}
-			return dedup, nil
+			return dedupe(out), nil
 		}
 		return out, nil
 	case *LetExpr:
@@ -199,7 +163,7 @@ func (ev *evaluator) eval(e Expr) (any, error) {
 			return nil, err
 		}
 		old, had := ev.vars[n.Name]
-		ev.vars[n.Name] = v
+		ev.setVar(n.Name, v)
 		out, err := ev.eval(n.Body)
 		if had {
 			ev.vars[n.Name] = old
@@ -207,6 +171,8 @@ func (ev *evaluator) eval(e Expr) (any, error) {
 			delete(ev.vars, n.Name)
 		}
 		return out, err
+	case *BinExpr:
+		return ev.binary(n)
 	default:
 		return nil, fmt.Errorf("ocl: unhandled expression node %T", e)
 	}
@@ -215,8 +181,86 @@ func (ev *evaluator) eval(e Expr) (any, error) {
 // typeRef is the evaluation result of a bare type name.
 type typeRef struct{ c *metamodel.Class }
 
-// navigate implements dot navigation with implicit collect over collections.
-func (ev *evaluator) navigate(recv any, name string) (any, error) {
+// resolveTypeName resolves a bare identifier that is not a variable; the
+// error message covers both readings.
+func resolveTypeName(env *Env, name string) (any, error) {
+	if mm := env.meta(); mm != nil {
+		if c, ok := mm.FindClass(name); ok {
+			return typeRef{c: c}, nil
+		}
+	}
+	return nil, fmt.Errorf("ocl: unknown variable or type %q", name)
+}
+
+// resolveTypeArg resolves a type argument of oclIsKindOf/oclIsTypeOf/
+// oclAsType.
+func resolveTypeArg(env *Env, name string) (any, error) {
+	if mm := env.meta(); mm != nil {
+		if c, ok := mm.FindClass(name); ok {
+			return typeRef{c: c}, nil
+		}
+	}
+	return nil, fmt.Errorf("ocl: unknown type %q", name)
+}
+
+// resolveEnumLit resolves Enum::Literal against the env's metamodel.
+func resolveEnumLit(env *Env, enum, literal string) (any, error) {
+	mm := env.meta()
+	if mm == nil {
+		return nil, fmt.Errorf("ocl: no metamodel to resolve %s::%s", enum, literal)
+	}
+	cl, ok := mm.FindClassifier(enum)
+	if !ok {
+		return nil, fmt.Errorf("ocl: unknown enumeration %q", enum)
+	}
+	en, ok := cl.(*metamodel.Enumeration)
+	if !ok {
+		return nil, fmt.Errorf("ocl: %q is not an enumeration", enum)
+	}
+	if !en.Has(literal) {
+		return nil, fmt.Errorf("ocl: %q is not a literal of %q", literal, enum)
+	}
+	return metamodel.EnumLit{Enum: en, Literal: literal}, nil
+}
+
+// evalAllInstances implements the type-level T.allInstances() call.
+func evalAllInstances(env *Env, name string) (any, error) {
+	mm := env.meta()
+	if mm == nil {
+		return nil, fmt.Errorf("ocl: no metamodel for %s.allInstances()", name)
+	}
+	c, ok := mm.FindClass(name)
+	if !ok {
+		return nil, fmt.Errorf("ocl: unknown type %q", name)
+	}
+	return instancesOf(env, c, name)
+}
+
+// instancesOf materializes a class extent through the env's Extent hook or
+// model.
+func instancesOf(env *Env, c *metamodel.Class, name string) (any, error) {
+	if env.Extent != nil {
+		objs := env.Extent(c)
+		out := make([]any, len(objs))
+		for i, o := range objs {
+			out[i] = o
+		}
+		return out, nil
+	}
+	if env.Model == nil {
+		return nil, fmt.Errorf("ocl: no model for %s.allInstances()", name)
+	}
+	objs := env.Model.AllInstances(c)
+	out := make([]any, len(objs))
+	for i, o := range objs {
+		out[i] = o
+	}
+	return out, nil
+}
+
+// navigateValue implements dot navigation with implicit collect over
+// collections.
+func navigateValue(recv any, name string) (any, error) {
 	switch r := recv.(type) {
 	case nil:
 		return nil, nil // navigation over null yields null
@@ -225,7 +269,7 @@ func (ev *evaluator) navigate(recv any, name string) (any, error) {
 	case []any:
 		var out []any
 		for _, item := range r {
-			v, err := ev.navigate(item, name)
+			v, err := navigateValue(item, name)
 			if err != nil {
 				return nil, err
 			}
@@ -292,31 +336,7 @@ func (ev *evaluator) call(n *CallExpr) (any, error) {
 	// Type-level: T.allInstances()
 	if v, ok := n.Recv.(*VarExpr); ok && n.Name == "allInstances" {
 		if _, bound := ev.vars[v.Name]; !bound {
-			mm := ev.env.meta()
-			if mm == nil {
-				return nil, fmt.Errorf("ocl: no metamodel for %s.allInstances()", v.Name)
-			}
-			c, ok := mm.FindClass(v.Name)
-			if !ok {
-				return nil, fmt.Errorf("ocl: unknown type %q", v.Name)
-			}
-			if ev.env.Extent != nil {
-				objs := ev.env.Extent(c)
-				out := make([]any, len(objs))
-				for i, o := range objs {
-					out[i] = o
-				}
-				return out, nil
-			}
-			if ev.env.Model == nil {
-				return nil, fmt.Errorf("ocl: no model for %s.allInstances()", v.Name)
-			}
-			objs := ev.env.Model.AllInstances(c)
-			out := make([]any, len(objs))
-			for i, o := range objs {
-				out[i] = o
-			}
-			return out, nil
+			return evalAllInstances(ev.env, v.Name)
 		}
 	}
 	recv, err := ev.eval(n.Recv)
@@ -328,14 +348,12 @@ func (ev *evaluator) call(n *CallExpr) (any, error) {
 		// Type arguments to oclIsKindOf / oclIsTypeOf stay unevaluated names.
 		if v, ok := a.(*VarExpr); ok && (n.Name == "oclIsKindOf" || n.Name == "oclIsTypeOf" || n.Name == "oclAsType") {
 			if _, bound := ev.vars[v.Name]; !bound {
-				mm := ev.env.meta()
-				if mm != nil {
-					if c, found := mm.FindClass(v.Name); found {
-						argv[i] = typeRef{c: c}
-						continue
-					}
+				tr, err := resolveTypeArg(ev.env, v.Name)
+				if err != nil {
+					return nil, err
 				}
-				return nil, fmt.Errorf("ocl: unknown type %q", v.Name)
+				argv[i] = tr
+				continue
 			}
 		}
 		val, err := ev.eval(a)
@@ -344,10 +362,12 @@ func (ev *evaluator) call(n *CallExpr) (any, error) {
 		}
 		argv[i] = val
 	}
-	return ev.dispatchCall(recv, n.Name, argv)
+	return dispatchCall(ev.env, recv, n.Name, argv)
 }
 
-func (ev *evaluator) dispatchCall(recv any, name string, args []any) (any, error) {
+// dispatchCall executes a dot call on an evaluated receiver and arguments.
+// It needs the env only for the hasStereotype/taggedValue profile hooks.
+func dispatchCall(env *Env, recv any, name string, args []any) (any, error) {
 	switch name {
 	case "oclIsUndefined":
 		return recv == nil, nil
@@ -381,7 +401,7 @@ func (ev *evaluator) dispatchCall(recv any, name string, args []any) (any, error
 		}
 		return o, nil
 	case "hasStereotype":
-		if ev.env.Stereotypes == nil {
+		if env.Stereotypes == nil {
 			return nil, fmt.Errorf("ocl: hasStereotype unavailable: no stereotype resolver in Env")
 		}
 		if len(args) != 1 {
@@ -395,14 +415,14 @@ func (ev *evaluator) dispatchCall(recv any, name string, args []any) (any, error
 		if !ok {
 			return false, nil
 		}
-		for _, s := range ev.env.Stereotypes(o) {
+		for _, s := range env.Stereotypes(o) {
 			if s == want {
 				return true, nil
 			}
 		}
 		return false, nil
 	case "taggedValue":
-		if ev.env.TaggedValue == nil {
+		if env.TaggedValue == nil {
 			return nil, fmt.Errorf("ocl: taggedValue unavailable: no tagged-value resolver in Env")
 		}
 		if len(args) != 1 {
@@ -416,7 +436,7 @@ func (ev *evaluator) dispatchCall(recv any, name string, args []any) (any, error
 		if !ok {
 			return nil, nil
 		}
-		v := ev.env.TaggedValue(o, want)
+		v := env.TaggedValue(o, want)
 		if v == nil {
 			return nil, nil
 		}
@@ -508,7 +528,21 @@ func (ev *evaluator) arrow(n *ArrowExpr) (any, error) {
 		return nil, err
 	}
 	coll := asCollection(recv)
-	switch n.Name {
+	if iteratorOps[n.Name] {
+		return ev.iterate(n, coll)
+	}
+	return evalArrowOp(n.Name, coll, len(n.Args), func(i int) (any, error) {
+		return ev.eval(n.Args[i])
+	})
+}
+
+// evalArrowOp executes a non-iterator arrow operation. nargs is the
+// syntactic argument count and evalArg evaluates the i-th argument on
+// demand — operations validate arity before touching any argument, and
+// size/isEmpty/... never evaluate theirs, exactly like the tree-walker
+// always has.
+func evalArrowOp(name string, coll []any, nargs int, evalArg func(int) (any, error)) (any, error) {
+	switch name {
 	case "size":
 		return int64(len(coll)), nil
 	case "isEmpty":
@@ -546,20 +580,7 @@ func (ev *evaluator) arrow(n *ArrowExpr) (any, error) {
 		}
 		return isum, nil
 	case "asSet":
-		var out []any
-		for _, v := range coll {
-			dup := false
-			for _, w := range out {
-				if oclEqual(v, w) {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				out = append(out, v)
-			}
-		}
-		return out, nil
+		return dedupe(coll), nil
 	case "flatten":
 		var out []any
 		for _, v := range coll {
@@ -571,10 +592,10 @@ func (ev *evaluator) arrow(n *ArrowExpr) (any, error) {
 		}
 		return out, nil
 	case "includes", "excludes", "count":
-		if len(n.Args) != 1 {
-			return nil, fmt.Errorf("ocl: %s takes one argument", n.Name)
+		if nargs != 1 {
+			return nil, fmt.Errorf("ocl: %s takes one argument", name)
 		}
-		arg, err := ev.eval(n.Args[0])
+		arg, err := evalArg(0)
 		if err != nil {
 			return nil, err
 		}
@@ -584,7 +605,7 @@ func (ev *evaluator) arrow(n *ArrowExpr) (any, error) {
 				cnt++
 			}
 		}
-		switch n.Name {
+		switch name {
 		case "includes":
 			return cnt > 0, nil
 		case "excludes":
@@ -593,10 +614,10 @@ func (ev *evaluator) arrow(n *ArrowExpr) (any, error) {
 			return cnt, nil
 		}
 	case "includesAll", "excludesAll":
-		if len(n.Args) != 1 {
-			return nil, fmt.Errorf("ocl: %s takes one collection argument", n.Name)
+		if nargs != 1 {
+			return nil, fmt.Errorf("ocl: %s takes one collection argument", name)
 		}
-		arg, err := ev.eval(n.Args[0])
+		arg, err := evalArg(0)
 		if err != nil {
 			return nil, err
 		}
@@ -609,25 +630,25 @@ func (ev *evaluator) arrow(n *ArrowExpr) (any, error) {
 					break
 				}
 			}
-			if (n.Name == "includesAll") != found {
+			if (name == "includesAll") != found {
 				return false, nil
 			}
 		}
 		return true, nil
 	case "union":
-		if len(n.Args) != 1 {
+		if nargs != 1 {
 			return nil, fmt.Errorf("ocl: union takes one collection argument")
 		}
-		arg, err := ev.eval(n.Args[0])
+		arg, err := evalArg(0)
 		if err != nil {
 			return nil, err
 		}
 		return append(append([]any{}, coll...), asCollection(arg)...), nil
 	case "intersection":
-		if len(n.Args) != 1 {
+		if nargs != 1 {
 			return nil, fmt.Errorf("ocl: intersection takes one collection argument")
 		}
-		arg, err := ev.eval(n.Args[0])
+		arg, err := evalArg(0)
 		if err != nil {
 			return nil, err
 		}
@@ -644,10 +665,10 @@ func (ev *evaluator) arrow(n *ArrowExpr) (any, error) {
 		return out, nil
 	case "at":
 		// OCL at() is 1-based.
-		if len(n.Args) != 1 {
+		if nargs != 1 {
 			return nil, fmt.Errorf("ocl: at takes one index argument")
 		}
-		arg, err := ev.eval(n.Args[0])
+		arg, err := evalArg(0)
 		if err != nil {
 			return nil, err
 		}
@@ -657,10 +678,10 @@ func (ev *evaluator) arrow(n *ArrowExpr) (any, error) {
 		}
 		return coll[idx-1], nil
 	case "indexOf":
-		if len(n.Args) != 1 {
+		if nargs != 1 {
 			return nil, fmt.Errorf("ocl: indexOf takes one argument")
 		}
-		arg, err := ev.eval(n.Args[0])
+		arg, err := evalArg(0)
 		if err != nil {
 			return nil, err
 		}
@@ -677,28 +698,28 @@ func (ev *evaluator) arrow(n *ArrowExpr) (any, error) {
 		}
 		return out, nil
 	case "including", "append":
-		if len(n.Args) != 1 {
-			return nil, fmt.Errorf("ocl: %s takes one argument", n.Name)
+		if nargs != 1 {
+			return nil, fmt.Errorf("ocl: %s takes one argument", name)
 		}
-		arg, err := ev.eval(n.Args[0])
+		arg, err := evalArg(0)
 		if err != nil {
 			return nil, err
 		}
 		return append(append([]any{}, coll...), arg), nil
 	case "prepend":
-		if len(n.Args) != 1 {
+		if nargs != 1 {
 			return nil, fmt.Errorf("ocl: prepend takes one argument")
 		}
-		arg, err := ev.eval(n.Args[0])
+		arg, err := evalArg(0)
 		if err != nil {
 			return nil, err
 		}
 		return append([]any{arg}, coll...), nil
 	case "excluding":
-		if len(n.Args) != 1 {
+		if nargs != 1 {
 			return nil, fmt.Errorf("ocl: excluding takes one argument")
 		}
-		arg, err := ev.eval(n.Args[0])
+		arg, err := evalArg(0)
 		if err != nil {
 			return nil, err
 		}
@@ -719,7 +740,7 @@ func (ev *evaluator) arrow(n *ArrowExpr) (any, error) {
 			if err != nil {
 				return nil, err
 			}
-			if (n.Name == "min") == less {
+			if (name == "min") == less {
 				best = v
 			}
 		}
@@ -737,11 +758,28 @@ func (ev *evaluator) arrow(n *ArrowExpr) (any, error) {
 			sum += f
 		}
 		return sum / float64(len(coll)), nil
-	case "select", "reject", "forAll", "exists", "any", "one", "collect", "isUnique", "sortedBy":
-		return ev.iterate(n, coll)
 	default:
-		return nil, fmt.Errorf("ocl: unknown collection operation %q", n.Name)
+		return nil, fmt.Errorf("ocl: unknown collection operation %q", name)
 	}
+}
+
+// dedupe keeps the first occurrence of each distinct value, the shared
+// semantics of asSet and Set{...} literals.
+func dedupe(coll []any) []any {
+	var out []any
+	for _, v := range coll {
+		dup := false
+		for _, w := range out {
+			if oclEqual(v, w) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func (ev *evaluator) iterate(n *ArrowExpr, coll []any) (any, error) {
@@ -758,18 +796,26 @@ func (ev *evaluator) iterate(n *ArrowExpr, coll []any) (any, error) {
 		}
 	}()
 	evalBody := func(item any) (any, error) {
-		ev.vars[iter] = item
+		ev.setVar(iter, item)
 		if n.Iter == "" {
 			// Implicit iterator: body navigations start from the item via
 			// "self"-like shadowing. OCL's real rule rewrites bare property
 			// names; we approximate by also binding "self" when unbound.
 			if _, selfBound := ev.vars["self"]; !selfBound {
-				ev.vars["self"] = item
+				ev.setVar("self", item)
 				defer delete(ev.vars, "self")
 			}
 		}
 		return ev.eval(n.Body)
 	}
+	return runIterator(n.Name, coll, evalBody)
+}
+
+// runIterator executes one of the nine iterator operations over a
+// collection, with the item binding abstracted behind evalBody. Both the
+// tree-walking interpreter and compiled Programs funnel through this one
+// implementation, so the two evaluation modes cannot drift apart.
+func runIterator(name string, coll []any, evalBody func(item any) (any, error)) (any, error) {
 	boolBody := func(item any) (bool, error) {
 		v, err := evalBody(item)
 		if err != nil {
@@ -777,11 +823,11 @@ func (ev *evaluator) iterate(n *ArrowExpr, coll []any) (any, error) {
 		}
 		b, ok := v.(bool)
 		if !ok {
-			return false, fmt.Errorf("ocl: %s body must be Boolean, got %s", n.Name, typeName(v))
+			return false, fmt.Errorf("ocl: %s body must be Boolean, got %s", name, typeName(v))
 		}
 		return b, nil
 	}
-	switch n.Name {
+	switch name {
 	case "select", "reject":
 		var out []any
 		for _, item := range coll {
@@ -789,7 +835,7 @@ func (ev *evaluator) iterate(n *ArrowExpr, coll []any) (any, error) {
 			if err != nil {
 				return nil, err
 			}
-			if b == (n.Name == "select") {
+			if b == (name == "select") {
 				out = append(out, item)
 			}
 		}
@@ -898,7 +944,28 @@ func (ev *evaluator) iterate(n *ArrowExpr, coll []any) (any, error) {
 		}
 		return out, nil
 	}
-	return nil, fmt.Errorf("ocl: unknown iterator %q", n.Name)
+	return nil, fmt.Errorf("ocl: unknown iterator %q", name)
+}
+
+// evalUnary applies "not" or unary "-" to an evaluated operand.
+func evalUnary(op string, v any) (any, error) {
+	switch op {
+	case "not":
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("ocl: 'not' needs Boolean, got %s", typeName(v))
+		}
+		return !b, nil
+	case "-":
+		switch t := v.(type) {
+		case int64:
+			return -t, nil
+		case float64:
+			return -t, nil
+		}
+		return nil, fmt.Errorf("ocl: unary '-' needs a number, got %s", typeName(v))
+	}
+	return nil, fmt.Errorf("ocl: unknown unary operator %q", op)
 }
 
 func (ev *evaluator) binary(n *BinExpr) (any, error) {
@@ -945,7 +1012,13 @@ func (ev *evaluator) binary(n *BinExpr) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	switch n.Op {
+	return evalStrictBinary(n.Op, l, r)
+}
+
+// evalStrictBinary applies a non-short-circuiting binary operator to two
+// evaluated operands.
+func evalStrictBinary(op string, l, r any) (any, error) {
+	switch op {
 	case "xor":
 		lb, lok := l.(bool)
 		rb, rok := r.(bool)
@@ -958,11 +1031,11 @@ func (ev *evaluator) binary(n *BinExpr) (any, error) {
 	case "<>":
 		return !oclEqual(l, r), nil
 	case "<", "<=", ">", ">=":
-		return oclCompare(n.Op, l, r)
+		return oclCompare(op, l, r)
 	case "+", "-", "*", "/", "mod", "div":
-		return oclArith(n.Op, l, r)
+		return oclArith(op, l, r)
 	}
-	return nil, fmt.Errorf("ocl: unknown operator %q", n.Op)
+	return nil, fmt.Errorf("ocl: unknown operator %q", op)
 }
 
 // asCollection wraps scalars into singleton collections, per OCL's implicit

@@ -2,9 +2,14 @@
 // return an error rather than panic, and the printer must be stable — a
 // successfully parsed expression prints to a form that re-parses to the
 // same printed form (print∘parse is idempotent on the printer's image).
+// Every parseable input additionally compiles and runs differentially:
+// the compiler is fuzzed for free, with the interpreter as the oracle.
 package ocl
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // fuzzSeeds covers every syntactic construct: literals, navigation,
 // operations, arrow calls with iterators, enums, if/let, collections and
@@ -55,5 +60,31 @@ func FuzzParse(f *testing.F) {
 		if again := e2.String(); again != printed {
 			t.Fatalf("printer is not stable:\nsrc:    %q\nfirst:  %q\nsecond: %q", src, printed, again)
 		}
+		// Compilation must be total over parseable input ...
+		prog, cerr := CompileWith(e, fuzzDiffOpts)
+		if cerr != nil {
+			t.Fatalf("Compile(%q): %v", printed, cerr)
+		}
+		// ... and compiled execution must agree with the interpreter, value
+		// or error text, under a fixed scalar environment.
+		iv, ierr := Eval(e, fuzzDiffEnv)
+		cv, rerr := prog.Eval(fuzzDiffEnv)
+		if (ierr != nil) != (rerr != nil) ||
+			(ierr != nil && ierr.Error() != rerr.Error()) ||
+			(ierr == nil && !reflect.DeepEqual(iv, cv)) {
+			t.Fatalf("interpreter/compiler divergence on %q:\ninterpreted: v=%#v err=%v\ncompiled:    v=%#v err=%v",
+				printed, iv, ierr, cv, rerr)
+		}
 	})
 }
+
+// fuzzDiffEnv supplies enough scalar bindings that fuzz inputs referencing
+// common identifiers evaluate a real path instead of erroring immediately.
+var fuzzDiffEnv = &Env{Vars: map[string]any{
+	"p": true, "q": false, "r": true,
+	"a": int64(1), "x": int64(3), "y": int64(-2),
+	"s":  "abc",
+	"xs": []any{int64(1), int64(2)},
+}}
+
+var fuzzDiffOpts = CompileOptions{Vars: []string{"a", "p", "q", "r", "s", "x", "xs", "y"}}

@@ -11,6 +11,15 @@
 // if-then-else-endif, let-in, Type.allInstances(), oclIsKindOf/oclIsTypeOf,
 // enumeration literals (Enum::Literal) and — as an extension for profile
 // models — hasStereotype('Name') and taggedValue('Name').
+//
+// Two evaluators share these semantics. Eval walks the AST directly and is
+// the reference implementation — the oracle: its behavior, including exact
+// error text, defines the language. Compile lowers the AST to Go closures
+// with slot-indexed variable frames, constant folding and pooled frames for
+// the hot paths; compiled Programs must agree with Eval on every input,
+// value or error, a contract enforced by the differential tests and the
+// FuzzParse harness. CompileString adds a process-wide cache so every
+// consumer of the same (source, options) pair shares one compiled Program.
 package ocl
 
 import "fmt"

@@ -177,15 +177,33 @@ func (tr *Transformation) run(ctx context.Context, src *uml.Model, targetMeta *m
 			return nil, nil, fmt.Errorf("transform %s: rule %s: unknown source class %q",
 				tr.Name, rule.Name, rule.From)
 		}
-		for _, s := range src.Model.AllInstances(cls) {
-			if rule.GuardOCL != "" {
-				ok, err := ocl.EvalBool(rule.GuardOCL, &ocl.Env{
-					Model: src.Model,
-					Vars:  map[string]any{"self": s},
-					Stereotypes: func(o *metamodel.Object) []string {
-						return src.StereotypeNames(o)
-					},
-				})
+		instances := src.Model.AllInstances(cls)
+		// Compile the guard once per rule, not once per source instance,
+		// and share one Env across the whole extent; self rides in the
+		// compiled program's frame. Compilation is deferred until the rule
+		// matches at least one instance so an empty extent never trips over
+		// a malformed guard.
+		var guard *ocl.Program
+		var genv *ocl.Env
+		if rule.GuardOCL != "" && len(instances) > 0 {
+			var err error
+			guard, err = ocl.CompileString(rule.GuardOCL,
+				ocl.CompileOptions{Meta: src.Metamodel()})
+			if err != nil {
+				mspan.End()
+				return nil, nil, fmt.Errorf("transform %s: rule %s guard: %w",
+					tr.Name, rule.Name, err)
+			}
+			genv = &ocl.Env{
+				Model: src.Model,
+				Stereotypes: func(o *metamodel.Object) []string {
+					return src.StereotypeNames(o)
+				},
+			}
+		}
+		for _, s := range instances {
+			if guard != nil {
+				ok, err := guard.EvalBoolSelf(s, genv)
 				if err != nil {
 					mspan.End()
 					return nil, nil, fmt.Errorf("transform %s: rule %s guard: %w",

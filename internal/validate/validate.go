@@ -134,8 +134,6 @@ type Engine struct {
 	skipConformance bool
 	// workers bounds rule-evaluation concurrency; defaults to GOMAXPROCS.
 	workers int
-	// extent is the per-run memoized class extent, set by Run.
-	extent func(*metamodel.Class) []*metamodel.Object
 }
 
 // New creates an engine for the given profiled model.
@@ -273,7 +271,6 @@ func (e *Engine) run(ctx context.Context) *Report {
 		extents[c] = objs
 		return objs
 	}
-	e.extent = extent
 
 	if !e.skipConformance {
 		_, cspan := obs.StartSpan(ctx, "conformance")
@@ -292,16 +289,37 @@ func (e *Engine) run(ctx context.Context) *Report {
 		cspan.End()
 	}
 
+	// One immutable Env is shared by every worker: variable bindings travel
+	// through compiled-program frames, not per-job Vars maps.
+	env := &ocl.Env{
+		Model:  e.model.Model,
+		Extent: extent,
+		Stereotypes: func(obj *metamodel.Object) []string {
+			return e.model.StereotypeNames(obj)
+		},
+		TaggedValue: func(obj *metamodel.Object, name string) metamodel.Value {
+			for _, a := range e.model.Applications(obj) {
+				if v, ok := a.Tag(name); ok {
+					return v
+				}
+			}
+			return nil
+		},
+	}
+
 	// Build the work list: (element, rule) pairs.
 	type job struct {
 		obj  *metamodel.Object
 		rule Rule
-		ast  ocl.Expr
+		prog *ocl.Program
 	}
+	compileOpts := ocl.CompileOptions{Meta: e.model.Metamodel()}
 	var jobs []job
 	for _, r := range e.rules {
-		// Parse each rule once; per-element re-parsing dominates large runs.
-		ast, parseErr := ocl.Parse(r.Expr)
+		// Compile each rule once through the shared program cache;
+		// per-element re-parsing (or even re-walking the AST) dominates
+		// large runs.
+		prog, parseErr := ocl.CompileString(r.Expr, compileOpts)
 		if parseErr != nil {
 			rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
 				Severity: Error,
@@ -328,7 +346,7 @@ func (e *Engine) run(ctx context.Context) *Report {
 			targets = e.model.Model.AllInstances(c)
 		}
 		for _, o := range targets {
-			jobs = append(jobs, job{obj: o, rule: r, ast: ast})
+			jobs = append(jobs, job{obj: o, rule: r, prog: prog})
 		}
 	}
 	rep.Checked += len(jobs)
@@ -355,7 +373,7 @@ func (e *Engine) run(ctx context.Context) *Report {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = e.evalJob(jobs[i].obj, jobs[i].rule, jobs[i].ast)
+				results[i] = evalJob(jobs[i].obj, jobs[i].rule, jobs[i].prog, env)
 			}
 		}()
 	}
@@ -374,24 +392,10 @@ func (e *Engine) run(ctx context.Context) *Report {
 	return rep
 }
 
-func (e *Engine) evalJob(o *metamodel.Object, r Rule, ast ocl.Expr) []Diagnostic {
-	env := &ocl.Env{
-		Model:  e.model.Model,
-		Extent: e.extent,
-		Vars:   map[string]any{"self": o},
-		Stereotypes: func(obj *metamodel.Object) []string {
-			return e.model.StereotypeNames(obj)
-		},
-		TaggedValue: func(obj *metamodel.Object, name string) metamodel.Value {
-			for _, a := range e.model.Applications(obj) {
-				if v, ok := a.Tag(name); ok {
-					return v
-				}
-			}
-			return nil
-		},
-	}
-	ok, err := evalBoolAST(ast, env)
+// evalJob checks one element against one compiled rule. The Env is shared
+// and read-only; self rides in the program's pooled frame.
+func evalJob(o *metamodel.Object, r Rule, prog *ocl.Program, env *ocl.Env) []Diagnostic {
+	ok, err := prog.EvalBoolSelf(o, env)
 	if err != nil {
 		return []Diagnostic{{
 			Severity: Error,
@@ -442,21 +446,4 @@ func sortDiagnostics(ds []Diagnostic) {
 		}
 		return li < lj
 	})
-}
-
-// evalBoolAST evaluates a pre-parsed boolean expression; null counts as
-// "constraint does not hold", matching ocl.EvalBool.
-func evalBoolAST(ast ocl.Expr, env *ocl.Env) (bool, error) {
-	v, err := ocl.Eval(ast, env)
-	if err != nil {
-		return false, err
-	}
-	switch t := v.(type) {
-	case bool:
-		return t, nil
-	case nil:
-		return false, nil
-	default:
-		return false, fmt.Errorf("expression yields %T, not Boolean", v)
-	}
 }

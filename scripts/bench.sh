@@ -1,18 +1,23 @@
 #!/bin/sh
-# Batch-engine benchmark harness: runs BenchmarkBatchSequential and
-# BenchmarkBatchParallel{2,4,8} and distills their custom metrics
-# (records/sec, stride-sampled p50/p99 per-record latency) into
-# BENCH_batch.json, so every CI run leaves a machine-readable data point
-# on the throughput trajectory. Usage: scripts/bench.sh [output.json]
+# Benchmark harness. Two suites, one JSON data point each per CI run:
+#   - batch engine (BenchmarkBatchSequential, BenchmarkBatchParallel{2,4,8})
+#     → BENCH_batch.json: records/sec, stride-sampled p50/p99 latency.
+#   - OCL evaluation (BenchmarkEvalInterpreted vs BenchmarkEvalCompiled per
+#     expression shape, plus the end-to-end BenchmarkBatchCompiled)
+#     → BENCH_ocl.json: ns/op, allocs/op and compiled-vs-interpreted
+#     speedup per shape.
+# Usage: scripts/bench.sh [batch-output.json] [ocl-output.json]
 # BENCHTIME overrides the go test -benchtime (default 1s).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_batch.json}"
+oclout="${2:-BENCH_ocl.json}"
 benchtime="${BENCHTIME:-1s}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+oclraw="$(mktemp)"
+trap 'rm -f "$raw" "$oclraw"' EXIT
 
 go test -run '^$' -bench 'BenchmarkBatch(Sequential|Parallel[0-9]+)$' \
 	-benchtime "$benchtime" -count 1 ./internal/dqbatch/ | tee "$raw"
@@ -48,3 +53,46 @@ END {
 }' "$raw" > "$out"
 
 echo "wrote $out"
+
+go test -run '^$' -bench 'BenchmarkEval(Interpreted|Compiled)$' -benchmem \
+	-benchtime "$benchtime" -count 1 ./internal/ocl/ | tee "$oclraw"
+go test -run '^$' -bench 'BenchmarkBatchCompiled$' -benchmem \
+	-benchtime "$benchtime" -count 1 ./internal/dqbatch/ | tee -a "$oclraw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark(Eval|BatchCompiled)/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+	line = "    {\"name\": \"" name "\", \"iterations\": " $2
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		if (unit == "ns/op") ns[name] = $i
+		gsub(/\//, "_per_", unit)
+		gsub(/[^A-Za-z0-9_]/, "_", unit)
+		line = line ", \"" unit "\": " $i
+	}
+	lines[n++] = line "}"
+}
+END {
+	print "{"
+	print "  \"date\": \"" date "\","
+	print "  \"cpu\": \"" cpu "\","
+	print "  \"benchtime\": \"'"$benchtime"'\","
+	print "  \"benchmarks\": ["
+	for (i = 0; i < n; i++) print lines[i] (i < n - 1 ? "," : "")
+	print "  ],"
+	print "  \"speedups\": {"
+	shapes = "Simple ForAll AllInstances"
+	m = split(shapes, shape, " ")
+	for (i = 1; i <= m; i++) {
+		interp = ns["BenchmarkEvalInterpreted/" shape[i]]
+		comp = ns["BenchmarkEvalCompiled/" shape[i]]
+		speedup = (comp > 0) ? interp / comp : 0
+		printf "    \"compiled_vs_interpreted_%s\": %.2f%s\n", shape[i], speedup, (i < m ? "," : "")
+	}
+	print "  }"
+	print "}"
+}' "$oclraw" > "$oclout"
+
+echo "wrote $oclout"
