@@ -15,7 +15,10 @@
 //	dqwebre codegen -kind sql easychair.xml
 //	dqwebre stats easychair.xml
 //	dqwebre trace easychair.xml            # traced pipeline run (span tree)
+//	dqwebre trace -out trace.json easychair.xml  # Chrome trace artifact
 //	dqwebre batch -model easychair.xml -in records.ndjson -report json
+//	dqwebre load -url http://localhost:8080      # drive a live server
+//	dqwebre watch -url http://localhost:8080     # live DQ score/trend table
 package main
 
 import (

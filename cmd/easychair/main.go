@@ -19,9 +19,12 @@
 //
 // Observability:
 //
-//	curl localhost:8080/metrics       # Prometheus text exposition
-//	curl localhost:8080/healthz      # liveness probe (JSON)
-//	curl localhost:8080/debug/spans  # recent request span trees
+//	curl localhost:8080/metrics        # Prometheus text exposition, incl.
+//	                                   # dq_score/dq_check_failures windows
+//	curl localhost:8080/healthz        # liveness probe (JSON)
+//	curl localhost:8080/debug/spans    # recent request span trees
+//	curl localhost:8080/debug/quality  # windowed DQ score series + trends
+//	dqwebre watch -url http://localhost:8080   # live score/trend table
 //
 // With -pprof, the Go profiling endpoints are mounted under
 // /debug/pprof/ on the same listener (CPU profile, heap, goroutines, ...).
@@ -177,7 +180,7 @@ func run(ctx context.Context, cfg config, logger *log.Logger, ln net.Listener) e
 	for _, r := range app.Enforcer().Requirements() {
 		logger.Printf("  DQSR-%d [%s/%s] %s", r.ID, r.Dimension, r.Mechanism, r.Title)
 	}
-	logger.Printf("listening on %s (metrics at /metrics, health at /healthz, spans at /debug/spans)", ln.Addr())
+	logger.Printf("listening on %s (metrics at /metrics, health at /healthz, spans at /debug/spans, quality at /debug/quality)", ln.Addr())
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -53,13 +53,15 @@ func Run(args []string, out io.Writer) error {
 		return cmdLoad(args[1:], out)
 	case "batch":
 		return cmdBatch(args[1:], out)
+	case "watch":
+		return cmdWatch(args[1:], out)
 	default:
 		return fmt.Errorf("unknown command %q; %s", args[0], usageLine)
 	}
 }
 
 // usageLine summarizes the commands for error messages.
-const usageLine = "commands: demo, validate, diagram, transform, codegen, stats, diff, trace, load, batch"
+const usageLine = "commands: demo, validate, diagram, transform, codegen, stats, diff, trace, load, batch, watch"
 
 // loadModel reads an XMI (or JSON) model with the DQ_WebRE profile
 // available.
@@ -339,10 +341,14 @@ func cmdStats(args []string, out io.Writer) error {
 // cmdTrace runs the full DQR→DQSR→design→enforcement pipeline on one model
 // under a tracer and prints the resulting span tree with per-stage
 // durations — the observability layer's answer to "where does the time
-// go?". With -json the tree is emitted as JSON instead of text.
+// go?". With -json the tree is emitted as JSON instead of text; with
+// -out the trace is additionally written as Chrome trace-event JSON, a
+// shareable artifact loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
 func cmdTrace(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "emit the span tree as JSON instead of text")
+	outFile := fs.String("out", "", "also write the trace as Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -364,6 +370,20 @@ func cmdTrace(args []string, out io.Writer) error {
 		fmt.Fprintln(out, string(data))
 	} else {
 		obs.WriteTree(out, root)
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		err = obs.WriteChromeTrace(f, tracer.Finished())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote Chrome trace to %s (load it at ui.perfetto.dev)\n", *outFile)
 	}
 	return runErr
 }

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"strings"
 	"time"
 
@@ -51,11 +52,30 @@ func cmdLoad(args []string, out io.Writer) error {
 	} else {
 		fmt.Fprintln(out, ", 2048 requests")
 	}
-	res, err := loadgen.Run(context.Background(), cfg)
+	// Bracket the run with /metrics scrapes so the final report lines the
+	// client-side view up with what the server says it shed and held. A
+	// target without /metrics degrades gracefully: the section is skipped.
+	ctx := context.Background()
+	scrapeClient := &http.Client{Timeout: *timeout}
+	metricsURL := strings.TrimSuffix(*url, "/") + "/metrics"
+	before, scrapeErr := loadgen.ScrapeMetrics(ctx, scrapeClient, metricsURL)
+
+	res, err := loadgen.Run(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	res.WriteReport(out)
+	if scrapeErr == nil {
+		after, err := loadgen.ScrapeMetrics(ctx, scrapeClient, metricsURL)
+		if err != nil {
+			scrapeErr = err
+		} else {
+			loadgen.DiffServerMetrics(before, after).WriteReport(out)
+		}
+	}
+	if scrapeErr != nil {
+		fmt.Fprintf(out, "server:      telemetry unavailable (%v)\n", scrapeErr)
+	}
 	if res.Total == 0 && res.Errors > 0 {
 		return fmt.Errorf("load: no request completed (%d transport errors) — is the server up?", res.Errors)
 	}

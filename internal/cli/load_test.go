@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -31,6 +32,64 @@ func TestLoadCommandReportsAgainstLiveServer(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("load report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestLoadCommandReportsServerDeltas pairs the client-side report with the
+// server's own /metrics story: requests observed, shed counts and session
+// churn across the run.
+func TestLoadCommandReportsServerDeltas(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			fmt.Fprintf(w, "http_requests_total %d\n", n.Load())
+			fmt.Fprintf(w, "http_requests_shed_total{reason=\"rate\"} %d\n", n.Load()/4)
+			fmt.Fprintln(w, "webapp_sessions_created_total 2")
+			fmt.Fprintln(w, "webapp_sessions_active 1")
+			fmt.Fprintln(w, "http_inflight_requests 0")
+			return
+		}
+		n.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	out, err := run(t, "load", "-url", srv.URL, "-c", "2", "-n", "40")
+	if err != nil {
+		t.Fatalf("load: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"server:      40 requests observed, 10 shed (rate 10)",
+		"sessions:    0 created during the run, 1 active after",
+		"inflight:    0 still in flight",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("load report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLoadCommandWithoutMetricsDegrades: a target with no /metrics still
+// gets a full client-side report plus a note that telemetry was absent.
+func TestLoadCommandWithoutMetricsDegrades(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	out, err := run(t, "load", "-url", srv.URL, "-c", "2", "-n", "16")
+	if err != nil {
+		t.Fatalf("load: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "throughput:") {
+		t.Errorf("client report missing:\n%s", out)
+	}
+	if !strings.Contains(out, "telemetry unavailable") {
+		t.Errorf("missing telemetry note:\n%s", out)
 	}
 }
 

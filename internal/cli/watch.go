@@ -1,0 +1,148 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"github.com/modeldriven/dqwebre/internal/obs"
+)
+
+// cmdWatch polls a live server's /debug/quality endpoint and renders a
+// refreshing per-characteristic score/trend table — `top` for data
+// quality. It is the operator-facing face of the windowed series layer:
+// where /metrics feeds a scrape pipeline, watch answers "is Completeness
+// for reviewers degrading right now?" straight in the terminal.
+func cmdWatch(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	url := fs.String("url", "http://localhost:8080", "target base URL")
+	every := fs.Duration("every", 2*time.Second, "poll interval")
+	count := fs.Int("n", 0, "number of refreshes (0 = until interrupted)")
+	plain := fs.Bool("plain", false, "no screen clearing between refreshes (for logs and pipes)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-poll request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("watch takes no positional arguments")
+	}
+	if *every <= 0 {
+		return fmt.Errorf("-every must be positive")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := &http.Client{Timeout: *timeout}
+	endpoint := strings.TrimSuffix(*url, "/") + "/debug/quality"
+
+	for i := 0; ; i++ {
+		rep, err := fetchQuality(ctx, client, endpoint)
+		if !*plain {
+			fmt.Fprint(out, "\033[2J\033[H") // clear screen, home cursor
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			fmt.Fprintf(out, "watch: %v\n", err)
+		} else {
+			renderQuality(out, *url, rep)
+		}
+		if *count > 0 && i+1 >= *count {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*every):
+		}
+	}
+}
+
+// fetchQuality GETs and decodes one /debug/quality payload.
+func fetchQuality(ctx context.Context, client *http.Client, endpoint string) (*obs.SeriesReport, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", endpoint, resp.Status)
+	}
+	var rep obs.SeriesReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", endpoint, err)
+	}
+	return &rep, nil
+}
+
+// renderQuality writes one refresh of the score/trend table.
+func renderQuality(out io.Writer, url string, rep *obs.SeriesReport) {
+	fmt.Fprintf(out, "%s — %s @ %s\n\n", rep.Name, url, time.Now().Format("15:04:05"))
+	if len(rep.Series) == 0 {
+		fmt.Fprintln(out, "no quality series yet — submit data to populate the windows")
+		return
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CHARACTERISTIC\tCONTEXT\tCHECKS\tFAIL\tSCORE\tDELTA\tEWMA\tTREND")
+	for _, s := range sortedSeries(rep.Series) {
+		checks, fails, score := "-", "-", "-"
+		if s.Current != nil {
+			checks = fmt.Sprintf("%d", s.Current.Count)
+			fails = fmt.Sprintf("%d", s.Current.Failures)
+			score = fmt.Sprintf("%.3f", s.Current.Mean)
+		}
+		delta, ewma := "-", "-"
+		if s.Delta != nil {
+			delta = fmt.Sprintf("%+.3f", *s.Delta)
+		}
+		if s.EWMA != nil {
+			ewma = fmt.Sprintf("%.3f", *s.EWMA)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			s.Labels["characteristic"], s.Labels["context"],
+			checks, fails, score, delta, ewma, trendArrow(s.Delta))
+	}
+	tw.Flush()
+}
+
+// sortedSeries orders by characteristic then context for a stable table.
+func sortedSeries(series []obs.SeriesSnapshot) []obs.SeriesSnapshot {
+	out := append([]obs.SeriesSnapshot(nil), series...)
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i].Labels["characteristic"], out[j].Labels["characteristic"]; a != b {
+			return a < b
+		}
+		return out[i].Labels["context"] < out[j].Labels["context"]
+	})
+	return out
+}
+
+// trendArrow compresses the delta into a glance: improving, degrading, or
+// flat (within ±0.005).
+func trendArrow(delta *float64) string {
+	switch {
+	case delta == nil:
+		return ""
+	case *delta > 0.005:
+		return "up"
+	case *delta < -0.005:
+		return "DOWN"
+	default:
+		return "flat"
+	}
+}

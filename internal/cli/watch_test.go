@@ -1,0 +1,149 @@
+package cli
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/modeldriven/dqwebre/internal/obs"
+)
+
+// qualityServer serves a canned /debug/quality payload, counting polls.
+func qualityServer(t *testing.T, rep obs.SeriesReport) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var polls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/quality" {
+			http.NotFound(w, r)
+			return
+		}
+		polls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &polls
+}
+
+func TestWatchRendersQualityTable(t *testing.T) {
+	cur := obs.Window{Count: 40, Failures: 2, Mean: 0.95}
+	delta := -0.03
+	ewma := 0.96
+	srv, polls := qualityServer(t, obs.SeriesReport{
+		Name: "dq_score",
+		Series: []obs.SeriesSnapshot{
+			{
+				Labels:  obs.Labels{"characteristic": "Precision", "context": "pc"},
+				Current: &cur, Delta: &delta, EWMA: &ewma,
+			},
+			{
+				Labels: obs.Labels{"characteristic": "Completeness", "context": "chair"},
+			},
+		},
+	})
+
+	out, err := run(t, "watch", "-url", srv.URL, "-n", "2", "-every", "10ms", "-plain")
+	if err != nil {
+		t.Fatalf("watch: %v\n%s", err, out)
+	}
+	if got := polls.Load(); got != 2 {
+		t.Errorf("polled %d times, want 2 (-n 2)", got)
+	}
+	for _, want := range []string{
+		"CHARACTERISTIC", "CONTEXT", "SCORE", "DELTA", "EWMA", "TREND",
+		"Precision", "pc", "0.950", "-0.030", "0.960", "DOWN",
+		"Completeness", "chair",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+	// The series without a current window renders placeholders, and the
+	// table is sorted: Completeness before Precision.
+	if strings.Index(out, "Completeness") > strings.Index(out, "Precision") {
+		t.Errorf("table not sorted by characteristic:\n%s", out)
+	}
+	if strings.Contains(out, "\033[2J") {
+		t.Errorf("-plain must not clear the screen:\n%q", out)
+	}
+}
+
+func TestWatchEmptyReport(t *testing.T) {
+	srv, _ := qualityServer(t, obs.SeriesReport{Name: "dq_score"})
+	out, err := run(t, "watch", "-url", srv.URL, "-n", "1", "-plain")
+	if err != nil {
+		t.Fatalf("watch: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "no quality series yet") {
+		t.Errorf("empty report should explain itself:\n%s", out)
+	}
+}
+
+func TestWatchServerDown(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+	// One poll against a dead server: the error is printed and returned.
+	out, err := run(t, "watch", "-url", url, "-n", "1", "-plain")
+	if err == nil {
+		t.Fatalf("watch against a dead server should error:\n%s", out)
+	}
+	if !strings.Contains(out, "watch:") {
+		t.Errorf("error not surfaced in output:\n%s", out)
+	}
+}
+
+func TestWatchFlagValidation(t *testing.T) {
+	if _, err := run(t, "watch", "extra"); err == nil {
+		t.Fatal("positional args accepted")
+	}
+	if _, err := run(t, "watch", "-every", "0s"); err == nil {
+		t.Fatal("non-positive -every accepted")
+	}
+}
+
+func TestTraceOutWritesChromeTrace(t *testing.T) {
+	path := demoModelFile(t)
+	outFile := filepath.Join(t.TempDir(), "trace.json")
+	out, err := run(t, "trace", "-out", outFile, path)
+	if err != nil {
+		t.Fatalf("trace -out: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, outFile) || !strings.Contains(out, "perfetto") {
+		t.Errorf("trace -out should say where the artifact went:\n%s", out)
+	}
+
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			Dur   float64 `json:"dur"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("artifact is not valid trace JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		names[ev.Name] = true
+		if ev.Phase != "X" {
+			t.Errorf("event %s: ph = %q, want X", ev.Name, ev.Phase)
+		}
+	}
+	for _, want := range []string{"pipeline", "load", "transform.DQR2DQSR", "enforcer.check_input"} {
+		if !names[want] {
+			t.Errorf("trace artifact missing span %q (has %v)", want, names)
+		}
+	}
+}

@@ -33,6 +33,7 @@ type charAgg struct {
 	checks    int64
 	passed    int64
 	minScore  float64
+	maxScore  float64
 	sumScore  float64
 	exemplars []Exemplar
 }
@@ -80,6 +81,9 @@ func (s *shard) observe(ordinal int64, rep *dqruntime.Report, maxExemplars int) 
 		if res.Score < ca.minScore {
 			ca.minScore = res.Score
 		}
+		if res.Score > ca.maxScore {
+			ca.maxScore = res.Score
+		}
 		if res.Passed {
 			ca.passed++
 			continue
@@ -119,9 +123,14 @@ type CharacteristicStats struct {
 	// Checks counts check executions; Passed counts the passing ones.
 	Checks int64 `json:"checks"`
 	Passed int64 `json:"passed"`
-	// MinScore is the worst score seen; MeanScore the average.
+	// MinScore/MaxScore bound the scores seen; MeanScore is the average.
 	MinScore  float64 `json:"min_score"`
+	MaxScore  float64 `json:"max_score"`
 	MeanScore float64 `json:"mean_score"`
+	// SumScore is the raw score total behind MeanScore, kept so downstream
+	// aggregation (the windowed quality series) merges exactly instead of
+	// re-multiplying a rounded mean.
+	SumScore float64 `json:"-"`
 	// Exemplars are retained failures, capped per characteristic.
 	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
@@ -143,6 +152,9 @@ func mergeShards(shards []*shard, maxExemplars int) (stats []CharacteristicStats
 			if ca.minScore < m.minScore {
 				m.minScore = ca.minScore
 			}
+			if ca.maxScore > m.maxScore {
+				m.maxScore = ca.maxScore
+			}
 			for _, ex := range ca.exemplars {
 				if len(m.exemplars) < maxExemplars {
 					m.exemplars = append(m.exemplars, ex)
@@ -157,6 +169,8 @@ func mergeShards(shards []*shard, maxExemplars int) (stats []CharacteristicStats
 			Checks:         m.checks,
 			Passed:         m.passed,
 			MinScore:       m.minScore,
+			MaxScore:       m.maxScore,
+			SumScore:       m.sumScore,
 			Exemplars:      m.exemplars,
 		}
 		if m.checks > 0 {

@@ -124,16 +124,28 @@ func BenchmarkBatchParallel2(b *testing.B) { benchParallel(b, 2) }
 func BenchmarkBatchParallel4(b *testing.B) { benchParallel(b, 4) }
 func BenchmarkBatchParallel8(b *testing.B) { benchParallel(b, 8) }
 
+// BenchmarkBatchAttributed8 is BenchmarkBatchParallel8 with quality
+// attribution switched on: the merged per-characteristic stats also land
+// in a windowed SeriesSet after the shard merge. scripts/bench.sh compares
+// the two into BENCH_obs.json — attribution happens once per
+// characteristic per run, not per record, so the overhead should be noise.
+func BenchmarkBatchAttributed8(b *testing.B) {
+	quality := obs.NewSeriesSet(time.Minute, 60)
+	benchParallelOpts(b, Options{Workers: 8, Quality: quality, Context: "bench"})
+}
+
 func benchParallel(b *testing.B, workers int) {
+	benchParallelOpts(b, Options{Workers: workers})
+}
+
+func benchParallelOpts(b *testing.B, opts Options) {
 	v := benchValidator(b)
 	recs := benchDataset()
-	reg := obs.NewRegistry()
+	opts.Registry = obs.NewRegistry()
 	var last *Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Run(context.Background(), v, NewSliceSource(recs), Options{
-			Workers: workers, Registry: reg,
-		})
+		res, err := Run(context.Background(), v, NewSliceSource(recs), opts)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -38,6 +38,16 @@ type Options struct {
 	// Registry receives dqbatch_records_total{outcome} and
 	// dqbatch_batch_seconds; nil means obs.Default().
 	Registry *obs.Registry
+	// Quality, when non-nil, receives the batch's merged per-characteristic
+	// attribution: after the shards reduce, each characteristic's exact
+	// count/failure/sum/min/max block is folded into the series labeled
+	// {characteristic, context} in one Merge call. The shards never touch
+	// the shared set, so the hot path is unchanged and the race-tested
+	// exact aggregation stays exact.
+	Quality *obs.SeriesSet
+	// Context labels the Quality series (dataset, tenant, pipeline stage);
+	// empty means "batch".
+	Context string
 }
 
 // Result summarizes one batch run. All scores and latencies are merged
@@ -258,6 +268,20 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 	sort.Float64s(samples)
 	res.LatencyP50 = percentile(samples, 50)
 	res.LatencyP99 = percentile(samples, 99)
+
+	if opts.Quality != nil {
+		ctxLabel := opts.Context
+		if ctxLabel == "" {
+			ctxLabel = "batch"
+		}
+		for _, cs := range res.Characteristics {
+			opts.Quality.Series(obs.Labels{
+				"characteristic": string(cs.Characteristic),
+				"context":        ctxLabel,
+			}).Merge(uint64(cs.Checks), uint64(cs.Checks-cs.Passed),
+				cs.SumScore, cs.MinScore, cs.MaxScore)
+		}
+	}
 
 	span.SetAttr("records", int(res.Records))
 	span.SetAttr("workers", workers)

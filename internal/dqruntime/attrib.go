@@ -1,0 +1,106 @@
+package dqruntime
+
+import (
+	"sync"
+
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/obs"
+)
+
+// Check-level attribution: where the Instrument counters answer "how many
+// checks failed?", the observer hook answers "which check, for which
+// characteristic, in which context, how slowly, and how is it trending?".
+// An Enforcer with an attached CheckObserver reports every check
+// execution — outcome, score and latency, tagged with an optional context
+// label such as the submitting user's role — and SeriesObserver routes
+// those into the windowed obs.Series layer that /metrics and
+// /debug/quality expose.
+
+// CheckObservation is one check execution as seen by an observer.
+type CheckObservation struct {
+	// Check is the check's name (e.g. "check_precision"); Characteristic
+	// the ISO/IEC 25012 characteristic it measures.
+	Check          string
+	Characteristic iso25012.Characteristic
+	// Context is the caller-supplied attribution label (user role,
+	// workflow stage, dataset name); "" when the caller passed none.
+	Context string
+	// Score is the measured level in [0, 1]; Passed the outcome.
+	Score  float64
+	Passed bool
+	// Seconds is the check's execution latency.
+	Seconds float64
+}
+
+// CheckObserver receives one call per executed check. Implementations
+// must be safe for concurrent use: a served application validates from
+// many request goroutines.
+type CheckObserver interface {
+	ObserveCheck(CheckObservation)
+}
+
+// SeriesObserver is the stock CheckObserver: it feeds per-characteristic
+// score series (labels characteristic + context) in a SeriesSet, and,
+// when given a registry, a dq_check_seconds latency histogram per check.
+// Series and histogram handles are cached after first resolution, so the
+// steady-state cost per check is one map read under RLock plus the
+// series/histogram update.
+type SeriesObserver struct {
+	scores *obs.SeriesSet
+	reg    *obs.Registry
+
+	mu     sync.RWMutex
+	series map[string]*obs.Series    // characteristic + "\x00" + context
+	lat    map[string]*obs.Histogram // check name
+}
+
+// checkBuckets bound dq_check_seconds: single checks run in the
+// micro-to-millisecond range.
+var checkBuckets = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1,
+}
+
+// NewSeriesObserver builds an observer feeding scores; reg may be nil to
+// skip latency histograms.
+func NewSeriesObserver(scores *obs.SeriesSet, reg *obs.Registry) *SeriesObserver {
+	return &SeriesObserver{
+		scores: scores,
+		reg:    reg,
+		series: make(map[string]*obs.Series),
+		lat:    make(map[string]*obs.Histogram),
+	}
+}
+
+// ObserveCheck implements CheckObserver.
+func (o *SeriesObserver) ObserveCheck(co CheckObservation) {
+	key := string(co.Characteristic) + "\x00" + co.Context
+	o.mu.RLock()
+	s := o.series[key]
+	h := o.lat[co.Check]
+	o.mu.RUnlock()
+	if s == nil || (h == nil && o.reg != nil) {
+		o.mu.Lock()
+		if s = o.series[key]; s == nil {
+			s = o.scores.Series(obs.Labels{
+				"characteristic": string(co.Characteristic),
+				"context":        co.Context,
+			})
+			o.series[key] = s
+		}
+		if h = o.lat[co.Check]; h == nil && o.reg != nil {
+			h = o.reg.Histogram("dq_check_seconds",
+				"DQ check execution latency in seconds, by check",
+				checkBuckets, obs.Labels{"check": co.Check})
+			o.lat[co.Check] = h
+		}
+		o.mu.Unlock()
+	}
+	s.ObserveOutcome(co.Score, !co.Passed)
+	if h != nil {
+		h.Observe(co.Seconds)
+	}
+}
+
+// Scores exposes the underlying score series set (for export and debug
+// endpoints).
+func (o *SeriesObserver) Scores() *obs.SeriesSet { return o.scores }

@@ -1,0 +1,188 @@
+package dqruntime_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	. "github.com/modeldriven/dqwebre/internal/dqruntime"
+	"github.com/modeldriven/dqwebre/internal/iso25012"
+	"github.com/modeldriven/dqwebre/internal/obs"
+)
+
+// recordingObserver captures every observation for assertion.
+type recordingObserver struct {
+	mu  sync.Mutex
+	obs []CheckObservation
+}
+
+func (r *recordingObserver) ObserveCheck(co CheckObservation) {
+	r.mu.Lock()
+	r.obs = append(r.obs, co)
+	r.mu.Unlock()
+}
+
+func caseStudyRecord() Record {
+	return Record{
+		"first_name":          "Grace",
+		"last_name":           "Hopper",
+		"email_address":       "grace@navy.mil",
+		"overall_evaluation":  "2",
+		"reviewer_confidence": "3",
+	}
+}
+
+func TestCheckInputLabeledReportsEveryCheck(t *testing.T) {
+	enf := buildEnforcer(t)
+	rec := &recordingObserver{}
+	enf.AttachObserver(rec)
+
+	bad := caseStudyRecord()
+	bad["overall_evaluation"] = "7"
+	rep := enf.CheckInputLabeled(context.Background(), bad, "pc")
+
+	if len(rec.obs) != len(rep.Results) {
+		t.Fatalf("observed %d checks, report has %d", len(rec.obs), len(rep.Results))
+	}
+	var failures int
+	for i, co := range rec.obs {
+		res := rep.Results[i]
+		if co.Check != res.Check || co.Characteristic != res.Characteristic ||
+			co.Score != res.Score || co.Passed != res.Passed {
+			t.Errorf("observation %d = %+v does not match result %+v", i, co, res)
+		}
+		if co.Context != "pc" {
+			t.Errorf("observation %d context = %q, want pc", i, co.Context)
+		}
+		if co.Seconds < 0 {
+			t.Errorf("observation %d has negative latency %g", i, co.Seconds)
+		}
+		if !co.Passed {
+			failures++
+		}
+	}
+	if failures != 1 {
+		t.Errorf("observed %d failures, want 1 (the out-of-range evaluation)", failures)
+	}
+
+	// The observed path must produce the same report as the plain path.
+	plain := buildEnforcer(t).CheckInput(bad)
+	if len(plain.Results) != len(rep.Results) || plain.Passed() != rep.Passed() {
+		t.Errorf("observed report diverges from plain: %+v vs %+v", rep, plain)
+	}
+
+	// Detaching stops the flow without breaking validation.
+	enf.AttachObserver(nil)
+	before := len(rec.obs)
+	if rep := enf.CheckInput(caseStudyRecord()); !rep.Passed() {
+		t.Fatal("validation broken after detach")
+	}
+	if len(rec.obs) != before {
+		t.Error("detached observer still receiving observations")
+	}
+}
+
+func TestSeriesObserverFeedsScoresAndLatency(t *testing.T) {
+	enf := buildEnforcer(t)
+	set := obs.NewSeriesSet(time.Minute, 4)
+	reg := obs.NewRegistry()
+	so := NewSeriesObserver(set, reg)
+	enf.AttachObserver(so)
+	if so.Scores() != set {
+		t.Fatal("Scores accessor does not return the backing set")
+	}
+
+	bad := caseStudyRecord()
+	bad["overall_evaluation"] = "7"
+	enf.CheckInputLabeled(context.Background(), bad, "pc")
+	enf.CheckInputLabeled(context.Background(), caseStudyRecord(), "chair")
+
+	rep := set.Report("dq_score", 0)
+	byKey := map[string]*obs.SeriesSnapshot{}
+	for i := range rep.Series {
+		s := &rep.Series[i]
+		byKey[s.Labels["characteristic"]+"/"+s.Labels["context"]] = s
+	}
+	// The case study enforcer runs 1 completeness + 2 precision checks.
+	precPC := byKey[string(iso25012.Precision)+"/pc"]
+	if precPC == nil || precPC.Current == nil {
+		t.Fatalf("missing Precision/pc series: %v", byKey)
+	}
+	if precPC.Current.Count != 2 || precPC.Current.Failures != 1 {
+		t.Errorf("Precision/pc window = %+v, want 2 checks 1 failure", precPC.Current)
+	}
+	compChair := byKey[string(iso25012.Completeness)+"/chair"]
+	if compChair == nil || compChair.Current == nil || compChair.Current.Failures != 0 {
+		t.Errorf("Completeness/chair series wrong: %+v", compChair)
+	}
+
+	// Latency histograms register per check name.
+	text := reg.PrometheusText()
+	for _, want := range []string{
+		`dq_check_seconds_count{check="check_completeness"} 2`,
+		`dq_check_seconds_count{check="check_precision"} 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("latency exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSeriesObserverNilRegistrySkipsLatency(t *testing.T) {
+	set := obs.NewSeriesSet(time.Minute, 4)
+	so := NewSeriesObserver(set, nil)
+	so.ObserveCheck(CheckObservation{
+		Check:          "check_x",
+		Characteristic: iso25012.Accuracy,
+		Score:          0.5,
+		Passed:         false,
+		Seconds:        0.001,
+	})
+	rep := set.Report("dq_score", 0)
+	if len(rep.Series) != 1 {
+		t.Fatalf("series = %d, want 1", len(rep.Series))
+	}
+	if rep.Series[0].Labels["context"] != "" {
+		t.Errorf("empty context should stay empty, got %q", rep.Series[0].Labels["context"])
+	}
+	if rep.Series[0].Current == nil || rep.Series[0].Current.Failures != 1 {
+		t.Errorf("failure not recorded: %+v", rep.Series[0].Current)
+	}
+}
+
+// TestSeriesObserverConcurrent exercises the handle cache from many
+// goroutines; meaningful under -race.
+func TestSeriesObserverConcurrent(t *testing.T) {
+	set := obs.NewSeriesSet(time.Minute, 4)
+	so := NewSeriesObserver(set, obs.NewRegistry())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctxLabel := []string{"pc", "chair"}[g%2]
+			for i := 0; i < 200; i++ {
+				so.ObserveCheck(CheckObservation{
+					Check:          "check_precision",
+					Characteristic: iso25012.Precision,
+					Context:        ctxLabel,
+					Score:          1,
+					Passed:         true,
+					Seconds:        1e-6,
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for _, s := range set.Report("dq_score", 0).Series {
+		if s.Current != nil {
+			total += s.Current.Count
+		}
+	}
+	if total != 8*200 {
+		t.Errorf("observations lost: %d, want %d", total, 8*200)
+	}
+}

@@ -300,6 +300,25 @@ func (v *Validator) ValidateInto(r Record, rep *Report) {
 	}
 }
 
+// ValidateObserved is ValidateInto with per-check attribution: observe is
+// called once per check with the freshly appended result and the check's
+// execution latency in seconds. It is the instrumented sibling of the
+// batch hot path — callers that need no attribution should keep calling
+// ValidateInto, which pays no clock reads.
+func (v *Validator) ValidateObserved(r Record, rep *Report, observe func(res *CheckResult, seconds float64)) {
+	if observe == nil {
+		v.ValidateInto(r, rep)
+		return
+	}
+	rep.Validator = v.name
+	rep.Results = rep.Results[:0]
+	for _, c := range v.checks {
+		t0 := time.Now()
+		rep.Results = append(rep.Results, c.Apply(r))
+		observe(&rep.Results[len(rep.Results)-1], time.Since(t0).Seconds())
+	}
+}
+
 // Report aggregates check results for one record.
 type Report struct {
 	// Validator is the producing validator's name.

@@ -37,6 +37,9 @@ type Enforcer struct {
 	// increments away from the uninstrumented one instead of a label-map
 	// allocation and registry lookup per check.
 	checkCounters [][2]*obs.Counter
+	// observer, when non-nil, receives check-level attribution (outcome,
+	// score, latency, context label) from CheckInputLabeled; see attrib.go.
+	observer CheckObserver
 }
 
 // RequirementSummary is one DQSR entry as seen by the enforcer.
@@ -312,6 +315,14 @@ func (e *Enforcer) checkCounter(check string, ch iso25012.Characteristic, passed
 		})
 }
 
+// AttachObserver routes check-level attribution (outcome, score, latency,
+// context label) from every CheckInputLabeled call into o. A nil observer
+// detaches; without one the per-check clock reads are skipped entirely.
+func (e *Enforcer) AttachObserver(o CheckObserver) *Enforcer {
+	e.observer = o
+	return e
+}
+
 // CheckInput validates user input against all assembled checks.
 func (e *Enforcer) CheckInput(r Record) *Report {
 	return e.CheckInputContext(context.Background(), r)
@@ -324,8 +335,32 @@ func (e *Enforcer) CheckInput(r Record) *Report {
 // view the DQ measurement substrate (internal/metrics) complements with
 // score time series.
 func (e *Enforcer) CheckInputContext(ctx context.Context, r Record) *Report {
+	return e.CheckInputLabeled(ctx, r, "")
+}
+
+// CheckInputLabeled is CheckInputContext with an attribution context
+// label (a user role, workflow stage, tenant — whatever dimension the
+// deployment wants its quality series broken down by). When an observer
+// is attached every check execution is reported with its outcome, score,
+// latency and the label; without one the path is identical to
+// CheckInputContext.
+func (e *Enforcer) CheckInputLabeled(ctx context.Context, r Record, contextLabel string) *Report {
 	_, span := obs.StartSpan(ctx, "enforcer.check_input")
-	rep := e.validator.Validate(r)
+	rep := &Report{}
+	if e.observer != nil {
+		e.validator.ValidateObserved(r, rep, func(res *CheckResult, seconds float64) {
+			e.observer.ObserveCheck(CheckObservation{
+				Check:          res.Check,
+				Characteristic: res.Characteristic,
+				Context:        contextLabel,
+				Score:          res.Score,
+				Passed:         res.Passed,
+				Seconds:        seconds,
+			})
+		})
+	} else {
+		e.validator.ValidateInto(r, rep)
+	}
 	if e.reg != nil {
 		for i, res := range rep.Results {
 			if i < len(e.checkCounters) {

@@ -1,6 +1,7 @@
 package easychair
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -37,6 +38,11 @@ type App struct {
 	// /metrics (Prometheus text format), tracer backs /debug/spans.
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	// quality is the windowed DQ score series (one series per
+	// characteristic × submitter role), fed by check-level attribution and
+	// served as dq_score/dq_check_failures on /metrics and as JSON with
+	// trends on /debug/quality.
+	quality *obs.SeriesSet
 	// reviewForm is the HTML form generated from the model at startup.
 	reviewForm string
 }
@@ -92,6 +98,11 @@ func NewApp() (*App, error) {
 	// plus an app-owned tracer whose ring buffer backs /debug/spans.
 	reg := obs.Default()
 	enforcer.Instrument(reg)
+	// Windowed quality telemetry: one-minute windows, an hour of history.
+	// The enforcer attributes every check execution (outcome, score,
+	// latency, submitter role) into the set via the stock observer.
+	quality := obs.NewSeriesSet(time.Minute, 60)
+	enforcer.AttachObserver(dqruntime.NewSeriesObserver(quality, reg))
 	app := &App{
 		Router:     webapp.NewRouter(),
 		store:      webapp.NewStore(),
@@ -99,6 +110,7 @@ func NewApp() (*App, error) {
 		collector:  collector,
 		reg:        reg,
 		tracer:     obs.NewTracer(256),
+		quality:    quality,
 		reviewForm: form,
 	}
 	// Metrics outermost so its bookkeeping observes the 500 that Recover
@@ -117,6 +129,10 @@ func (a *App) Registry() *obs.Registry { return a.reg }
 
 // Tracer exposes the request tracer backing /debug/spans.
 func (a *App) Tracer() *obs.Tracer { return a.tracer }
+
+// Quality exposes the windowed DQ score series backing /debug/quality
+// (for tests and diagnostics).
+func (a *App) Quality() *obs.SeriesSet { return a.quality }
 
 // Enforcer exposes the DQ enforcer (for tests and diagnostics).
 func (a *App) Enforcer() *dqruntime.Enforcer { return a.enforcer }
@@ -143,6 +159,7 @@ func (a *App) routes() {
 	r.GET("/metrics", a.handlePrometheus)
 	r.GET("/healthz", a.handleHealthz)
 	r.GET("/debug/spans", a.handleSpans)
+	r.GET("/debug/quality", a.handleQuality)
 }
 
 // observe records a validation report's scores into the measurement
@@ -291,7 +308,7 @@ func (a *App) handleAddReview(c *webapp.Context) {
 	for _, f := range ReviewFields {
 		record[f] = c.FormValue(f)
 	}
-	report := a.enforcer.CheckInputContext(c.R.Context(), record)
+	report := a.enforcer.CheckInputLabeled(c.R.Context(), record, roleLabel(c))
 	a.observe(report, "papers/"+c.Param("id"))
 	if !report.Passed() {
 		var b strings.Builder
@@ -373,7 +390,7 @@ func (a *App) handleEditReview(c *webapp.Context) {
 		}
 		record[f] = v
 	}
-	report := a.enforcer.CheckInputContext(c.R.Context(), record)
+	report := a.enforcer.CheckInputLabeled(c.R.Context(), record, roleLabel(c))
 	a.observe(report, "reviews/"+c.Param("id"))
 	if !report.Passed() {
 		var b strings.Builder
@@ -481,9 +498,38 @@ func (a *App) handleViolations(c *webapp.Context) {
 // of the DQ measurement collector.
 func (a *App) handlePrometheus(c *webapp.Context) {
 	a.collector.Export(a.reg)
+	a.quality.Export(a.reg,
+		"dq_score", "Windowed mean DQ check score, by characteristic, context and window",
+		"dq_check_failures", "Windowed DQ check failure count, by characteristic, context and window")
 	c.W.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	c.W.WriteHeader(http.StatusOK)
 	_ = a.reg.WritePrometheus(c.W)
+}
+
+// handleQuality serves the windowed quality series as JSON: for every
+// characteristic × context one entry with its retained windows, the
+// current window and the Delta/EWMA trends — the machine-readable answer
+// to "is Completeness for reviewers degrading?", consumed by
+// `dqwebre watch`.
+func (a *App) handleQuality(c *webapp.Context) {
+	data, err := json.MarshalIndent(a.quality.Report("dq_score", 0), "", "  ")
+	if err != nil {
+		c.Text(http.StatusInternalServerError, "quality report: %v\n", err)
+		return
+	}
+	c.W.Header().Set("Content-Type", "application/json; charset=utf-8")
+	c.W.WriteHeader(http.StatusOK)
+	_, _ = c.W.Write(append(data, '\n'))
+}
+
+// roleLabel is the attribution context for quality series: the session's
+// role, or "unspecified" for role-less logins, so every observation lands
+// in a well-defined series.
+func roleLabel(c *webapp.Context) string {
+	if role := c.Session.Get("role"); role != "" {
+		return role
+	}
+	return "unspecified"
 }
 
 // handleHealthz is a liveness/readiness probe: the pipeline assembled at

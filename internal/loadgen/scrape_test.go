@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP http_requests_total Total HTTP requests
+# TYPE http_requests_total counter
+http_requests_total{method="GET",path="/",status="200"} 90
+http_requests_total{method="POST",path="/papers",status="201"} 10
+# TYPE http_requests_shed_total counter
+http_requests_shed_total{reason="concurrency"} 5
+http_requests_shed_total{reason="rate"} 2
+webapp_sessions_active 3
+webapp_sessions_created_total 4
+http_inflight_requests 1
+weird_label{msg="has spaces in it"} 7
+malformed_line_without_value
+not_a_number{x="y"} oops
+`
+
+func TestParseMetrics(t *testing.T) {
+	snap, err := ParseMetrics(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]float64{
+		`http_requests_total{method="GET",path="/",status="200"}`: 90,
+		`http_requests_shed_total{reason="rate"}`:                 2,
+		`webapp_sessions_active`:                                  3,
+		`weird_label{msg="has spaces in it"}`:                     7,
+	}
+	for key, want := range cases {
+		if got := snap[key]; got != want {
+			t.Errorf("%s = %g, want %g", key, got, want)
+		}
+	}
+	// Comment, malformed and unparseable lines are skipped, not fatal.
+	if _, ok := snap["malformed_line_without_value"]; ok {
+		t.Error("malformed line should be skipped")
+	}
+	if _, ok := snap[`not_a_number{x="y"}`]; ok {
+		t.Error("non-numeric value should be skipped")
+	}
+}
+
+func TestFamilySumsSeries(t *testing.T) {
+	snap, err := ParseMetrics(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Family("http_requests_total"); got != 100 {
+		t.Errorf("http_requests_total family = %g, want 100", got)
+	}
+	if got := snap.Family("webapp_sessions_active"); got != 3 {
+		t.Errorf("bare-name family = %g, want 3", got)
+	}
+	// A name that is a prefix of another must not absorb its series.
+	if got := snap.Family("http_requests"); got != 0 {
+		t.Errorf("prefix name matched %g, want 0", got)
+	}
+}
+
+func TestDiffServerMetrics(t *testing.T) {
+	before, _ := ParseMetrics(strings.NewReader(`http_requests_total 100
+http_requests_shed_total{reason="concurrency"} 5
+webapp_sessions_created_total 2
+`))
+	after, _ := ParseMetrics(strings.NewReader(`http_requests_total 180
+http_requests_shed_total{reason="concurrency"} 9
+http_requests_shed_total{reason="rate"} 3
+webapp_sessions_created_total 6
+webapp_sessions_active 4
+http_inflight_requests 2
+`))
+	d := DiffServerMetrics(before, after)
+	if d.Requests != 80 {
+		t.Errorf("requests delta = %g, want 80", d.Requests)
+	}
+	if d.Shed["concurrency"] != 4 || d.Shed["rate"] != 3 || d.ShedTotal != 7 {
+		t.Errorf("shed = %+v total %g, want concurrency 4, rate 3, total 7", d.Shed, d.ShedTotal)
+	}
+	if d.SessionsCreated != 4 || d.SessionsActive != 4 || d.Inflight != 2 {
+		t.Errorf("sessions/inflight = %+v", d)
+	}
+
+	var b strings.Builder
+	d.WriteReport(&b)
+	out := b.String()
+	for _, want := range []string{
+		"server:      80 requests observed, 7 shed (concurrency 4, rate 3)",
+		"sessions:    4 created during the run, 4 active after",
+		"inflight:    2 still in flight at final scrape",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScrapeMetrics(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("up 1\n"))
+	}))
+	defer srv.Close()
+
+	snap, err := ScrapeMetrics(context.Background(), nil, srv.URL+"/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap["up"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	// Non-200 responses are an error, not an empty snapshot.
+	if _, err := ScrapeMetrics(context.Background(), nil, srv.URL+"/nope"); err == nil {
+		t.Error("404 scrape should error")
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event export: renders span trees in the Trace Event JSON
+// format that chrome://tracing, Perfetto and speedscope load, so a
+// pipeline trace becomes a shareable artifact instead of terminal output.
+// Only the small stable subset is emitted: complete events ("ph":"X")
+// with microsecond timestamps and durations, one thread lane per root
+// span.
+
+// chromeEvent is one complete ("X") event of the Trace Event format.
+type chromeEvent struct {
+	Name string `json:"name"`
+	// Phase is always "X": a complete event with an explicit duration.
+	Phase string `json:"ph"`
+	// TS and Dur are in microseconds, per the format.
+	TS  float64 `json:"ts"`
+	Dur float64 `json:"dur"`
+	// PID/TID place the event in a process/thread lane; each root span
+	// gets its own lane so overlapping requests don't interleave.
+	PID int `json:"pid"`
+	TID int `json:"tid"`
+	// Args carries the span's attributes and error, if any.
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container form of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// appendChromeEvents flattens one span snapshot tree into events on lane
+// tid.
+func appendChromeEvents(events []chromeEvent, snap Snapshot, tid int) []chromeEvent {
+	ev := chromeEvent{
+		Name:  snap.Name,
+		Phase: "X",
+		TS:    float64(snap.Start.UnixNano()) / 1e3,
+		Dur:   snap.DurationMS * 1e3,
+		PID:   1,
+		TID:   tid,
+	}
+	if len(snap.Attrs) > 0 || snap.Error != "" {
+		ev.Args = make(map[string]string, len(snap.Attrs)+1)
+		for _, a := range snap.Attrs {
+			ev.Args[a.Key] = a.Value
+		}
+		if snap.Error != "" {
+			ev.Args["error"] = snap.Error
+		}
+	}
+	events = append(events, ev)
+	for _, c := range snap.Children {
+		events = appendChromeEvents(events, c, tid)
+	}
+	return events
+}
+
+// WriteChromeTrace renders the given span trees (typically
+// Tracer.Finished()) as Chrome trace-event JSON. Nil spans are skipped;
+// the output is indented so the artifact diffs readably.
+func WriteChromeTrace(w io.Writer, spans []*Span) error {
+	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	tid := 0
+	for _, s := range spans {
+		if s == nil {
+			continue
+		}
+		tid++
+		trace.TraceEvents = appendChromeEvents(trace.TraceEvents, s.Snapshot(), tid)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(trace)
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetClock(fakeClock(time.Millisecond))
+
+	ctx, root := tr.Start(context.Background(), "pipeline")
+	root.SetAttr("model", "easychair")
+	_, child := StartSpan(ctx, "validate")
+	child.Fail(errors.New("boom"))
+	child.End()
+	root.End()
+
+	_, other := tr.Start(context.Background(), "load")
+	other.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Finished()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+
+	var trace struct {
+		TraceEvents []struct {
+			Name  string            `json:"name"`
+			Phase string            `json:"ph"`
+			TS    float64           `json:"ts"`
+			Dur   float64           `json:"dur"`
+			PID   int               `json:"pid"`
+			TID   int               `json:"tid"`
+			Args  map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", trace.DisplayTimeUnit)
+	}
+	if len(trace.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(trace.TraceEvents))
+	}
+
+	byName := map[string]int{}
+	for i, ev := range trace.TraceEvents {
+		byName[ev.Name] = i
+		if ev.Phase != "X" {
+			t.Errorf("%s: ph = %q, want X", ev.Name, ev.Phase)
+		}
+		if ev.PID != 1 {
+			t.Errorf("%s: pid = %d, want 1", ev.Name, ev.PID)
+		}
+		if ev.Dur <= 0 {
+			t.Errorf("%s: dur = %g, want > 0", ev.Name, ev.Dur)
+		}
+	}
+	pipeline := trace.TraceEvents[byName["pipeline"]]
+	validate := trace.TraceEvents[byName["validate"]]
+	load := trace.TraceEvents[byName["load"]]
+
+	// Each root span tree gets its own thread lane; children share the
+	// root's lane.
+	if pipeline.TID != validate.TID {
+		t.Errorf("child lane %d != root lane %d", validate.TID, pipeline.TID)
+	}
+	if load.TID == pipeline.TID {
+		t.Error("separate roots must not share a lane")
+	}
+	if pipeline.Args["model"] != "easychair" {
+		t.Errorf("attrs not carried: %v", pipeline.Args)
+	}
+	if validate.Args["error"] != "boom" {
+		t.Errorf("error not carried: %v", validate.Args)
+	}
+	// The child starts within the parent's extent (ts in microseconds).
+	if validate.TS < pipeline.TS {
+		t.Errorf("child ts %g before parent ts %g", validate.TS, pipeline.TS)
+	}
+}
+
+func TestWriteChromeTraceEmptyAndNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []*Span{nil, nil}); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var trace map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// traceEvents must be [] (not null) so viewers accept the file.
+	if string(trace["traceEvents"]) != "[]" {
+		t.Errorf("traceEvents = %s, want []", trace["traceEvents"])
+	}
+}

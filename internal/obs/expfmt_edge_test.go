@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Edge cases of the exposition path that the golden test does not reach:
+// hostile label values, non-finite histogram observations, and the
+// first-caller-wins bucket contract. These pin behavior so a scraper-side
+// parser (internal/loadgen) and the exposition agree on the corners.
+
+func TestLabelEscapingEdgeCases(t *testing.T) {
+	reg := NewRegistry()
+	cases := []struct {
+		value string
+		want  string
+	}{
+		{`back\slash`, `path{p="back\\slash"} 1`},
+		{`say "hi"`, `path{p="say \"hi\""} 1`},
+		{"two\nlines", `path{p="two\nlines"} 1`},
+		{`all\"of` + "\nthem", `path{p="all\\\"of\nthem"} 1`},
+		{"tab\tand unicode é", "path{p=\"tab\tand unicode é\"} 1"}, // passed through verbatim
+	}
+	for _, c := range cases {
+		reg.Counter("path", "", Labels{"p": c.value}).Inc()
+	}
+	text := reg.PrometheusText()
+	for _, c := range cases {
+		if !strings.Contains(text, c.want) {
+			t.Errorf("exposition missing %q for raw value %q:\n%s", c.want, c.value, text)
+		}
+	}
+
+	// Escaping must keep distinct raw values distinct: a literal backslash-n
+	// and a real newline are different series.
+	reg2 := NewRegistry()
+	a := reg2.Counter("x", "", Labels{"v": `lit\n`})
+	b := reg2.Counter("x", "", Labels{"v": "real\n"})
+	if a == b {
+		t.Error(`label values 'lit\n' and "real\n" collapsed into one series`)
+	}
+}
+
+func TestHistogramObserveNonFinite(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "", []float64{1, 2}, nil)
+
+	h.Observe(math.Inf(1)) // lands in the implicit +Inf bucket
+	if got := h.Count(); got != 1 {
+		t.Fatalf("count after +Inf = %d, want 1", got)
+	}
+	text := reg.PrometheusText()
+	if !strings.Contains(text, `lat_bucket{le="1"} 0`) ||
+		!strings.Contains(text, `lat_bucket{le="+Inf"} 1`) {
+		t.Errorf("+Inf observation not confined to the +Inf bucket:\n%s", text)
+	}
+	if !strings.Contains(text, "lat_sum +Inf") {
+		t.Errorf("sum should render +Inf:\n%s", text)
+	}
+
+	h.Observe(math.Inf(-1)) // sorts below every bound: first bucket
+	text = reg.PrometheusText()
+	if !strings.Contains(text, `lat_bucket{le="1"} 1`) {
+		t.Errorf("-Inf observation should land in the first bucket:\n%s", text)
+	}
+	// +Inf + -Inf = NaN; the exposition must render it, not panic or
+	// produce invalid output.
+	if !strings.Contains(text, "lat_sum NaN") {
+		t.Errorf("sum of opposing infinities should render NaN:\n%s", text)
+	}
+
+	h2 := reg.Histogram("lat2", "", []float64{1, 2}, nil)
+	h2.Observe(math.NaN()) // compares false against every bound: +Inf bucket
+	text = reg.PrometheusText()
+	if !strings.Contains(text, `lat2_bucket{le="2"} 0`) ||
+		!strings.Contains(text, `lat2_bucket{le="+Inf"} 1`) {
+		t.Errorf("NaN observation should land in the +Inf bucket:\n%s", text)
+	}
+	if !strings.Contains(text, "lat2_sum NaN") {
+		t.Errorf("NaN observation should poison the sum to NaN:\n%s", text)
+	}
+	if !strings.Contains(text, "lat2_count 1") {
+		t.Errorf("NaN observation must still be counted:\n%s", text)
+	}
+}
+
+func TestHistogramFirstCallerBucketsWin(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("h", "", []float64{1, 2}, Labels{"k": "a"})
+	// A later caller asking for different bounds gets the family's original
+	// bounds — per-family bounds are fixed at first registration.
+	h2 := reg.Histogram("h", "", []float64{5, 10, 20}, Labels{"k": "b"})
+	h2.Observe(4)
+
+	text := reg.PrometheusText()
+	if strings.Contains(text, `le="5"`) || strings.Contains(text, `le="20"`) {
+		t.Errorf("second caller's bucket bounds leaked into the family:\n%s", text)
+	}
+	if !strings.Contains(text, `h_bucket{k="b",le="2"} 0`) ||
+		!strings.Contains(text, `h_bucket{k="b",le="+Inf"} 1`) {
+		t.Errorf("observation not classified against first-caller bounds:\n%s", text)
+	}
+
+	// nil buckets mean DefBuckets, and the first-caller rule applies there
+	// too.
+	reg2 := NewRegistry()
+	reg2.Histogram("d", "", nil, nil)
+	got := reg2.Histogram("d", "", []float64{42}, Labels{"k": "x"})
+	if len(got.upper) != len(DefBuckets) {
+		t.Errorf("family registered with DefBuckets handed out %d bounds, want %d",
+			len(got.upper), len(DefBuckets))
+	}
+}

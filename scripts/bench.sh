@@ -1,12 +1,16 @@
 #!/bin/sh
-# Benchmark harness. Two suites, one JSON data point each per CI run:
+# Benchmark harness. Three suites, one JSON data point each per CI run:
 #   - batch engine (BenchmarkBatchSequential, BenchmarkBatchParallel{2,4,8})
 #     → BENCH_batch.json: records/sec, stride-sampled p50/p99 latency.
 #   - OCL evaluation (BenchmarkEvalInterpreted vs BenchmarkEvalCompiled per
 #     expression shape, plus the end-to-end BenchmarkBatchCompiled)
 #     → BENCH_ocl.json: ns/op, allocs/op and compiled-vs-interpreted
 #     speedup per shape.
-# Usage: scripts/bench.sh [batch-output.json] [ocl-output.json]
+#   - observability overhead (BenchmarkBatchParallel8 vs
+#     BenchmarkBatchAttributed8, run back to back in one process)
+#     → BENCH_obs.json: throughput of the quality-attributed batch path
+#     relative to the uninstrumented one, as an overhead percentage.
+# Usage: scripts/bench.sh [batch-output.json] [ocl-output.json] [obs-output.json]
 # BENCHTIME overrides the go test -benchtime (default 1s).
 set -eu
 
@@ -14,10 +18,12 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_batch.json}"
 oclout="${2:-BENCH_ocl.json}"
+obsout="${3:-BENCH_obs.json}"
 benchtime="${BENCHTIME:-1s}"
 raw="$(mktemp)"
 oclraw="$(mktemp)"
-trap 'rm -f "$raw" "$oclraw"' EXIT
+obsraw="$(mktemp)"
+trap 'rm -f "$raw" "$oclraw" "$obsraw"' EXIT
 
 go test -run '^$' -bench 'BenchmarkBatch(Sequential|Parallel[0-9]+)$' \
 	-benchtime "$benchtime" -count 1 ./internal/dqbatch/ | tee "$raw"
@@ -96,3 +102,43 @@ END {
 }' "$oclraw" > "$oclout"
 
 echo "wrote $oclout"
+
+# Instrumented vs uninstrumented: both in one go test process so they share
+# the same build, CPU state and dataset; the delta is attribution alone.
+# -count 3 with best-of taken below, because on shared machines scheduler
+# noise between two 8-worker runs dwarfs the microseconds of attribution.
+go test -run '^$' -bench 'BenchmarkBatch(Parallel8|Attributed8)$' \
+	-benchtime "$benchtime" -count 3 ./internal/dqbatch/ | tee "$obsraw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^BenchmarkBatch/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+	line = "    {\"name\": \"" name "\", \"iterations\": " $2
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		gsub(/[^A-Za-z0-9_]/, "_", unit)
+		line = line ", \"" unit "\": " $i
+		if (unit == "records_per_sec" && $i > rps[name]) rps[name] = $i
+	}
+	lines[n++] = line "}"
+}
+END {
+	print "{"
+	print "  \"date\": \"" date "\","
+	print "  \"cpu\": \"" cpu "\","
+	print "  \"benchtime\": \"'"$benchtime"'\","
+	print "  \"benchmarks\": ["
+	for (i = 0; i < n; i++) print lines[i] (i < n - 1 ? "," : "")
+	print "  ],"
+	plain = rps["BenchmarkBatchParallel8"]
+	attr = rps["BenchmarkBatchAttributed8"]
+	overhead = (plain > 0) ? (1 - attr / plain) * 100 : 0
+	printf "  \"best_records_per_sec\": {\"parallel8\": %.0f, \"attributed8\": %.0f},\n", plain, attr
+	printf "  \"attribution_overhead_percent\": %.2f\n", overhead
+	print "}"
+}' "$obsraw" > "$obsout"
+
+echo "wrote $obsout"
