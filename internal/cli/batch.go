@@ -31,6 +31,8 @@ func cmdBatch(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "validation workers (0 = GOMAXPROCS)")
 	report := fs.String("report", "text", "report format: text or json")
 	exemplars := fs.Int("exemplars", 3, "failure exemplars kept per characteristic (-1 = none)")
+	rows := fs.Bool("rows", false, "force the per-record row path (disable vectorized evaluation)")
+	decodeErrs := fs.Int("decode-errors", 10, "decode errors reported with line numbers (-1 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,8 +65,10 @@ func cmdBatch(args []string, out io.Writer) error {
 	defer stop()
 
 	res, runErr := dqbatch.Run(ctx, enf.Validator(), src, dqbatch.Options{
-		Workers:      *workers,
-		MaxExemplars: *exemplars,
+		Workers:         *workers,
+		MaxExemplars:    *exemplars,
+		ForceRows:       *rows,
+		MaxDecodeErrors: *decodeErrs,
 	})
 	if *report == "json" {
 		data, err := json.MarshalIndent(res, "", "  ")

@@ -26,6 +26,9 @@ type shard struct {
 	// overwritten cyclically once full so memory stays bounded.
 	samples   []float64
 	sampleIdx int
+	// pad keeps adjacent shards' hot counters on separate cache lines when
+	// the allocator places them contiguously.
+	_ [64]byte
 }
 
 // charAgg is one characteristic's running statistics inside a shard.
@@ -54,6 +57,24 @@ func newShard() *shard {
 	return &shard{chars: make(map[iso25012.Characteristic]*charAgg)}
 }
 
+// agg resolves the charAgg for result position i, memoized so that after
+// the first record the hot loop is a slice index instead of a map lookup.
+func (s *shard) agg(i int, ch iso25012.Characteristic) *charAgg {
+	if i < len(s.byIdx) && s.byChar[i] == ch {
+		return s.byIdx[i]
+	}
+	ca := s.chars[ch]
+	if ca == nil {
+		ca = &charAgg{minScore: 1}
+		s.chars[ch] = ca
+	}
+	if i == len(s.byIdx) {
+		s.byIdx = append(s.byIdx, ca)
+		s.byChar = append(s.byChar, ch)
+	}
+	return ca
+}
+
 // observe folds one record's validation report into the shard. ordinal is
 // the record's 1-based position in the input; maxExemplars caps retained
 // failures per characteristic.
@@ -62,20 +83,7 @@ func (s *shard) observe(ordinal int64, rep *dqruntime.Report, maxExemplars int) 
 	passed = true
 	for i := range rep.Results {
 		res := &rep.Results[i]
-		var ca *charAgg
-		if i < len(s.byIdx) && s.byChar[i] == res.Characteristic {
-			ca = s.byIdx[i]
-		} else {
-			ca = s.chars[res.Characteristic]
-			if ca == nil {
-				ca = &charAgg{minScore: 1}
-				s.chars[res.Characteristic] = ca
-			}
-			if i == len(s.byIdx) {
-				s.byIdx = append(s.byIdx, ca)
-				s.byChar = append(s.byChar, res.Characteristic)
-			}
-		}
+		ca := s.agg(i, res.Characteristic)
 		ca.checks++
 		ca.sumScore += res.Score
 		if res.Score < ca.minScore {
@@ -103,6 +111,52 @@ func (s *shard) observe(ordinal int64, rep *dqruntime.Report, maxExemplars int) 
 		s.failed++
 	}
 	return passed
+}
+
+// observeBatch folds one columnar batch report into the shard. The fold is
+// row-outer — for each row, across checks — reproducing the row path's
+// exact float addition order and exemplar capture order, so a vectorized
+// run's merged statistics are bit-identical to a sequential row run's.
+func (s *shard) observeBatch(base int64, rep *dqruntime.BatchReport, maxExemplars int) (pass, fail uint64) {
+	rows := rep.Rows()
+	nres := len(rep.Results)
+	for r := 0; r < rows; r++ {
+		s.records++
+		rowPassed := true
+		for i := 0; i < nres; i++ {
+			res := &rep.Results[i]
+			ca := s.agg(i, res.Characteristic)
+			ca.checks++
+			score := res.Score[r]
+			ca.sumScore += score
+			if score < ca.minScore {
+				ca.minScore = score
+			}
+			if score > ca.maxScore {
+				ca.maxScore = score
+			}
+			if res.Passed[r] {
+				ca.passed++
+				continue
+			}
+			rowPassed = false
+			if len(ca.exemplars) < maxExemplars {
+				ca.exemplars = append(ca.exemplars, Exemplar{
+					Record:  base + int64(r),
+					Check:   res.Check,
+					Details: append([]string(nil), res.Details[r]...),
+				})
+			}
+		}
+		if rowPassed {
+			s.passed++
+			pass++
+		} else {
+			s.failed++
+			fail++
+		}
+	}
+	return pass, fail
 }
 
 // sample records one per-record validation latency into the reservoir.

@@ -85,11 +85,10 @@ func BenchmarkBatchSequential(b *testing.B) {
 	b.ReportMetric(percentile(samples, 99)*1e9, "p99_ns")
 }
 
-// BenchmarkBatchCompiled runs the same dataset through a validator whose
-// checks are compiled OCL programs (one per case-study field constraint),
-// exercising the Program/Frame hot path end to end: the expressions are
-// compiled once here and only frames move per record.
-func BenchmarkBatchCompiled(b *testing.B) {
+// benchOCLValidator builds a validator whose checks are compiled OCL
+// programs (one per case-study field constraint).
+func benchOCLValidator(b *testing.B) *dqruntime.Validator {
+	b.Helper()
 	exprs := []string{
 		"not first_name.oclIsUndefined() and not last_name.oclIsUndefined()",
 		"not email_address.oclIsUndefined()",
@@ -104,6 +103,49 @@ func BenchmarkBatchCompiled(b *testing.B) {
 		}
 		v.Add(chk)
 	}
+	return v
+}
+
+// benchVectorized drives an engine-less single-goroutine ValidateBatch
+// loop over pre-columnarized chunk views — the columnar mirror of
+// BenchmarkBatchSequential's pre-decoded map loop.
+func benchVectorized(b *testing.B, v *dqruntime.Validator) {
+	batch := &dqruntime.ColumnBatch{}
+	batch.Columnarize(benchDataset())
+	batch.WarmOCLValues()
+	view := &dqruntime.ColumnBatch{}
+	rep := &dqruntime.BatchReport{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lo := 0; lo < benchRecords; lo += 256 {
+			hi := min(lo+256, benchRecords)
+			batch.SliceInto(view, lo, hi)
+			v.ValidateBatch(view, rep)
+			for r := 0; r < rep.Rows(); r++ {
+				if rep.RowPassed(r) == ((lo+r)%10 == 0) {
+					b.Fatalf("record %d: passed = %v", lo+r, rep.RowPassed(r))
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	reportThroughput(b, int64(b.N)*benchRecords)
+}
+
+// BenchmarkBatchCompiled runs the dataset through the compiled-OCL
+// validator on the vectorized path: expressions compile once, then
+// Program.EvalBoolBatch sweeps each column batch with a single reused
+// frame and per-batch boxed columns.
+func BenchmarkBatchCompiled(b *testing.B) {
+	benchVectorized(b, benchOCLValidator(b))
+}
+
+// BenchmarkBatchCompiledRows is the row-path baseline for
+// BenchmarkBatchCompiled: the same compiled-OCL validator fed one record
+// map at a time.
+func BenchmarkBatchCompiledRows(b *testing.B) {
+	v := benchOCLValidator(b)
 	recs := benchDataset()
 	rep := &dqruntime.Report{}
 	b.ReportAllocs()
@@ -118,6 +160,42 @@ func BenchmarkBatchCompiled(b *testing.B) {
 	}
 	b.StopTimer()
 	reportThroughput(b, int64(b.N)*benchRecords)
+}
+
+// BenchmarkBatchVectorized is the stock case-study validator on the
+// engine-less vectorized path — compare with BenchmarkBatchSequential for
+// the columnar-vs-row speedup.
+func BenchmarkBatchVectorized(b *testing.B) {
+	benchVectorized(b, benchValidator(b))
+}
+
+// BenchmarkBatchVectorized8 runs the full engine on the vectorized path:
+// a pre-columnarized ColumnSource streaming zero-copy chunk views through
+// 8 workers, each scoring whole columns per chunk.
+func BenchmarkBatchVectorized8(b *testing.B) {
+	v := benchValidator(b)
+	src := NewColumnSource(benchDataset())
+	opts := Options{Workers: 8, Registry: obs.NewRegistry()}
+	var last *Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Rewind()
+		res, err := Run(context.Background(), v, src, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Vectorized {
+			b.Fatal("vectorized path did not engage")
+		}
+		if res.Records != benchRecords || res.Failed != benchRecords/10 {
+			b.Fatalf("result = %+v", res)
+		}
+		last = res
+	}
+	b.StopTimer()
+	reportThroughput(b, int64(b.N)*benchRecords)
+	b.ReportMetric(last.LatencyP50*1e9, "p50_ns")
+	b.ReportMetric(last.LatencyP99*1e9, "p99_ns")
 }
 
 func BenchmarkBatchParallel2(b *testing.B) { benchParallel(b, 2) }

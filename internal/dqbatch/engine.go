@@ -22,6 +22,15 @@ type Validating interface {
 	ValidateInto(r dqruntime.Record, rep *dqruntime.Report)
 }
 
+// BatchValidating is the columnar validation dependency: one call scores a
+// whole ColumnBatch. *dqruntime.Validator implements it. When both the
+// source (BatchSource) and the validator support it, Run takes the
+// vectorized path unless Options.ForceRows says otherwise; the verdicts
+// are identical to the row path either way.
+type BatchValidating interface {
+	ValidateBatch(b *dqruntime.ColumnBatch, rep *dqruntime.BatchReport)
+}
+
 // Options tunes a batch run. The zero value is ready to use.
 type Options struct {
 	// Workers is the validation goroutine count; 0 means GOMAXPROCS.
@@ -34,7 +43,17 @@ type Options struct {
 	MaxExemplars int
 	// SampleEvery is the per-record latency sampling stride (every n-th
 	// record per worker is timed); 0 means 64, negative disables sampling.
+	// On the vectorized path one amortized sample is taken per chunk
+	// instead (batch duration / rows); negative disables that too.
 	SampleEvery int
+	// ForceRows disables the vectorized path even when the source and
+	// validator both support it — the escape hatch for differential
+	// debugging, and how the parity tests drive both paths.
+	ForceRows bool
+	// MaxDecodeErrors caps the decode errors retained (with line numbers)
+	// in Result.DecodeErrors; 0 means 10, negative means none. Malformed
+	// counts every skipped record regardless of the cap.
+	MaxDecodeErrors int
 	// Registry receives dqbatch_records_total{outcome} and
 	// dqbatch_batch_seconds; nil means obs.Default().
 	Registry *obs.Registry
@@ -50,6 +69,14 @@ type Options struct {
 	Context string
 }
 
+// DecodeError is one retained malformed-input diagnostic.
+type DecodeError struct {
+	// Line is the 1-based input line (or CSV record) number.
+	Line int64 `json:"line"`
+	// Error is the decode failure text.
+	Error string `json:"error"`
+}
+
 // Result summarizes one batch run. All scores and latencies are merged
 // across workers; Characteristics is sorted by characteristic name.
 type Result struct {
@@ -60,6 +87,10 @@ type Result struct {
 	Passed    int64 `json:"passed"`
 	Failed    int64 `json:"failed"`
 	Malformed int64 `json:"malformed"`
+	// DecodeErrors detail the first malformed records (line numbers and
+	// causes), capped by Options.MaxDecodeErrors. On cancellation the
+	// partial result keeps whatever was captured so far.
+	DecodeErrors []DecodeError `json:"decode_errors,omitempty"`
 	// Workers is the pool size the batch ran with.
 	Workers int `json:"workers"`
 	// Seconds is the wall-clock batch duration; RecordsPerSec the
@@ -75,18 +106,59 @@ type Result struct {
 	Characteristics []CharacteristicStats `json:"characteristics"`
 	// Duration is Seconds as a time.Duration, for callers doing math.
 	Duration time.Duration `json:"-"`
+	// Vectorized reports whether the columnar path ran. Excluded from the
+	// serialized forms so both paths produce identical reports.
+	Vectorized bool `json:"-"`
 }
 
-// chunk is one unit of work: a recycled block of records. Only the first
-// n entries of recs are valid; base is the 1-based ordinal of the first
-// one. scratch holds the recycled maps offered to the source — a
-// streaming decoder fills and returns them (recs[i] == scratch[i]), an
+// chunk is one unit of work on the row path: a recycled block of records.
+// Only the first n entries of recs are valid; base is the 1-based ordinal
+// of the first one. scratch holds the recycled maps offered to the source —
+// a streaming decoder fills and returns them (recs[i] == scratch[i]), an
 // in-memory source returns its own records and the scratch maps idle.
 type chunk struct {
 	base    int64
 	n       int
 	recs    []dqruntime.Record
 	scratch []dqruntime.Record
+}
+
+// colChunk is one unit of work on the vectorized path: a recycled
+// columnar batch of up to ChunkSize rows.
+type colChunk struct {
+	base  int64
+	n     int
+	batch *dqruntime.ColumnBatch
+}
+
+// chunkPool and colChunkPool recycle chunks (and the record maps / column
+// buffers inside them) across Runs, so repeated batches — benchmark
+// iterations, a server validating dataset after dataset — stop paying the
+// pool-priming allocations every time.
+var (
+	chunkPool    sync.Pool
+	colChunkPool sync.Pool
+)
+
+func getChunk(chunkSize int) *chunk {
+	c, _ := chunkPool.Get().(*chunk)
+	if c == nil || cap(c.recs) < chunkSize {
+		return &chunk{
+			recs:    make([]dqruntime.Record, chunkSize),
+			scratch: make([]dqruntime.Record, chunkSize),
+		}
+	}
+	c.recs = c.recs[:chunkSize]
+	c.scratch = c.scratch[:chunkSize]
+	return c
+}
+
+func getColChunk() *colChunk {
+	c, _ := colChunkPool.Get().(*colChunk)
+	if c == nil {
+		return &colChunk{batch: &dqruntime.ColumnBatch{}}
+	}
+	return c
 }
 
 // sampleCap bounds each worker's latency reservoir.
@@ -99,7 +171,11 @@ var batchBuckets = []float64{
 }
 
 // Run streams records from src through a worker pool, validating each
-// with v and merging per-characteristic statistics. It honors ctx: on
+// with v and merging per-characteristic statistics. When src implements
+// BatchSource and v implements BatchValidating (and ForceRows is off),
+// records travel as columnar batches and each worker scores whole columns
+// at once; otherwise every record is validated through the per-record row
+// path. Both paths produce identical results. Run honors ctx: on
 // cancellation the stream stops, workers drain, and the partial Result
 // comes back with ctx's error. Memory is bounded by the pool geometry
 // (roughly 2×workers chunks of ChunkSize records), never by input size.
@@ -122,6 +198,12 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 	if stride == 0 {
 		stride = 64
 	}
+	maxDecode := opts.MaxDecodeErrors
+	if maxDecode == 0 {
+		maxDecode = 10
+	} else if maxDecode < 0 {
+		maxDecode = 0
+	}
 	reg := opts.Registry
 	if reg == nil {
 		reg = obs.Default()
@@ -132,128 +214,216 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 	errC := reg.Counter("dqbatch_records_total", recordsHelp, obs.Labels{"outcome": "error"})
 	batchH := reg.Histogram("dqbatch_batch_seconds", "Wall-clock batch validation duration", batchBuckets, nil)
 
+	bsrc, srcOK := src.(BatchSource)
+	bval, valOK := v.(BatchValidating)
+	vectorized := srcOK && valOK && !opts.ForceRows
+
 	_, span := obs.StartSpan(ctx, "dqbatch.run")
 	start := time.Now()
 
-	// The free list is the memory bound: every chunk in flight came from
-	// here, so at most cap(free) chunks (and their record maps) exist.
-	free := make(chan *chunk, 2*workers+2)
-	for i := 0; i < cap(free); i++ {
-		free <- &chunk{
-			recs:    make([]dqruntime.Record, chunkSize),
-			scratch: make([]dqruntime.Record, chunkSize),
+	var malformed int64
+	var decodeErrs []DecodeError
+	var readErr error
+	// onBad runs only on the reader goroutine; <-readerDone below is the
+	// happens-before edge that publishes its writes to the epilogue.
+	onBad := func(line int64, err error) {
+		malformed++
+		errC.Inc()
+		if len(decodeErrs) < maxDecode {
+			decodeErrs = append(decodeErrs, DecodeError{Line: line, Error: err.Error()})
 		}
 	}
-	work := make(chan *chunk, workers)
 
-	var malformed int64
-	var readErr error
+	shards := make([]*shard, workers)
+	for i := range shards {
+		shards[i] = newShard()
+	}
 	readerDone := make(chan struct{})
-	go func() {
-		defer close(readerDone)
-		defer close(work)
-		var ordinal int64
-	read:
-		for {
-			var c *chunk
-			select {
-			case c = <-free:
-			case <-ctx.Done():
-				return
-			}
-			c.base = ordinal + 1
-			c.n = 0
-			for c.n < chunkSize {
-				rec := c.scratch[c.n]
-				if rec == nil {
-					rec = make(dqruntime.Record, 8)
-					c.scratch[c.n] = rec
+	var wg sync.WaitGroup
+
+	if vectorized {
+		// The free list is the memory bound: every batch in flight came
+		// from here, so at most cap(free) column batches exist.
+		free := make(chan *colChunk, 2*workers+2)
+		for i := 0; i < cap(free); i++ {
+			free <- getColChunk()
+		}
+		work := make(chan *colChunk, workers)
+
+		go func() {
+			defer close(readerDone)
+			defer close(work)
+			var ordinal int64
+			for {
+				var c *colChunk
+				select {
+				case c = <-free:
+				case <-ctx.Done():
+					return
 				}
-				got, err := src.Next(rec)
-				if err == nil {
-					c.recs[c.n] = got
-					ordinal++
-					c.n++
-					continue
-				}
-				if _, ok := err.(*RecordError); ok {
-					malformed++
-					errC.Inc()
-					continue
-				}
-				if err != io.EOF {
-					readErr = err
-				}
-				if c.n > 0 {
+				c.batch.Reset()
+				n, err := bsrc.NextBatch(c.batch, chunkSize, onBad)
+				c.base = ordinal + 1
+				c.n = n
+				ordinal += int64(n)
+				if n > 0 {
 					select {
 					case work <- c:
 					case <-ctx.Done():
+						return
 					}
 				}
-				break read
-			}
-			select {
-			case work <- c:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-
-	shards := make([]*shard, workers)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		sh := newShard()
-		shards[i] = sh
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rep := &dqruntime.Report{}
-			var seen int64
-			for c := range work {
-				if ctx.Err() != nil {
+				if err != nil {
+					if err != io.EOF {
+						readErr = err
+					}
 					return
-				}
-				var pass, fail uint64
-				for j := 0; j < c.n; j++ {
-					rec := c.recs[j]
-					if stride > 0 && seen%int64(stride) == 0 {
-						t0 := time.Now()
-						v.ValidateInto(rec, rep)
-						sh.sample(time.Since(t0).Seconds(), sampleCap)
-					} else {
-						v.ValidateInto(rec, rep)
-					}
-					seen++
-					if sh.observe(c.base+int64(j), rep, maxExemplars) {
-						pass++
-					} else {
-						fail++
-					}
-				}
-				passC.Add(pass)
-				failC.Add(fail)
-				select {
-				case free <- c:
-				default: // reader gone; chunk retires
 				}
 			}
 		}()
+
+		for i := 0; i < workers; i++ {
+			sh := shards[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rep := &dqruntime.BatchReport{}
+				for c := range work {
+					if ctx.Err() != nil {
+						return
+					}
+					if stride > 0 {
+						t0 := time.Now()
+						bval.ValidateBatch(c.batch, rep)
+						sh.sample(time.Since(t0).Seconds()/float64(c.n), sampleCap)
+					} else {
+						bval.ValidateBatch(c.batch, rep)
+					}
+					pass, fail := sh.observeBatch(c.base, rep, maxExemplars)
+					passC.Add(pass)
+					failC.Add(fail)
+					select {
+					case free <- c:
+					default: // reader gone; chunk retires
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		<-readerDone
+		drainColChunks(free)
+	} else {
+		free := make(chan *chunk, 2*workers+2)
+		for i := 0; i < cap(free); i++ {
+			free <- getChunk(chunkSize)
+		}
+		work := make(chan *chunk, workers)
+
+		go func() {
+			defer close(readerDone)
+			defer close(work)
+			var ordinal int64
+		read:
+			for {
+				var c *chunk
+				select {
+				case c = <-free:
+				case <-ctx.Done():
+					return
+				}
+				c.base = ordinal + 1
+				c.n = 0
+				for c.n < chunkSize {
+					rec := c.scratch[c.n]
+					if rec == nil {
+						rec = make(dqruntime.Record, 8)
+						c.scratch[c.n] = rec
+					}
+					got, err := src.Next(rec)
+					if err == nil {
+						c.recs[c.n] = got
+						ordinal++
+						c.n++
+						continue
+					}
+					if re, ok := err.(*RecordError); ok {
+						onBad(re.Line, re.Err)
+						continue
+					}
+					if err != io.EOF {
+						readErr = err
+					}
+					if c.n > 0 {
+						select {
+						case work <- c:
+						case <-ctx.Done():
+						}
+					}
+					break read
+				}
+				select {
+				case work <- c:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+
+		for i := 0; i < workers; i++ {
+			sh := shards[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rep := &dqruntime.Report{}
+				var seen int64
+				for c := range work {
+					if ctx.Err() != nil {
+						return
+					}
+					var pass, fail uint64
+					for j := 0; j < c.n; j++ {
+						rec := c.recs[j]
+						if stride > 0 && seen%int64(stride) == 0 {
+							t0 := time.Now()
+							v.ValidateInto(rec, rep)
+							sh.sample(time.Since(t0).Seconds(), sampleCap)
+						} else {
+							v.ValidateInto(rec, rep)
+						}
+						seen++
+						if sh.observe(c.base+int64(j), rep, maxExemplars) {
+							pass++
+						} else {
+							fail++
+						}
+					}
+					passC.Add(pass)
+					failC.Add(fail)
+					select {
+					case free <- c:
+					default: // reader gone; chunk retires
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		// The reader exits on EOF, source error, or ctx cancellation (every
+		// blocking point selects ctx.Done); waiting for it establishes the
+		// happens-before edge for malformed, decodeErrs and readErr.
+		<-readerDone
+		drainChunks(free)
 	}
-	wg.Wait()
-	// The reader exits on EOF, source error, or ctx cancellation (every
-	// blocking point selects ctx.Done); waiting for it establishes the
-	// happens-before edge for malformed and readErr.
-	<-readerDone
 
 	dur := time.Since(start)
 	batchH.Observe(dur.Seconds())
 
 	res := &Result{
-		Malformed: malformed,
-		Workers:   workers,
-		Seconds:   dur.Seconds(),
-		Duration:  dur,
+		Malformed:    malformed,
+		DecodeErrors: decodeErrs,
+		Workers:      workers,
+		Seconds:      dur.Seconds(),
+		Duration:     dur,
+		Vectorized:   vectorized,
 	}
 	var samples []float64
 	res.Characteristics, samples = mergeShards(shards, maxExemplars)
@@ -285,6 +455,9 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 
 	span.SetAttr("records", int(res.Records))
 	span.SetAttr("workers", workers)
+	if vectorized {
+		span.SetAttr("vectorized", 1)
+	}
 	if res.Failed > 0 {
 		span.SetAttr("failed", int(res.Failed))
 	}
@@ -294,6 +467,30 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 		return res, err
 	}
 	return res, readErr
+}
+
+// drainChunks returns every idle chunk to the cross-run pool. Chunks
+// stranded in the work channel after a cancellation simply retire.
+func drainChunks(free chan *chunk) {
+	for {
+		select {
+		case c := <-free:
+			chunkPool.Put(c)
+		default:
+			return
+		}
+	}
+}
+
+func drainColChunks(free chan *colChunk) {
+	for {
+		select {
+		case c := <-free:
+			colChunkPool.Put(c)
+		default:
+			return
+		}
+	}
 }
 
 // percentile returns the p-th percentile of an ascending sample set; 0
@@ -317,6 +514,12 @@ func (r *Result) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "batch: %d records in %s (%.0f records/sec, %d workers)\n",
 		r.Records, r.Duration.Round(time.Millisecond), r.RecordsPerSec, r.Workers)
 	fmt.Fprintf(w, "  passed %d, failed %d, malformed %d\n", r.Passed, r.Failed, r.Malformed)
+	if len(r.DecodeErrors) > 0 {
+		fmt.Fprintf(w, "  decode errors (%d of %d malformed):\n", len(r.DecodeErrors), r.Malformed)
+		for _, de := range r.DecodeErrors {
+			fmt.Fprintf(w, "      line %d: %s\n", de.Line, de.Error)
+		}
+	}
 	if r.LatencyP50 > 0 {
 		fmt.Fprintf(w, "  per-record latency p50 %s, p99 %s\n",
 			time.Duration(r.LatencyP50*float64(time.Second)).Round(time.Nanosecond),

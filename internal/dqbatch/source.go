@@ -128,6 +128,10 @@ type CSVSource struct {
 	r      *csv.Reader
 	header []string
 	line   int64
+	// dupHeader and scratch support NextBatch when header names repeat
+	// (map semantics: last value per name wins).
+	dupHeader bool
+	scratch   dqruntime.Record
 }
 
 // NewCSVSource wraps a reader of CSV records whose first row names the
@@ -155,6 +159,7 @@ func (s *CSVSource) Next(rec dqruntime.Record) (dqruntime.Record, error) {
 		}
 		if s.header == nil {
 			s.header = append([]string(nil), row...)
+			s.dupHeader = hasDuplicates(s.header)
 			continue
 		}
 		if len(row) != len(s.header) {

@@ -17,6 +17,12 @@ type Model struct {
 	objects   []*Object
 	members   map[*Object]bool
 	byXID     map[string]*Object
+	// extents memoizes AllInstances per class, so repeated OCL
+	// `T.allInstances()` scans are O(extent) instead of O(all objects) with
+	// an IsA walk per object. Any membership change drops the whole map:
+	// models are built once and read many times, so a coarse invalidation
+	// keeps Add/Remove cheap while the steady state hits the cache.
+	extents map[*Class][]*Object
 }
 
 // NewModel creates an empty model conforming to the given metamodel package.
@@ -73,6 +79,7 @@ func (m *Model) Add(o *Object) {
 	}
 	m.members[o] = true
 	m.objects = append(m.objects, o)
+	m.extents = nil
 	if o.XID() != "" {
 		m.byXID[o.XID()] = o
 	}
@@ -87,6 +94,7 @@ func (m *Model) Remove(o *Object) {
 		return
 	}
 	delete(m.members, o)
+	m.extents = nil
 	for i, existing := range m.objects {
 		if existing == o {
 			m.objects = append(m.objects[:i], m.objects[i+1:]...)
@@ -114,15 +122,31 @@ func (m *Model) Len() int {
 
 // AllInstances returns all objects whose class conforms to the given class,
 // in insertion order. It is the reflective backbone of OCL's allInstances().
+// The extent is computed once per class and memoized until the model's
+// membership changes; the returned slice is shared with the cache and must
+// not be mutated by callers (it is clipped, so appends copy).
 func (m *Model) AllInstances(c *Class) []*Object {
 	m.mu.RLock()
-	defer m.mu.RUnlock()
-	var out []*Object
+	out, ok := m.extents[c]
+	m.mu.RUnlock()
+	if ok {
+		return out
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if out, ok := m.extents[c]; ok {
+		return out
+	}
 	for _, o := range m.objects {
 		if o.IsA(c) {
 			out = append(out, o)
 		}
 	}
+	out = out[:len(out):len(out)]
+	if m.extents == nil {
+		m.extents = make(map[*Class][]*Object)
+	}
+	m.extents[c] = out
 	return out
 }
 

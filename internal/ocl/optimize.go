@@ -1,0 +1,314 @@
+package ocl
+
+// Compiler round 2: the analyses behind common-subexpression elimination
+// and cost-ordered conjunctions. Both are purely additive over the closure
+// compiler in compile.go — they never change what an expression computes,
+// only how often and in which order its pure pieces run — and the
+// differential harness holds them to the interpreter's exact values and
+// error strings.
+//
+// CSE works at evaluation time, not compile time: a repeated pure
+// subexpression compiles to a closure that consults a per-Frame cache
+// keyed by a generation counter, so the first occurrence in an evaluation
+// computes and later occurrences reuse. Because the cache is lazy, an
+// occurrence that the interpreter never reaches (a short-circuited right
+// operand, an untaken if-branch, a body over an empty collection) is never
+// computed here either — evaluation order, and therefore which error
+// surfaces first, is preserved bit for bit. The same mechanism hoists
+// loop-invariant subexpressions out of iterator bodies: a body
+// subexpression whose free variables are all bound outside the iterator is
+// computed on the first item and reused for the rest.
+
+// cseMinCost is the minimum estimated evaluation cost for a subexpression
+// to be worth a cache slot; below it the generation check costs more than
+// recomputing. A single property navigation (cost 4) qualifies.
+const cseMinCost = 4
+
+// exprCost estimates the relative evaluation cost of an expression, in
+// arbitrary units (a variable reference is 1, a navigation 3, an iterator
+// assumes ten items). It only steers caching and conjunction order, so
+// being roughly right is enough.
+func exprCost(e Expr) int {
+	switch n := e.(type) {
+	case *LitExpr:
+		return 0
+	case *VarExpr, *EnumExpr:
+		return 1
+	case *NavExpr:
+		return exprCost(n.Recv) + 3
+	case *UnExpr:
+		return exprCost(n.E) + 1
+	case *BinExpr:
+		return exprCost(n.L) + exprCost(n.R) + 1
+	case *IfExpr:
+		thenCost, elseCost := exprCost(n.Then), exprCost(n.Else)
+		if elseCost > thenCost {
+			thenCost = elseCost
+		}
+		return exprCost(n.Cond) + thenCost + 1
+	case *LetExpr:
+		return exprCost(n.Init) + exprCost(n.Body) + 1
+	case *CollectionExpr:
+		cost := 1
+		for _, item := range n.Items {
+			cost += exprCost(item) + 1
+		}
+		return cost
+	case *CallExpr:
+		cost := exprCost(n.Recv) + 5
+		if n.Name == "allInstances" {
+			cost += 20
+		}
+		for _, a := range n.Args {
+			cost += exprCost(a)
+		}
+		return cost
+	case *ArrowExpr:
+		cost := exprCost(n.Recv) + 5
+		if n.Body != nil {
+			cost += 10 * (exprCost(n.Body) + 1)
+		}
+		for _, a := range n.Args {
+			cost += exprCost(a)
+		}
+		return cost
+	default:
+		return 1
+	}
+}
+
+// containsImpure reports whether the expression calls an operation whose
+// result depends on Env hooks that may not be pure functions
+// (hasStereotype, taggedValue). Such expressions are never cached.
+func containsImpure(e Expr) bool {
+	impure := false
+	walkExpr(e, func(sub Expr) {
+		if c, ok := sub.(*CallExpr); ok {
+			if c.Name == "hasStereotype" || c.Name == "taggedValue" {
+				impure = true
+			}
+		}
+	})
+	return impure
+}
+
+// walkExpr visits every node of the expression tree.
+func walkExpr(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch n := e.(type) {
+	case *NavExpr:
+		walkExpr(n.Recv, visit)
+	case *CallExpr:
+		walkExpr(n.Recv, visit)
+		for _, a := range n.Args {
+			walkExpr(a, visit)
+		}
+	case *ArrowExpr:
+		walkExpr(n.Recv, visit)
+		walkExpr(n.Body, visit)
+		for _, a := range n.Args {
+			walkExpr(a, visit)
+		}
+	case *LetExpr:
+		walkExpr(n.Init, visit)
+		walkExpr(n.Body, visit)
+	case *BinExpr:
+		walkExpr(n.L, visit)
+		walkExpr(n.R, visit)
+	case *UnExpr:
+		walkExpr(n.E, visit)
+	case *IfExpr:
+		walkExpr(n.Cond, visit)
+		walkExpr(n.Then, visit)
+		walkExpr(n.Else, visit)
+	case *CollectionExpr:
+		for _, item := range n.Items {
+			walkExpr(item, visit)
+		}
+	}
+}
+
+// analyzeCSE finds the subexpressions worth caching per evaluation: pure
+// Nav/Call/Arrow nodes of at least cseMinCost whose free variables are not
+// bound by an enclosing let or iterator at the occurrence, and that either
+// occur at least twice or occur inside an iterator body (where caching is
+// loop-invariant hoisting). The result maps each candidate's canonical
+// source form to true; the compiler assigns cache slots to candidates it
+// actually meets in cacheable positions.
+func analyzeCSE(root Expr) map[string]bool {
+	count := map[string]int{}
+	inIter := map[string]bool{}
+	var scope []string
+	bound := func(name string) bool {
+		for _, s := range scope {
+			if s == name {
+				return true
+			}
+		}
+		return false
+	}
+	scopeFree := func(e Expr) bool {
+		if len(scope) == 0 {
+			return true
+		}
+		for _, v := range FreeVars(e) {
+			if bound(v) {
+				return false
+			}
+		}
+		return true
+	}
+	var walk func(e Expr, iterDepth int)
+	note := func(e Expr, iterDepth int) {
+		if exprCost(e) < cseMinCost || !scopeFree(e) || containsImpure(e) {
+			return
+		}
+		key := e.String()
+		count[key]++
+		if iterDepth > 0 {
+			inIter[key] = true
+		}
+	}
+	walk = func(e Expr, iterDepth int) {
+		switch n := e.(type) {
+		case *NavExpr:
+			note(n, iterDepth)
+			walk(n.Recv, iterDepth)
+		case *CallExpr:
+			note(n, iterDepth)
+			// Mirror the compiler: an allInstances receiver and type-op
+			// arguments are type-name positions, not subexpressions.
+			if v, ok := n.Recv.(*VarExpr); !(ok && n.Name == "allInstances" && !bound(v.Name)) {
+				walk(n.Recv, iterDepth)
+			}
+			isTypeOp := n.Name == "oclIsKindOf" || n.Name == "oclIsTypeOf" || n.Name == "oclAsType"
+			for _, a := range n.Args {
+				if v, ok := a.(*VarExpr); ok && isTypeOp && !bound(v.Name) {
+					continue
+				}
+				walk(a, iterDepth)
+			}
+		case *ArrowExpr:
+			note(n, iterDepth)
+			walk(n.Recv, iterDepth)
+			for _, a := range n.Args {
+				walk(a, iterDepth)
+			}
+			if n.Body != nil {
+				mark := len(scope)
+				if n.Iter != "" {
+					scope = append(scope, n.Iter)
+				} else {
+					scope = append(scope, "$implicit")
+					if !bound("self") {
+						scope = append(scope, "self")
+					}
+				}
+				walk(n.Body, iterDepth+1)
+				scope = scope[:mark]
+			}
+		case *LetExpr:
+			walk(n.Init, iterDepth)
+			scope = append(scope, n.Name)
+			walk(n.Body, iterDepth)
+			scope = scope[:len(scope)-1]
+		case *BinExpr:
+			walk(n.L, iterDepth)
+			walk(n.R, iterDepth)
+		case *UnExpr:
+			walk(n.E, iterDepth)
+		case *IfExpr:
+			walk(n.Cond, iterDepth)
+			walk(n.Then, iterDepth)
+			walk(n.Else, iterDepth)
+		case *CollectionExpr:
+			for _, item := range n.Items {
+				walk(item, iterDepth)
+			}
+		}
+	}
+	walk(root, 0)
+	var out map[string]bool
+	for key, c := range count {
+		if c >= 2 || inIter[key] {
+			if out == nil {
+				out = make(map[string]bool)
+			}
+			out[key] = true
+		}
+	}
+	return out
+}
+
+// cseCandidateKind reports whether a node kind participates in CSE at all;
+// it gates the per-node String() rendering during compilation.
+func cseCandidateKind(e Expr) bool {
+	switch e.(type) {
+	case *NavExpr, *CallExpr, *ArrowExpr:
+		return true
+	}
+	return false
+}
+
+// totalBool reports whether the expression provably evaluates to a Boolean
+// and cannot fail, under the compiler's current scope. Totality is what
+// makes swapping `a and b` into `b and a` semantics-preserving: if either
+// side could error, the swap could change which error surfaces (or turn an
+// error into false), so only provably-total operands reorder.
+func (c *compiler) totalBool(e Expr) bool {
+	switch n := e.(type) {
+	case *LitExpr:
+		_, ok := n.Val.(bool)
+		return ok
+	case *UnExpr:
+		return n.Op == "not" && c.totalBool(n.E)
+	case *BinExpr:
+		switch n.Op {
+		case "and", "or", "implies", "xor":
+			return c.totalBool(n.L) && c.totalBool(n.R)
+		case "=", "<>":
+			// oclEqual is total over all values.
+			return c.total(n.L) && c.total(n.R)
+		}
+		return false
+	case *CallExpr:
+		// v.oclIsUndefined() is total for any total receiver.
+		return n.Name == "oclIsUndefined" && len(n.Args) == 0 && c.total(n.Recv)
+	case *ArrowExpr:
+		// isEmpty/notEmpty never fail: asCollection is total.
+		return (n.Name == "isEmpty" || n.Name == "notEmpty") &&
+			len(n.Args) == 0 && n.Body == nil && c.total(n.Recv)
+	}
+	return false
+}
+
+// total reports whether the expression provably evaluates without error.
+// Variable reads are total only when the name is lexically bound (written
+// before the body runs) or — under AssumeBound — a declared extern, since
+// an unbound name falls back to type resolution, which can fail.
+func (c *compiler) total(e Expr) bool {
+	switch n := e.(type) {
+	case *LitExpr:
+		return true
+	case *VarExpr:
+		if c.scopeHas(n.Name) {
+			return true
+		}
+		if c.assumeBound {
+			_, declared := c.extSlot[n.Name]
+			return declared
+		}
+		return false
+	case *CollectionExpr:
+		for _, item := range n.Items {
+			if !c.total(item) {
+				return false
+			}
+		}
+		return true
+	}
+	return c.totalBool(e)
+}

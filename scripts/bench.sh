@@ -1,7 +1,10 @@
 #!/bin/sh
 # Benchmark harness. Three suites, one JSON data point each per CI run:
-#   - batch engine (BenchmarkBatchSequential, BenchmarkBatchParallel{2,4,8})
-#     → BENCH_batch.json: records/sec, stride-sampled p50/p99 latency.
+#   - batch engine (BenchmarkBatchSequential, BenchmarkBatchParallel{2,4,8},
+#     BenchmarkBatchVectorized and the full-engine BenchmarkBatchVectorized8)
+#     → BENCH_batch.json: records/sec, allocs, stride-sampled p50/p99
+#     latency, plus the vectorized-vs-row and parallel-vs-sequential
+#     speedups.
 #   - OCL evaluation (BenchmarkEvalInterpreted vs BenchmarkEvalCompiled per
 #     expression shape, plus the end-to-end BenchmarkBatchCompiled)
 #     → BENCH_ocl.json: ns/op, allocs/op and compiled-vs-interpreted
@@ -25,8 +28,8 @@ oclraw="$(mktemp)"
 obsraw="$(mktemp)"
 trap 'rm -f "$raw" "$oclraw" "$obsraw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkBatch(Sequential|Parallel[0-9]+)$' \
-	-benchtime "$benchtime" -count 1 ./internal/dqbatch/ | tee "$raw"
+go test -run '^$' -bench 'BenchmarkBatch(Sequential|Parallel[0-9]+|Vectorized[0-9]*)$' \
+	-benchmem -benchtime "$benchtime" -count 1 ./internal/dqbatch/ | tee "$raw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
@@ -53,8 +56,11 @@ END {
 	print "  ],"
 	seq = rps["BenchmarkBatchSequential"]
 	par = rps["BenchmarkBatchParallel8"]
-	speedup = (seq > 0) ? par / seq : 0
-	printf "  \"speedup_parallel8_vs_sequential\": %.2f\n", speedup
+	vec = rps["BenchmarkBatchVectorized"]
+	vec8 = rps["BenchmarkBatchVectorized8"]
+	printf "  \"speedup_parallel8_vs_sequential\": %.2f,\n", (seq > 0) ? par / seq : 0
+	printf "  \"speedup_vectorized_vs_sequential\": %.2f,\n", (seq > 0) ? vec / seq : 0
+	printf "  \"speedup_vectorized8_vs_sequential\": %.2f\n", (seq > 0) ? vec8 / seq : 0
 	print "}"
 }' "$raw" > "$out"
 
@@ -62,7 +68,7 @@ echo "wrote $out"
 
 go test -run '^$' -bench 'BenchmarkEval(Interpreted|Compiled)$' -benchmem \
 	-benchtime "$benchtime" -count 1 ./internal/ocl/ | tee "$oclraw"
-go test -run '^$' -bench 'BenchmarkBatchCompiled$' -benchmem \
+go test -run '^$' -bench 'BenchmarkBatchCompiled(Rows)?$' -benchmem \
 	-benchtime "$benchtime" -count 1 ./internal/dqbatch/ | tee -a "$oclraw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
