@@ -17,6 +17,9 @@
 //	dqwebre trace easychair.xml            # traced pipeline run (span tree)
 //	dqwebre trace -out trace.json easychair.xml  # Chrome trace artifact
 //	dqwebre batch -model easychair.xml -in records.ndjson -report json
+//	dqwebre batch -model easychair.xml -in orders.ndjson -unique id \
+//	    -ref customers.ndjson -ref-key id -ref-field customer_id \
+//	    -timeliness updated_at        # cross-record checks ride along
 //	dqwebre load -url http://localhost:8080      # drive a live server
 //	dqwebre watch -url http://localhost:8080     # live DQ score/trend table
 package main

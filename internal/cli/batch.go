@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/modeldriven/dqwebre/internal/dqbatch"
 	"github.com/modeldriven/dqwebre/internal/dqruntime"
@@ -22,7 +23,11 @@ import (
 // the EasyChair app performs. It accepts either a DQSR model directly or
 // a DQ_WebRE requirements model (which it transforms first), streams
 // NDJSON or CSV records through the dqbatch worker pool, and reports the
-// merged per-characteristic statistics as text or JSON.
+// merged per-characteristic statistics as text or JSON. Cross-record
+// checks ride along: -unique enforces key uniqueness across the dataset,
+// -ref/-ref-key runs the two-pass referential check (first pass builds
+// the reference key set, second validates foreign keys against it), and
+// -timeliness measures dataset freshness windows.
 func cmdBatch(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "DQSR (or DQ_WebRE requirements) model file")
@@ -33,6 +38,16 @@ func cmdBatch(args []string, out io.Writer) error {
 	exemplars := fs.Int("exemplars", 3, "failure exemplars kept per characteristic (-1 = none)")
 	rows := fs.Bool("rows", false, "force the per-record row path (disable vectorized evaluation)")
 	decodeErrs := fs.Int("decode-errors", 10, "decode errors reported with line numbers (-1 = none)")
+	unique := fs.String("unique", "", "comma-separated key fields that must be unique across the dataset")
+	uniqueMaxExact := fs.Int("unique-max-exact", 0,
+		"distinct keys tracked exactly before the uniqueness check degrades to a Bloom filter (0 = default, -1 = always exact)")
+	ref := fs.String("ref", "", "reference records file for the referential check (NDJSON or CSV)")
+	refKey := fs.String("ref-key", "", "comma-separated key fields in the reference file")
+	refField := fs.String("ref-field", "", "comma-separated foreign-key fields in the validated records (default: -ref-key)")
+	timeliness := fs.String("timeliness", "", "timestamp field for the dataset timeliness check")
+	windows := fs.String("windows", "24h,168h", "comma-separated freshness windows for -timeliness")
+	maxAge := fs.Duration("max-age", 0, "oldest acceptable age for -timeliness (0 = largest window)")
+	maxSkew := fs.Duration("max-skew", 0, "future-timestamp tolerance for -timeliness (0 = 5m)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,6 +62,10 @@ func cmdBatch(args []string, out io.Writer) error {
 	}
 	if *format != "" && *format != "ndjson" && *format != "csv" {
 		return fmt.Errorf("unknown record format %q (ndjson or csv)", *format)
+	}
+
+	if (*ref == "") != (*refKey == "") {
+		return fmt.Errorf("-ref and -ref-key go together")
 	}
 
 	enf, err := loadEnforcer(*modelPath)
@@ -64,11 +83,57 @@ func cmdBatch(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var cross []dqruntime.StatefulCheck
+	if *unique != "" {
+		cross = append(cross, dqruntime.UniquenessCheck{
+			Fields:   splitFields(*unique),
+			MaxExact: *uniqueMaxExact,
+		})
+	}
+	if *ref != "" {
+		// First pass: stream the reference dataset into an exact key set.
+		refSrc, closeRef, err := openSource(*ref, "")
+		if err != nil {
+			return err
+		}
+		keys, err := dqbatch.BuildKeySet(ctx, refSrc, splitFields(*refKey))
+		closeRef()
+		if err != nil {
+			return fmt.Errorf("building reference key set from %s: %w", *ref, err)
+		}
+		fkFields := *refField
+		if fkFields == "" {
+			fkFields = *refKey
+		}
+		cross = append(cross, dqruntime.ReferentialCheck{
+			Fields:  splitFields(fkFields),
+			Ref:     keys,
+			RefName: filepath.Base(*ref),
+		})
+	}
+	if *timeliness != "" {
+		var wins []time.Duration
+		for _, w := range splitFields(*windows) {
+			d, err := time.ParseDuration(w)
+			if err != nil {
+				return fmt.Errorf("bad -windows entry %q: %w", w, err)
+			}
+			wins = append(wins, d)
+		}
+		cross = append(cross, dqruntime.TimelinessCheck{
+			Field:   *timeliness,
+			Windows: wins,
+			MaxAge:  *maxAge,
+			MaxSkew: *maxSkew,
+		})
+	}
+
 	res, runErr := dqbatch.Run(ctx, enf.Validator(), src, dqbatch.Options{
 		Workers:         *workers,
 		MaxExemplars:    *exemplars,
 		ForceRows:       *rows,
 		MaxDecodeErrors: *decodeErrs,
+		CrossRecord:     cross,
 	})
 	if *report == "json" {
 		data, err := json.MarshalIndent(res, "", "  ")
@@ -98,6 +163,18 @@ func loadEnforcer(path string) (*dqruntime.Enforcer, error) {
 		m = dqsr
 	}
 	return dqruntime.BuildFromDQSR(m)
+}
+
+// splitFields splits a comma-separated field list, trimming whitespace and
+// dropping empty entries.
+func splitFields(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // openSource opens the record stream, picking the decoder from -format or

@@ -102,3 +102,69 @@ func TestCmdBatchFlagValidation(t *testing.T) {
 		t.Fatalf("unknown record format: err = %v", err)
 	}
 }
+
+// TestCmdBatchCrossRecordChecks drives the cross-record flags end to end:
+// -unique, the two-pass -ref/-ref-key/-ref-field referential check, and
+// -timeliness, all surfaced in the JSON report's cross_records block.
+func TestCmdBatchCrossRecordChecks(t *testing.T) {
+	dir := t.TempDir()
+	model := writeDemoModel(t, dir)
+	records := filepath.Join(dir, "records.ndjson")
+	ndjson := `{"first_name":"G","last_name":"H","email_address":"g@h.io","overall_evaluation":2,"reviewer_confidence":3,"id":"r1","track":"t1","submitted":"2026-01-01T00:00:00Z"}` + "\n" +
+		`{"first_name":"A","last_name":"T","email_address":"a@t.io","overall_evaluation":1,"reviewer_confidence":2,"id":"r2","track":"t9","submitted":"1999-01-01T00:00:00Z"}` + "\n" +
+		`{"first_name":"B","last_name":"L","email_address":"b@l.io","overall_evaluation":0,"reviewer_confidence":1,"id":"r1","track":"t2","submitted":"not-a-date"}` + "\n"
+	if err := os.WriteFile(records, []byte(ndjson), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ref := filepath.Join(dir, "tracks.ndjson")
+	if err := os.WriteFile(ref, []byte(`{"id":"t1"}`+"\n"+`{"id":"t2"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	err := Run([]string{"batch", "-model", model, "-in", records, "-report", "json",
+		"-unique", "id",
+		"-ref", ref, "-ref-key", "id", "-ref-field", "track",
+		// The clock is real here, so the bounds are generous: the 1999
+		// record stays stale and the 2026 record stays within -max-age for
+		// decades either way.
+		"-timeliness", "submitted", "-windows", "720h,8760h", "-max-age", "175200h"}, &out)
+	if err != nil {
+		t.Fatalf("batch: %v\n%s", err, out.String())
+	}
+	var res struct {
+		Records int64 `json:"records"`
+		Cross   []struct {
+			Check      string `json:"check"`
+			Records    int64  `json:"records"`
+			Violations int64  `json:"violations"`
+			Passed     bool   `json:"passed"`
+		} `json:"cross_records"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if res.Records != 3 || len(res.Cross) != 3 {
+		t.Fatalf("report = %+v", res)
+	}
+	// Duplicate id r1, dangling track t9, one stale + one unparsable
+	// timestamp.
+	for i, want := range []struct {
+		check      string
+		violations int64
+	}{
+		{"check_uniqueness", 1},
+		{"check_referential", 1},
+		{"check_timeliness", 2},
+	} {
+		got := res.Cross[i]
+		if got.Check != want.check || got.Violations != want.violations || got.Passed {
+			t.Fatalf("cross finding %d = %+v, want %s with %d violations", i, got, want.check, want.violations)
+		}
+	}
+
+	// -ref without -ref-key is a usage error.
+	if err := Run([]string{"batch", "-model", model, "-in", records, "-ref", ref}, &out); err == nil {
+		t.Fatal("-ref without -ref-key accepted")
+	}
+}

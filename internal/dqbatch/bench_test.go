@@ -8,6 +8,7 @@ package dqbatch
 import (
 	"context"
 	"sort"
+	"strconv"
 	"testing"
 	"time"
 
@@ -237,6 +238,50 @@ func benchParallelOpts(b *testing.B, opts Options) {
 	b.ReportMetric(last.LatencyP50*1e9, "p50_ns")
 	b.ReportMetric(last.LatencyP99*1e9, "p99_ns")
 }
+
+// benchUniquenessDataset is benchDataset plus an id column with ~10%
+// duplicate keys, so the uniqueness state's hot insert path sees both the
+// new-key and the repeat-key branch.
+func benchUniquenessDataset() []dqruntime.Record {
+	recs := benchDataset()
+	distinct := benchRecords * 9 / 10
+	for i, r := range recs {
+		r["id"] = "id-" + strconv.Itoa(i%distinct)
+	}
+	return recs
+}
+
+// benchUniqueness runs the full engine with a uniqueness cross-record
+// check riding along; maxExact -1 keeps the exact sets, a small positive
+// cap forces the Bloom mode from the first chunks.
+func benchUniqueness(b *testing.B, workers, maxExact int) {
+	v := benchValidator(b)
+	recs := benchUniquenessDataset()
+	opts := Options{
+		Workers:  workers,
+		Registry: obs.NewRegistry(),
+		CrossRecord: []dqruntime.StatefulCheck{
+			dqruntime.UniquenessCheck{Fields: []string{"id"}, MaxExact: maxExact, BloomBits: 1 << 20},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), v, NewSliceSource(recs), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.CrossRecords) != 1 || res.CrossRecords[0].Violations == 0 {
+			b.Fatalf("cross findings = %+v", res.CrossRecords)
+		}
+	}
+	b.StopTimer()
+	reportThroughput(b, int64(b.N)*benchRecords)
+}
+
+func BenchmarkBatchUniqueness1(b *testing.B)      { benchUniqueness(b, 1, -1) }
+func BenchmarkBatchUniqueness8(b *testing.B)      { benchUniqueness(b, 8, -1) }
+func BenchmarkBatchUniquenessBloom1(b *testing.B) { benchUniqueness(b, 1, 1024) }
+func BenchmarkBatchUniquenessBloom8(b *testing.B) { benchUniqueness(b, 8, 1024) }
 
 // reportThroughput attaches records/sec over the timed section.
 func reportThroughput(b *testing.B, records int64) {

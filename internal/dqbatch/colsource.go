@@ -75,14 +75,15 @@ func (s *CSVSource) NextBatch(dst *dqruntime.ColumnBatch, max int, bad func(line
 		if err == io.EOF {
 			break
 		}
-		s.line++
 		if err != nil {
-			if _, ok := err.(*csv.ParseError); ok {
-				bad(s.line, err)
+			if pe, ok := err.(*csv.ParseError); ok {
+				bad(int64(pe.StartLine), err)
 				continue
 			}
-			return n, fmt.Errorf("dqbatch: reading CSV record %d: %w", s.line, err)
+			return n, fmt.Errorf("dqbatch: reading CSV after line %d: %w", s.line, err)
 		}
+		line, _ := s.r.FieldPos(0)
+		s.line = int64(line)
 		if s.header == nil {
 			s.header = append([]string(nil), row...)
 			s.dupHeader = hasDuplicates(s.header)

@@ -67,11 +67,18 @@ type Options struct {
 	// Context labels the Quality series (dataset, tenant, pipeline stage);
 	// empty means "batch".
 	Context string
+	// CrossRecord are dataset-level stateful checks (uniqueness,
+	// referential consistency, timeliness). Each check mints one private
+	// state per worker; the engine merges them after the pool drains — the
+	// same shard-then-reduce shape as the per-characteristic statistics —
+	// and appends one CrossFinding per check to Result.CrossRecords.
+	CrossRecord []dqruntime.StatefulCheck
 }
 
 // DecodeError is one retained malformed-input diagnostic.
 type DecodeError struct {
-	// Line is the 1-based input line (or CSV record) number.
+	// Line is the 1-based input file line where the offending record
+	// starts.
 	Line int64 `json:"line"`
 	// Error is the decode failure text.
 	Error string `json:"error"`
@@ -104,6 +111,9 @@ type Result struct {
 	LatencyP99 float64 `json:"latency_p99_seconds"`
 	// Characteristics is the per-characteristic roll-up.
 	Characteristics []CharacteristicStats `json:"characteristics"`
+	// CrossRecords are the dataset-level findings of Options.CrossRecord,
+	// in check declaration order.
+	CrossRecords []dqruntime.CrossFinding `json:"cross_records,omitempty"`
 	// Duration is Seconds as a time.Duration, for callers doing math.
 	Duration time.Duration `json:"-"`
 	// Vectorized reports whether the columnar path ran. Excluded from the
@@ -238,6 +248,14 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 	for i := range shards {
 		shards[i] = newShard()
 	}
+	// crossStates[c][w] is check c's private state for worker w; workers
+	// write only their own column, and the reduce below folds each row
+	// single-threaded, so cross-record checks ride the existing
+	// shard-then-merge discipline without new synchronization.
+	crossStates := make([][]dqruntime.CheckState, len(opts.CrossRecord))
+	for i, sc := range opts.CrossRecord {
+		crossStates[i] = sc.NewStates(workers, maxExemplars)
+	}
 	readerDone := make(chan struct{})
 	var wg sync.WaitGroup
 
@@ -284,6 +302,7 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 
 		for i := 0; i < workers; i++ {
 			sh := shards[i]
+			wi := i
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -298,6 +317,9 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 						sh.sample(time.Since(t0).Seconds()/float64(c.n), sampleCap)
 					} else {
 						bval.ValidateBatch(c.batch, rep)
+					}
+					for _, states := range crossStates {
+						states[wi].ObserveBatch(c.base, c.batch)
 					}
 					pass, fail := sh.observeBatch(c.base, rep, maxExemplars)
 					passC.Add(pass)
@@ -371,6 +393,7 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 
 		for i := 0; i < workers; i++ {
 			sh := shards[i]
+			wi := i
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -391,6 +414,9 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 							v.ValidateInto(rec, rep)
 						}
 						seen++
+						for _, states := range crossStates {
+							states[wi].Observe(c.base+int64(j), rec)
+						}
 						if sh.observe(c.base+int64(j), rep, maxExemplars) {
 							pass++
 						} else {
@@ -439,6 +465,17 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 	res.LatencyP50 = percentile(samples, 50)
 	res.LatencyP99 = percentile(samples, 99)
 
+	// Reduce the cross-record states in worker-index order. Each state's
+	// Merge is order-independent in effect, so any worker count and any
+	// chunk assignment produce the same findings.
+	for _, states := range crossStates {
+		merged := states[0]
+		for _, o := range states[1:] {
+			merged.Merge(o)
+		}
+		res.CrossRecords = append(res.CrossRecords, merged.Finding())
+	}
+
 	if opts.Quality != nil {
 		ctxLabel := opts.Context
 		if ctxLabel == "" {
@@ -450,6 +487,18 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 				"context":        ctxLabel,
 			}).Merge(uint64(cs.Checks), uint64(cs.Checks-cs.Passed),
 				cs.SumScore, cs.MinScore, cs.MaxScore)
+		}
+		// Each cross-record finding is one dataset-level measurement of its
+		// characteristic: one check execution with the finding's score.
+		for _, f := range res.CrossRecords {
+			var failed uint64
+			if !f.Passed {
+				failed = 1
+			}
+			opts.Quality.Series(obs.Labels{
+				"characteristic": string(f.Characteristic),
+				"context":        ctxLabel,
+			}).Merge(1, failed, f.Score, f.Score, f.Score)
 		}
 	}
 
@@ -534,6 +583,21 @@ func (r *Result) WriteText(w io.Writer) {
 				fmt.Fprintf(w, " — %s", d)
 			}
 			fmt.Fprintln(w)
+		}
+	}
+	for _, f := range r.CrossRecords {
+		verdict := "passed"
+		if !f.Passed {
+			verdict = fmt.Sprintf("%d violations", f.Violations)
+		}
+		approx := ""
+		if f.Approximate {
+			approx = " (approximate)"
+		}
+		fmt.Fprintf(w, "  %-18s %s: %s over %d records, score %.3f%s\n",
+			f.Characteristic, f.Check, verdict, f.Records, f.Score, approx)
+		for _, d := range f.Details {
+			fmt.Fprintf(w, "      %s\n", d)
 		}
 	}
 }

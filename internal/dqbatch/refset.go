@@ -1,0 +1,36 @@
+package dqbatch
+
+import (
+	"context"
+	"io"
+
+	"github.com/modeldriven/dqwebre/internal/dqruntime"
+)
+
+// BuildKeySet streams src once and collects its distinct keys over the
+// given fields — the first pass of the two-pass referential mode. The
+// returned set plugs directly into dqruntime.ReferentialCheck.Ref for the
+// validation pass. Malformed records are skipped (a reference dataset's
+// decode errors surface when that dataset is itself validated); any other
+// source error aborts. The set is exact and unbounded: a reference
+// dataset is assumed to fit in memory, unlike the validated stream.
+func BuildKeySet(ctx context.Context, src Source, fields []string) (map[string]struct{}, error) {
+	set := make(map[string]struct{})
+	rec := make(dqruntime.Record, 8)
+	for {
+		if err := ctx.Err(); err != nil {
+			return set, err
+		}
+		got, err := src.Next(rec)
+		if err == io.EOF {
+			return set, nil
+		}
+		if err != nil {
+			if _, ok := err.(*RecordError); ok {
+				continue
+			}
+			return set, err
+		}
+		set[dqruntime.KeyOf(fields, got)] = struct{}{}
+	}
+}

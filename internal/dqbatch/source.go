@@ -32,7 +32,9 @@ type Source interface {
 // NDJSON line, a CSV row with the wrong field count). The engine counts
 // it under outcome="error" and moves on.
 type RecordError struct {
-	// Line is the 1-based input line (or CSV record) number.
+	// Line is the 1-based input file line where the offending record
+	// starts (CSV records with quoted multi-line fields span several file
+	// lines; the count is file lines, not records).
 	Line int64
 	// Err is the underlying decode error.
 	Err error
@@ -127,7 +129,10 @@ func asciiSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c ==
 type CSVSource struct {
 	r      *csv.Reader
 	header []string
-	line   int64
+	// line is the 1-based file line where the most recent record starts —
+	// a true file line from csv.Reader.FieldPos, not a record count, so
+	// quoted multi-line fields don't skew later diagnostics.
+	line int64
 	// dupHeader and scratch support NextBatch when header names repeat
 	// (map semantics: last value per name wins).
 	dupHeader bool
@@ -150,13 +155,14 @@ func (s *CSVSource) Next(rec dqruntime.Record) (dqruntime.Record, error) {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
-		s.line++
 		if err != nil {
-			if _, ok := err.(*csv.ParseError); ok {
-				return nil, &RecordError{Line: s.line, Err: err}
+			if pe, ok := err.(*csv.ParseError); ok {
+				return nil, &RecordError{Line: int64(pe.StartLine), Err: err}
 			}
-			return nil, fmt.Errorf("dqbatch: reading CSV record %d: %w", s.line, err)
+			return nil, fmt.Errorf("dqbatch: reading CSV after line %d: %w", s.line, err)
 		}
+		line, _ := s.r.FieldPos(0)
+		s.line = int64(line)
 		if s.header == nil {
 			s.header = append([]string(nil), row...)
 			s.dupHeader = hasDuplicates(s.header)

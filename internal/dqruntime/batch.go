@@ -348,7 +348,12 @@ func (c CurrentnessCheck) ApplyBatch(b *ColumnBatch, out *ColumnResult) {
 			out.Fail(r, 0, lastErrDetail)
 			continue
 		}
-		if age := now().Sub(lastTS); age > c.MaxAge {
+		age := now().Sub(lastTS)
+		if skew := c.skew(); age < -skew {
+			out.Fail(r, 0, []string{fmt.Sprintf("%s is %s in the future, tolerance %s", c.Field, -age, skew)})
+			continue
+		}
+		if age > c.MaxAge {
 			out.Fail(r, 0, []string{fmt.Sprintf("%s is %s old, limit %s", c.Field, age, c.MaxAge)})
 		}
 	}

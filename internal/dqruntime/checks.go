@@ -206,17 +206,38 @@ func (c ConsistencyCheck) Apply(r Record) CheckResult {
 	return res
 }
 
+// DefaultMaxSkew is how far ahead of the clock a timestamp may sit before
+// CurrentnessCheck rejects it as future-dated.
+const DefaultMaxSkew = 5 * time.Minute
+
 // CurrentnessCheck verifies a timestamp field is recent enough, realizing
-// the Currentness characteristic ("of the right age").
+// the Currentness characteristic ("of the right age"). Timestamps ahead
+// of the clock by more than MaxSkew fail too: a future event time is not
+// "current", it is wrong.
 type CurrentnessCheck struct {
 	// Field holds an RFC 3339 timestamp.
 	Field string
 	// MaxAge is the oldest acceptable age.
 	MaxAge time.Duration
+	// MaxSkew tolerates timestamps this far in the future (clock drift
+	// between writer and validator); 0 means DefaultMaxSkew, negative
+	// means no tolerance.
+	MaxSkew time.Duration
 	// Now supplies the current time; time.Now when nil.
 	Now func() time.Time
 	// Optional passes blank values.
 	Optional bool
+}
+
+// skew resolves the effective future tolerance.
+func (c CurrentnessCheck) skew() time.Duration {
+	if c.MaxSkew == 0 {
+		return DefaultMaxSkew
+	}
+	if c.MaxSkew < 0 {
+		return 0
+	}
+	return c.MaxSkew
 }
 
 // Name returns "check_currentness".
@@ -247,6 +268,10 @@ func (c CurrentnessCheck) Apply(r Record) CheckResult {
 		now = c.Now
 	}
 	age := now().Sub(ts)
+	if skew := c.skew(); age < -skew {
+		res.Details = []string{fmt.Sprintf("%s is %s in the future, tolerance %s", c.Field, -age, skew)}
+		return res
+	}
 	if age > c.MaxAge {
 		res.Details = []string{fmt.Sprintf("%s is %s old, limit %s", c.Field, age, c.MaxAge)}
 		return res

@@ -131,6 +131,32 @@ func TestCurrentnessCheck(t *testing.T) {
 	if res := opt.Apply(Record{}); !res.Passed {
 		t.Fatal("blank optional failed")
 	}
+
+	// Future timestamps: tolerated within MaxSkew, rejected beyond it — a
+	// timestamp a year ahead is not "current" no matter how small MaxAge's
+	// age computation makes it.
+	drift := now.Add(2 * time.Minute).Format(time.RFC3339)
+	if res := c.Apply(Record{"last_modified_date": drift}); !res.Passed {
+		t.Fatalf("within-skew future failed: %v", res.Details)
+	}
+	future := now.Add(365 * 24 * time.Hour).Format(time.RFC3339)
+	res := c.Apply(Record{"last_modified_date": future})
+	if res.Passed {
+		t.Fatal("far-future timestamp passed")
+	}
+	if !strings.Contains(res.Details[0], "in the future") {
+		t.Fatalf("details = %v", res.Details)
+	}
+	strict := c
+	strict.MaxSkew = -1
+	if res := strict.Apply(Record{"last_modified_date": drift}); res.Passed {
+		t.Fatal("future timestamp passed with no skew tolerance")
+	}
+	loose := c
+	loose.MaxSkew = time.Hour
+	if res := loose.Apply(Record{"last_modified_date": drift}); !res.Passed {
+		t.Fatalf("within custom skew failed: %v", res.Details)
+	}
 }
 
 func TestValidatorReport(t *testing.T) {

@@ -25,6 +25,7 @@ var cellValues = []string{
 	"3.14", "1e3", "0x1p-2", "inf", "nan", "Infinity", "not-a-number",
 	"9223372036854775808", "1_000", "a@b.co", "not@email",
 	"2026-08-01T00:00:00Z", "1999-01-01T00:00:00Z", "2020-13-40",
+	"2027-03-01T00:00:00Z", "2026-08-08T12:03:00Z", // future-dated: beyond / within MaxSkew
 	"0", "6", "true-ish", "-", "+", ".",
 }
 

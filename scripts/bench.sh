@@ -1,10 +1,11 @@
 #!/bin/sh
 # Benchmark harness. Three suites, one JSON data point each per CI run:
 #   - batch engine (BenchmarkBatchSequential, BenchmarkBatchParallel{2,4,8},
-#     BenchmarkBatchVectorized and the full-engine BenchmarkBatchVectorized8)
+#     BenchmarkBatchVectorized, the full-engine BenchmarkBatchVectorized8
+#     and the cross-record BenchmarkBatchUniqueness{1,8} exact/Bloom pairs)
 #     → BENCH_batch.json: records/sec, allocs, stride-sampled p50/p99
-#     latency, plus the vectorized-vs-row and parallel-vs-sequential
-#     speedups.
+#     latency, plus the vectorized-vs-row, parallel-vs-sequential and
+#     uniqueness-vs-parallel speedups.
 #   - OCL evaluation (BenchmarkEvalInterpreted vs BenchmarkEvalCompiled per
 #     expression shape, plus the end-to-end BenchmarkBatchCompiled)
 #     → BENCH_ocl.json: ns/op, allocs/op and compiled-vs-interpreted
@@ -28,7 +29,7 @@ oclraw="$(mktemp)"
 obsraw="$(mktemp)"
 trap 'rm -f "$raw" "$oclraw" "$obsraw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkBatch(Sequential|Parallel[0-9]+|Vectorized[0-9]*)$' \
+go test -run '^$' -bench 'BenchmarkBatch(Sequential|Parallel[0-9]+|Vectorized[0-9]*|Uniqueness(Bloom)?[0-9]+)$' \
 	-benchmem -benchtime "$benchtime" -count 1 ./internal/dqbatch/ | tee "$raw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
@@ -58,9 +59,14 @@ END {
 	par = rps["BenchmarkBatchParallel8"]
 	vec = rps["BenchmarkBatchVectorized"]
 	vec8 = rps["BenchmarkBatchVectorized8"]
+	u8 = rps["BenchmarkBatchUniqueness8"]
+	ub8 = rps["BenchmarkBatchUniquenessBloom8"]
 	printf "  \"speedup_parallel8_vs_sequential\": %.2f,\n", (seq > 0) ? par / seq : 0
 	printf "  \"speedup_vectorized_vs_sequential\": %.2f,\n", (seq > 0) ? vec / seq : 0
-	printf "  \"speedup_vectorized8_vs_sequential\": %.2f\n", (seq > 0) ? vec8 / seq : 0
+	printf "  \"speedup_vectorized8_vs_sequential\": %.2f,\n", (seq > 0) ? vec8 / seq : 0
+	printf "  \"uniqueness8_records_per_sec\": %.0f,\n", u8
+	printf "  \"uniqueness_bloom8_records_per_sec\": %.0f,\n", ub8
+	printf "  \"uniqueness8_vs_parallel8\": %.2f\n", (par > 0) ? u8 / par : 0
 	print "}"
 }' "$raw" > "$out"
 
