@@ -20,7 +20,10 @@
 //	dqwebre batch -model easychair.xml -in orders.ndjson -unique id \
 //	    -ref customers.ndjson -ref-key id -ref-field customer_id \
 //	    -timeliness updated_at        # cross-record checks ride along
+//	dqwebre serve -model easychair.xml -staging /var/lib/dqwebre \
+//	    -addr :8081                   # resident validation service (job API)
 //	dqwebre load -url http://localhost:8080      # drive a live server
+//	dqwebre load -url http://localhost:8081 -jobs 32 -job-body records.ndjson
 //	dqwebre watch -url http://localhost:8080     # live DQ score/trend table
 package main
 

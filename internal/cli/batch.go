@@ -2,7 +2,6 @@ package cli
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -68,7 +67,7 @@ func cmdBatch(args []string, out io.Writer) error {
 		return fmt.Errorf("-ref and -ref-key go together")
 	}
 
-	enf, err := loadEnforcer(*modelPath)
+	enf, err := LoadEnforcer(*modelPath)
 	if err != nil {
 		return err
 	}
@@ -135,22 +134,20 @@ func cmdBatch(args []string, out io.Writer) error {
 		MaxDecodeErrors: *decodeErrs,
 		CrossRecord:     cross,
 	})
-	if *report == "json" {
-		data, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, string(data))
-	} else {
-		res.WriteText(out)
+	// RenderReport is the single rendering path shared with the job server
+	// (internal/dqserve): a SIGINT partial report here and a cancelled job's
+	// report there come out byte-identical.
+	if err := dqbatch.RenderReport(out, res, *report); err != nil {
+		return err
 	}
 	return runErr
 }
 
-// loadEnforcer loads a model file and assembles its runtime enforcer,
+// LoadEnforcer loads a model file and assembles its runtime enforcer,
 // running the DQR→DQSR transformation first when the file holds a
-// requirements model rather than a DQSR model.
-func loadEnforcer(path string) (*dqruntime.Enforcer, error) {
+// requirements model rather than a DQSR model. The serve command injects
+// it into the dqserve job server as its model loader.
+func LoadEnforcer(path string) (*dqruntime.Enforcer, error) {
 	m, err := loadModel(path)
 	if err != nil {
 		return nil, err

@@ -53,6 +53,8 @@ func Run(args []string, out io.Writer) error {
 		return cmdLoad(args[1:], out)
 	case "batch":
 		return cmdBatch(args[1:], out)
+	case "serve":
+		return cmdServe(args[1:], out)
 	case "watch":
 		return cmdWatch(args[1:], out)
 	default:
@@ -61,7 +63,7 @@ func Run(args []string, out io.Writer) error {
 }
 
 // usageLine summarizes the commands for error messages.
-const usageLine = "commands: demo, validate, diagram, transform, codegen, stats, diff, trace, load, batch, watch"
+const usageLine = "commands: demo, validate, diagram, transform, codegen, stats, diff, trace, load, batch, serve, watch"
 
 // loadModel reads an XMI (or JSON) model with the DQ_WebRE profile
 // available.

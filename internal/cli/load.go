@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -24,11 +25,18 @@ func cmdLoad(args []string, out io.Writer) error {
 	requests := fs.Int("n", 0, "total requests (0 = run for -d)")
 	duration := fs.Duration("d", 0, "run duration (0 with -n 0 = 2048 requests)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	jobs := fs.Int("jobs", 0, "job-API mode: submit this many validation jobs to a `dqwebre serve` target")
+	jobBody := fs.String("job-body", "", "records file POSTed per job (job-API mode)")
+	model := fs.String("model", "", "model reference passed with each job (job-API mode; default: server default)")
+	poll := fs.Duration("poll", 50*time.Millisecond, "job status poll interval (job-API mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("load takes no positional arguments")
+	}
+	if *jobs > 0 {
+		return runJobLoad(out, *url, *jobBody, *model, *jobs, *concurrency, *poll, *timeout)
 	}
 	var pathList []string
 	for _, p := range strings.Split(*paths, ",") {
@@ -78,6 +86,54 @@ func cmdLoad(args []string, out io.Writer) error {
 	}
 	if res.Total == 0 && res.Errors > 0 {
 		return fmt.Errorf("load: no request completed (%d transport errors) — is the server up?", res.Errors)
+	}
+	return nil
+}
+
+// runJobLoad is `dqwebre load -jobs N`: it drives the dqserve job API,
+// submitting whole NDJSON bodies and following each job to a terminal
+// state, so the report covers submit latency, end-to-end completion
+// latency and how many submissions the admission valves shed.
+func runJobLoad(out io.Writer, url, bodyPath, model string, jobs, concurrency int, poll, timeout time.Duration) error {
+	if bodyPath == "" {
+		return fmt.Errorf("load -jobs needs -job-body (the records file each job posts)")
+	}
+	body, err := os.ReadFile(bodyPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "load: %s job API, %d jobs, %d submitters\n", url, jobs, concurrency)
+	ctx := context.Background()
+	scrapeClient := &http.Client{Timeout: timeout}
+	metricsURL := strings.TrimSuffix(url, "/") + "/metrics"
+	before, scrapeErr := loadgen.ScrapeMetrics(ctx, scrapeClient, metricsURL)
+
+	res, err := loadgen.RunJobs(ctx, loadgen.JobConfig{
+		URL:         url,
+		Body:        body,
+		Model:       model,
+		Jobs:        jobs,
+		Concurrency: concurrency,
+		PollEvery:   poll,
+		Timeout:     timeout,
+	})
+	if err != nil {
+		return err
+	}
+	res.WriteReport(out)
+	if scrapeErr == nil {
+		after, err := loadgen.ScrapeMetrics(ctx, scrapeClient, metricsURL)
+		if err != nil {
+			scrapeErr = err
+		} else {
+			loadgen.DiffServerMetrics(before, after).WriteReport(out)
+		}
+	}
+	if scrapeErr != nil {
+		fmt.Fprintf(out, "server:      telemetry unavailable (%v)\n", scrapeErr)
+	}
+	if res.Submitted == 0 && res.Errors > 0 {
+		return fmt.Errorf("load: no job accepted (%d transport errors) — is the server up?", res.Errors)
 	}
 	return nil
 }

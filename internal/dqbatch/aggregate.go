@@ -209,11 +209,11 @@ func mergeShards(shards []*shard, maxExemplars int) (stats []CharacteristicStats
 			if ca.maxScore > m.maxScore {
 				m.maxScore = ca.maxScore
 			}
-			for _, ex := range ca.exemplars {
-				if len(m.exemplars) < maxExemplars {
-					m.exemplars = append(m.exemplars, ex)
-				}
-			}
+			// Pool every shard's exemplars; the cap is applied after the
+			// global sort below, so the retained set is the first failures
+			// by record ordinal regardless of which worker saw them —
+			// reports stay byte-identical across worker counts and runs.
+			m.exemplars = append(m.exemplars, ca.exemplars...)
 		}
 		samples = append(samples, s.samples...)
 	}
@@ -231,6 +231,9 @@ func mergeShards(shards []*shard, maxExemplars int) (stats []CharacteristicStats
 			cs.MeanScore = m.sumScore / float64(m.checks)
 		}
 		sort.Slice(cs.Exemplars, func(i, j int) bool { return cs.Exemplars[i].Record < cs.Exemplars[j].Record })
+		if len(cs.Exemplars) > maxExemplars {
+			cs.Exemplars = cs.Exemplars[:maxExemplars]
+		}
 		stats = append(stats, cs)
 	}
 	sort.Slice(stats, func(i, j int) bool { return stats[i].Characteristic < stats[j].Characteristic })

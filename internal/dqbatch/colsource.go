@@ -31,6 +31,7 @@ func (s *NDJSONSource) NextBatch(dst *dqruntime.ColumnBatch, max int, bad func(l
 	for n < max && s.sc.Scan() {
 		s.line++
 		raw := s.sc.Bytes()
+		s.offset += int64(len(raw)) + 1
 		if len(trimSpaceBytes(raw)) == 0 {
 			continue
 		}

@@ -31,8 +31,8 @@ func crossNDJSON() string {
 		case i == 150 || i == 600:
 			fmt.Fprintf(&b, `{"id": "gap-%d", "customer_id": "c1", "ts": "2026-08-08T06:00:00Z"}`+"\n", i)
 		default:
-			id := fmt.Sprintf("id-%d", i%800)  // i and i+800 collide below 100
-			cust := fmt.Sprintf("c%d", i%45)   // reference set holds c0..c39
+			id := fmt.Sprintf("id-%d", i%800) // i and i+800 collide below 100
+			cust := fmt.Sprintf("c%d", i%45)  // reference set holds c0..c39
 			var ts string
 			switch i % 7 {
 			case 0:

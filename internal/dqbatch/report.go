@@ -1,0 +1,30 @@
+package dqbatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RenderReport writes res to w in the named format: "json" is the indented
+// JSON document ending in a newline, "text" the human-readable report of
+// WriteText. It is the single rendering path shared by `dqwebre batch`
+// (including its SIGINT partial report) and the job server's /report and
+// cancel endpoints, so a report produced anywhere in the system is
+// byte-identical everywhere for the same Result.
+func RenderReport(w io.Writer, res *Result, format string) error {
+	switch format {
+	case "json":
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, string(data))
+		return err
+	case "text":
+		res.WriteText(w)
+		return nil
+	default:
+		return fmt.Errorf("unknown report format %q (text or json)", format)
+	}
+}

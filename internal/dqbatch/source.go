@@ -58,20 +58,40 @@ const maxLineBytes = 1 << 20
 type NDJSONSource struct {
 	sc   *bufio.Scanner
 	line int64
+	// offset counts input bytes consumed through the end of the last
+	// scanned line, assuming LF terminators (see ByteOffset).
+	offset int64
 }
 
 // NewNDJSONSource wraps a reader of NDJSON records.
 func NewNDJSONSource(r io.Reader) *NDJSONSource {
+	return NewNDJSONSourceAt(r, 0, 0)
+}
+
+// NewNDJSONSourceAt wraps a reader positioned mid-file: the first line read
+// is numbered startLine+1 and ByteOffset starts at startOffset, so decode
+// errors and checkpoints from a tail read carry true whole-file positions.
+// The caller seeks r; the source only continues the numbering.
+func NewNDJSONSourceAt(r io.Reader, startLine, startOffset int64) *NDJSONSource {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
-	return &NDJSONSource{sc: sc}
+	return &NDJSONSource{sc: sc, line: startLine, offset: startOffset}
 }
+
+// ByteOffset returns the input bytes consumed through the end of the most
+// recently scanned line. Offsets assume LF line terminators (the scanner
+// strips CR, so CRLF input under-counts one byte per line); they exist for
+// progress checkpoints, where a record-aligned resume point matters more
+// than terminator-exact arithmetic. Not safe for concurrent use with Next;
+// a Progress wrapper (CountSource) publishes it across goroutines.
+func (s *NDJSONSource) ByteOffset() int64 { return s.offset }
 
 // Next decodes the next non-blank line into rec.
 func (s *NDJSONSource) Next(rec dqruntime.Record) (dqruntime.Record, error) {
 	for s.sc.Scan() {
 		s.line++
 		raw := s.sc.Bytes()
+		s.offset += int64(len(raw)) + 1
 		if len(trimSpaceBytes(raw)) == 0 {
 			continue
 		}
@@ -147,6 +167,12 @@ func NewCSVSource(r io.Reader) *CSVSource {
 	cr.FieldsPerRecord = -1 // field-count mismatches are per-record errors
 	return &CSVSource{r: cr}
 }
+
+// ByteOffset returns the input bytes consumed through the most recently
+// read record (csv.Reader.InputOffset, so quoting and CRLF are exact). Not
+// safe for concurrent use with Next; a Progress wrapper (CountSource)
+// publishes it across goroutines.
+func (s *CSVSource) ByteOffset() int64 { return s.r.InputOffset() }
 
 // Next decodes the next data row into rec.
 func (s *CSVSource) Next(rec dqruntime.Record) (dqruntime.Record, error) {

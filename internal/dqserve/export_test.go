@@ -1,0 +1,15 @@
+package dqserve
+
+// Test-only access to the white-box hooks, so the behavioural tests can
+// live in package dqserve_test (which may import internal/cli without a
+// cycle) and still saturate the pool and simulate crashes.
+
+// SetBeforeRun installs the worker-side hook that runs after a job is
+// dequeued and marked running, before the engine starts. Install before
+// Start.
+func (s *Server) SetBeforeRun(f func(*Job)) { s.beforeRun = f }
+
+// Abort simulates a SIGKILL: workers stop without any terminal state
+// reaching disk, leaving manifests saying "running"/"queued" for the
+// restart tests.
+func (s *Server) Abort() { s.abort() }

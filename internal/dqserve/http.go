@@ -1,0 +1,407 @@
+package dqserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/modeldriven/dqwebre/internal/dqbatch"
+	"github.com/modeldriven/dqwebre/internal/webapp"
+)
+
+// Handler returns the job API:
+//
+//	POST   /v1/jobs            submit a record stream; 202 + job id
+//	GET    /v1/jobs/{id}        status and progress
+//	GET    /v1/jobs/{id}/report the finished (or partial) report
+//	DELETE /v1/jobs/{id}        cancel; the partial report stays available
+//	GET    /healthz             liveness probe
+//	GET    /metrics             Prometheus exposition (incl. dqserve_jobs_total)
+//	GET    /debug/quality       windowed DQ score series across jobs
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/quality", s.handleQuality)
+	return mux
+}
+
+// writeJSON sends v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// apiError sends a JSON error body.
+func apiError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseOptions builds JobOptions from the submit query parameters,
+// validating everything that can fail later so a bad job is rejected at
+// the door, not at run time.
+func parseOptions(r *http.Request) (JobOptions, error) {
+	q := r.URL.Query()
+	var o JobOptions
+	var err error
+	intParam := func(name string) (int, error) {
+		v := q.Get(name)
+		if v == "" {
+			return 0, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s %q", name, v)
+		}
+		return n, nil
+	}
+	if o.Workers, err = intParam("workers"); err != nil {
+		return o, err
+	}
+	if o.Exemplars, err = intParam("exemplars"); err != nil {
+		return o, err
+	}
+	if o.DecodeErrors, err = intParam("decode_errors"); err != nil {
+		return o, err
+	}
+	if o.UniqueMaxExact, err = intParam("unique_max_exact"); err != nil {
+		return o, err
+	}
+	o.Rows = q.Get("rows") == "1" || q.Get("rows") == "true"
+	o.Context = q.Get("context")
+	o.Unique = splitList(q.Get("unique"))
+	o.Timeliness = q.Get("timeliness")
+	o.Windows = splitList(q.Get("windows"))
+	o.MaxAge = q.Get("max_age")
+	o.MaxSkew = q.Get("max_skew")
+	if _, err := o.crossChecks(); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// splitList splits a comma-separated list, trimming whitespace and
+// dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// recordFormat picks the job's record format: explicit param first, then
+// the Content-Type, then NDJSON.
+func recordFormat(r *http.Request) (string, error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "ndjson", "csv":
+		return f, nil
+	case "":
+	default:
+		return "", fmt.Errorf("unknown record format %q (ndjson or csv)", f)
+	}
+	if mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && mt == "text/csv" {
+		return "csv", nil
+	}
+	return "ndjson", nil
+}
+
+// handleSubmit admits one job: rate limit, then the queued+running bound,
+// then spill the body to the staging dir with chunk-offset checkpoints,
+// persist the manifest and enqueue.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		apiError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.rate != nil && !s.rate.Allow(webapp.ClientKey(r)) {
+		s.shedRate.Inc()
+		w.Header().Set("Retry-After", "1")
+		apiError(w, http.StatusTooManyRequests, "rate limit exceeded, retry later")
+		return
+	}
+	opts, err := parseOptions(r)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	format, err := recordFormat(r)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// The admission valve: beyond MaxJobs queued+running jobs the
+	// submission is shed immediately — before any staging I/O — so an
+	// overloaded server stays cheap to say no to.
+	if !s.slots.TryAcquire() {
+		s.shedQueue.Inc()
+		w.Header().Set("Retry-After", "1")
+		apiError(w, http.StatusServiceUnavailable, "job queue full, retry later")
+		return
+	}
+
+	id, err := newJobID()
+	if err != nil {
+		s.slots.Release()
+		apiError(w, http.StatusInternalServerError, "minting job id: %v", err)
+		return
+	}
+	j := &Job{
+		ID:        id,
+		Format:    format,
+		Opts:      opts,
+		InputPath: stagingPath(s.cfg.StagingDir, id, inputSuffix),
+		Created:   time.Now(),
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		slotHeld:  true,
+	}
+
+	if err := s.stageSubmission(j, r); err != nil {
+		s.slots.Release()
+		s.discardStaging(id)
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := saveManifest(s.cfg.StagingDir, j); err != nil {
+		s.slots.Release()
+		s.discardStaging(id)
+		apiError(w, http.StatusInternalServerError, "persisting job: %v", err)
+		return
+	}
+	s.jobsSubmitted.Inc()
+	s.enqueue(j)
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":     j.ID,
+		"state":  StateQueued,
+		"status": "/v1/jobs/" + j.ID,
+		"report": "/v1/jobs/" + j.ID + "/report",
+	})
+}
+
+// stageSubmission resolves the job's model and spills its record stream to
+// disk. A multipart body carries an inline model ("model" part) alongside
+// the records ("records" part); any other body is the record stream
+// itself, with the model named by the ?model= reference (or the server's
+// default model).
+func (s *Server) stageSubmission(j *Job, r *http.Request) error {
+	mt, params, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if strings.HasPrefix(mt, "multipart/") {
+		return s.stageMultipart(j, r, params["boundary"])
+	}
+	modelPath, err := s.resolveModel(r.URL.Query().Get("model"))
+	if err != nil {
+		return err
+	}
+	j.ModelPath = modelPath
+	j.ModelRef = r.URL.Query().Get("model")
+	if j.ModelRef == "" {
+		j.ModelRef = "default"
+	}
+	return s.stageInput(j, r.Body)
+}
+
+// stageMultipart stages an inline-model submission: the "model" part is
+// written beside the input and becomes the job's model file.
+func (s *Server) stageMultipart(j *Job, r *http.Request, boundary string) error {
+	if boundary == "" {
+		return fmt.Errorf("multipart submission without boundary")
+	}
+	mr := multipart.NewReader(r.Body, boundary)
+	var haveModel, haveRecords bool
+	for {
+		part, err := mr.NextPart()
+		if err != nil {
+			break
+		}
+		switch part.FormName() {
+		case "model":
+			modelPath := stagingPath(s.cfg.StagingDir, j.ID, modelSuffix)
+			if _, err := stageTo(modelPath, part, s.cfg.StageChunkBytes, nil); err != nil {
+				return fmt.Errorf("staging inline model: %w", err)
+			}
+			j.ModelPath = modelPath
+			j.ModelRef = "inline"
+			haveModel = true
+		case "records":
+			if !haveModel {
+				return fmt.Errorf(`multipart submission must carry the "model" part before "records"`)
+			}
+			if err := s.stageInput(j, part); err != nil {
+				return err
+			}
+			haveRecords = true
+		default:
+			return fmt.Errorf("unknown multipart part %q (want model, records)", part.FormName())
+		}
+	}
+	if !haveModel || !haveRecords {
+		return fmt.Errorf(`multipart submission needs both a "model" and a "records" part`)
+	}
+	return nil
+}
+
+// stageInput spills the record stream to the job's input file, advancing
+// the chunk-offset checkpoint as each chunk becomes durable and sealing it
+// with StagedComplete once the whole body is down. A job whose checkpoint
+// never sealed cannot resume — the restart scan fails it with the staged
+// byte count.
+func (s *Server) stageInput(j *Job, body io.Reader) error {
+	dir := s.cfg.StagingDir
+	n, err := stageTo(j.InputPath, body, s.cfg.StageChunkBytes, func(off int64) error {
+		return saveCheckpoint(dir, j.ID, checkpoint{StagedBytes: off})
+	})
+	if err != nil {
+		return fmt.Errorf("staging input: %w", err)
+	}
+	j.InputBytes = n
+	return saveCheckpoint(dir, j.ID, checkpoint{StagedBytes: n, StagedComplete: true})
+}
+
+// discardStaging removes a failed submission's staging files.
+func (s *Server) discardStaging(id string) {
+	for _, suffix := range []string{inputSuffix, modelSuffix, checkpointSuffix, manifestSuffix} {
+		_ = os.Remove(stagingPath(s.cfg.StagingDir, id, suffix))
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		apiError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleReport serves the job's report — JSON by default (the persisted
+// bytes, so restarts serve identical documents) or ?format=text rendered
+// through the same dqbatch.RenderReport path as the CLI.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		apiError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "text" {
+		apiError(w, http.StatusBadRequest, "unknown report format %q (text or json)", format)
+		return
+	}
+	j.mu.Lock()
+	terminal := j.terminal
+	state := j.state
+	errMsg := j.errMsg
+	report := j.reportJSON
+	res := j.result
+	j.mu.Unlock()
+	if !terminal {
+		apiError(w, http.StatusConflict, "job is %s; report not ready", state)
+		return
+	}
+	if res == nil || report == nil {
+		apiError(w, http.StatusConflict, "job %s without a report: %s", state, errMsg)
+		return
+	}
+	if format == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = dqbatch.RenderReport(w, res, "text")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(report)
+}
+
+// handleCancel cancels a job. A queued job is cancelled outright; a
+// running one has its context pulled and the handler waits for the engine
+// to drain and the partial report to land before answering. Cancelling a
+// finished job is a no-op that reports its state.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		apiError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.mu.Unlock()
+		s.finishJob(j, StateCancelled, nil, nil, nil)
+	case StateRunning:
+		cancel := j.cancelRun
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			apiError(w, http.StatusGatewayTimeout, "cancellation still draining")
+			return
+		}
+	default:
+		j.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"jobs":    jobs,
+		"queued":  len(s.queue),
+		"running": int(s.running.Value()),
+	})
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition,
+// mirroring the dq_score window export the easychair server does so one
+// scrape config covers both.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.quality.Export(s.reg,
+		"dq_score", "Windowed mean DQ check score, by characteristic, context and window",
+		"dq_check_failures", "Windowed DQ check failure count, by characteristic, context and window")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	data, err := json.MarshalIndent(s.quality.Report("dq_score", 0), "", "  ")
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, "quality report: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(data, '\n'))
+}

@@ -217,7 +217,7 @@ func (l *RateLimiter) Middleware(exempt ...string) Middleware {
 				next(c)
 				return
 			}
-			if !l.Allow(clientKey(c.R)) {
+			if !l.Allow(ClientKey(c.R)) {
 				c.W.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(l.rate)))
 				c.Text(http.StatusTooManyRequests, "rate limit exceeded, retry later\n")
 				return
@@ -239,9 +239,11 @@ func retryAfterSeconds(rate float64) int {
 	return s
 }
 
-// clientKey identifies the requesting client: the remote IP without the
-// ephemeral port, falling back to the whole RemoteAddr.
-func clientKey(r *http.Request) string {
+// ClientKey identifies the requesting client: the remote IP without the
+// ephemeral port, falling back to the whole RemoteAddr. It is the key the
+// rate-limit middleware buckets by, exported so servers that apply the
+// limiters by hand (the dqserve job API) shed by the same identity.
+func ClientKey(r *http.Request) string {
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {
 		return r.RemoteAddr
