@@ -41,6 +41,8 @@ func cmdServe(args []string, out io.Writer) error {
 	rate := fs.Float64("rate", 0, "per-client sustained submissions/second; excess shed with 429 (0 disables)")
 	rateBurst := fs.Int("rate-burst", 8, "per-client burst headroom above -rate")
 	checkpointEvery := fs.Duration("checkpoint-every", 2*time.Second, "progress checkpoint interval for running jobs")
+	retainFor := fs.Duration("retain", time.Hour, "how long finished jobs (and their staged files/reports) stay available; <0 keeps them forever")
+	maxBody := fs.Int64("max-body", 4<<30, "submission body cap in bytes; larger uploads are rejected with 413 (<0 disables)")
 	readTimeout := fs.Duration("read-timeout", 5*time.Minute, "max time to read one submission body")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown")
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +80,8 @@ func cmdServe(args []string, out io.Writer) error {
 		RatePerSec:      *rate,
 		RateBurst:       *rateBurst,
 		CheckpointEvery: *checkpointEvery,
+		RetainFor:       *retainFor,
+		MaxBodyBytes:    *maxBody,
 	}
 	return runServe(ctx, cfg, *addr, *readTimeout, *drainTimeout, nil, out)
 }

@@ -71,6 +71,15 @@ type Config struct {
 	// BatchChunkSize overrides the engine's records-per-work-item size
 	// (dqbatch.Options.ChunkSize); 0 keeps the engine default.
 	BatchChunkSize int
+	// RetainFor bounds how long a terminal job — its staging files and its
+	// API entry — outlives completion; a janitor sweeps older jobs so a
+	// long-running server's disk and job table stay bounded. Default 1h;
+	// negative retains terminal jobs forever.
+	RetainFor time.Duration
+	// MaxBodyBytes caps a submission's request body; larger uploads are
+	// rejected with 413 before they can fill the staging disk. Default
+	// 4 GiB; negative disables the cap.
+	MaxBodyBytes int64
 	// Registry receives the server's metrics; nil means obs.Default().
 	Registry *obs.Registry
 	// Quality receives per-characteristic attribution from every job,
@@ -143,6 +152,12 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.StageChunkBytes <= 0 {
 		cfg.StageChunkBytes = 1 << 20
 	}
+	if cfg.RetainFor == 0 {
+		cfg.RetainFor = time.Hour
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 4 << 30
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.Default()
@@ -185,12 +200,61 @@ func NewServer(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Start launches the job workers.
+// Start launches the job workers and the retention janitor.
 func (s *Server) Start() {
 	for i := 0; i < s.cfg.JobWorkers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.cfg.RetainFor > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
+}
+
+// janitor periodically reaps terminal jobs older than RetainFor. Without
+// it every finished job would pin its staged input, model, checkpoint and
+// report on disk (and its entry in the job table) for the life of the
+// process.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	every := s.cfg.RetainFor / 4
+	if every > time.Minute {
+		every = time.Minute
+	}
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.gcTerminal(time.Now().Add(-s.cfg.RetainFor))
+		}
+	}
+}
+
+// gcTerminal drops every terminal job finished before cutoff from the job
+// table and removes its staging files. Returns how many jobs it reaped.
+func (s *Server) gcTerminal(cutoff time.Time) int {
+	s.mu.Lock()
+	var reap []*Job
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		if j.terminal && !j.finished.IsZero() && j.finished.Before(cutoff) {
+			reap = append(reap, j)
+			delete(s.jobs, id)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, j := range reap {
+		s.discardStaging(j.ID)
+	}
+	return len(reap)
 }
 
 // Drain stops accepting submissions, lets running jobs finish, and leaves
@@ -296,9 +360,15 @@ func (s *Server) resolveModel(ref string) (string, error) {
 	return path, nil
 }
 
-// enforcer returns the cached enforcer for a model path, loading it on
-// first use. Validators are safe for concurrent use across jobs.
-func (s *Server) enforcer(path string) (*dqruntime.Enforcer, error) {
+// enforcer returns the enforcer for a model path, caching it across jobs
+// when cache is true. Validators are safe for concurrent use across jobs.
+// Inline models are per-job files, so caching their enforcers would add
+// one permanently-dead cache entry per submission — callers pass
+// cache=false for those and the enforcer dies with the job.
+func (s *Server) enforcer(path string, cache bool) (*dqruntime.Enforcer, error) {
+	if !cache {
+		return s.cfg.LoadEnforcer(path)
+	}
 	s.enfMu.Lock()
 	defer s.enfMu.Unlock()
 	if enf, ok := s.enfCache[path]; ok {
@@ -313,14 +383,40 @@ func (s *Server) enforcer(path string) (*dqruntime.Enforcer, error) {
 }
 
 // enqueue registers the job and hands it to the worker pool. The queue
-// channel's capacity equals the slot limiter's, so a send after a
+// channel's capacity equals the slot limiter's, and every channel space is
+// matched by a held slot until the worker dequeues (even for jobs
+// cancelled while queued — see Server.dequeued), so a send after a
 // successful TryAcquire never blocks.
 func (s *Server) enqueue(j *Job) {
 	s.mu.Lock()
 	s.jobs[j.ID] = j
 	s.mu.Unlock()
+	j.mu.Lock()
+	j.inQueue = true
+	j.mu.Unlock()
 	s.queueDepth.Add(1)
 	s.queue <- j
+}
+
+// dequeued marks j out of the queue channel and reports whether it still
+// needs to run. A job cancelled while queued kept its admission slot so
+// freed capacity could never outrun the channel space its ghost occupied;
+// that slot is released here, once the ghost has actually left the
+// channel.
+func (s *Server) dequeued(j *Job) bool {
+	j.mu.Lock()
+	j.inQueue = false
+	if !j.terminal {
+		j.mu.Unlock()
+		return true
+	}
+	release := j.slotHeld
+	j.slotHeld = false
+	j.mu.Unlock()
+	if release {
+		s.slots.Release()
+	}
+	return false
 }
 
 // worker executes queued jobs until the server drains. The quit check
@@ -339,7 +435,9 @@ func (s *Server) worker() {
 			return
 		case j := <-s.queue:
 			s.queueDepth.Add(-1)
-			s.runJob(j)
+			if s.dequeued(j) {
+				s.runJob(j)
+			}
 		}
 	}
 }

@@ -1,5 +1,7 @@
 package dqserve
 
+import "time"
+
 // Test-only access to the white-box hooks, so the behavioural tests can
 // live in package dqserve_test (which may import internal/cli without a
 // cycle) and still saturate the pool and simulate crashes.
@@ -13,3 +15,14 @@ func (s *Server) SetBeforeRun(f func(*Job)) { s.beforeRun = f }
 // reaching disk, leaving manifests saying "running"/"queued" for the
 // restart tests.
 func (s *Server) Abort() { s.abort() }
+
+// GCTerminal runs one retention sweep with the given cutoff and returns
+// how many terminal jobs it reaped.
+func (s *Server) GCTerminal(cutoff time.Time) int { return s.gcTerminal(cutoff) }
+
+// EnforcerCacheSize reports how many model enforcers are cached.
+func (s *Server) EnforcerCacheSize() int {
+	s.enfMu.Lock()
+	defer s.enfMu.Unlock()
+	return len(s.enfCache)
+}

@@ -2,6 +2,7 @@ package dqserve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"mime"
@@ -178,10 +179,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		slotHeld:  true,
 	}
 
+	if s.cfg.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
 	if err := s.stageSubmission(j, r); err != nil {
 		s.slots.Release()
 		s.discardStaging(id)
-		apiError(w, http.StatusBadRequest, "%v", err)
+		var maxErr *http.MaxBytesError
+		var stErr storageError
+		switch {
+		case errors.As(err, &maxErr):
+			apiError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte submission cap", maxErr.Limit)
+		case errors.As(err, &stErr):
+			// Server-side staging fault (disk, fsync, checkpoint write):
+			// the submission itself was fine and a retry may succeed, so
+			// never blame the client with a 4xx.
+			apiError(w, http.StatusInternalServerError, "%v", err)
+		default:
+			apiError(w, http.StatusBadRequest, "%v", err)
+		}
 		return
 	}
 	if err := saveManifest(s.cfg.StagingDir, j); err != nil {
@@ -232,8 +249,14 @@ func (s *Server) stageMultipart(j *Job, r *http.Request, boundary string) error 
 	var haveModel, haveRecords bool
 	for {
 		part, err := mr.NextPart()
-		if err != nil {
+		if err == io.EOF {
 			break
+		}
+		if err != nil {
+			// A truncated multipart body (client disconnect mid-upload)
+			// surfaces here or from the part reader below; either way the
+			// submission fails rather than validating partial input.
+			return fmt.Errorf("reading multipart submission: %w", err)
 		}
 		switch part.FormName() {
 		case "model":
@@ -242,7 +265,7 @@ func (s *Server) stageMultipart(j *Job, r *http.Request, boundary string) error 
 				return fmt.Errorf("staging inline model: %w", err)
 			}
 			j.ModelPath = modelPath
-			j.ModelRef = "inline"
+			j.ModelRef = modelRefInline
 			haveModel = true
 		case "records":
 			if !haveModel {
@@ -270,18 +293,25 @@ func (s *Server) stageMultipart(j *Job, r *http.Request, boundary string) error 
 func (s *Server) stageInput(j *Job, body io.Reader) error {
 	dir := s.cfg.StagingDir
 	n, err := stageTo(j.InputPath, body, s.cfg.StageChunkBytes, func(off int64) error {
-		return saveCheckpoint(dir, j.ID, checkpoint{StagedBytes: off})
+		if err := saveCheckpoint(dir, j.ID, checkpoint{StagedBytes: off}); err != nil {
+			return storageError{err}
+		}
+		return nil
 	})
 	if err != nil {
 		return fmt.Errorf("staging input: %w", err)
 	}
 	j.InputBytes = n
-	return saveCheckpoint(dir, j.ID, checkpoint{StagedBytes: n, StagedComplete: true})
+	if err := saveCheckpoint(dir, j.ID, checkpoint{StagedBytes: n, StagedComplete: true}); err != nil {
+		return storageError{err}
+	}
+	return nil
 }
 
-// discardStaging removes a failed submission's staging files.
+// discardStaging removes a job's staging files (failed submissions and
+// retention-reaped terminal jobs alike).
 func (s *Server) discardStaging(id string) {
-	for _, suffix := range []string{inputSuffix, modelSuffix, checkpointSuffix, manifestSuffix} {
+	for _, suffix := range []string{inputSuffix, modelSuffix, checkpointSuffix, reportSuffix, manifestSuffix} {
 		_ = os.Remove(stagingPath(s.cfg.StagingDir, id, suffix))
 	}
 }

@@ -118,7 +118,11 @@ type Job struct {
 	reportJSON []byte
 	cancelRun  context.CancelFunc
 	slotHeld   bool
-	terminal   bool
+	// inQueue is true while the job occupies a space in the queue channel.
+	// A job cancelled while queued keeps its admission slot until a worker
+	// drains its ghost, so freed capacity can never outrun channel space.
+	inQueue  bool
+	terminal bool
 	// crashed marks an abort()-simulated kill: the runner must leave the
 	// on-disk state untouched, as a SIGKILL would.
 	crashed bool
@@ -195,6 +199,11 @@ const (
 	reportSuffix     = ".report.json"
 )
 
+// modelRefInline is the user-facing model reference of a job that shipped
+// its own model in the multipart body. Inline model files are per-job, so
+// their enforcers are never cached.
+const modelRefInline = "inline"
+
 func stagingPath(dir, id, suffix string) string {
 	return filepath.Join(dir, id+suffix)
 }
@@ -226,18 +235,48 @@ type checkpoint struct {
 	ByteOffset     int64 `json:"byte_offset"`
 }
 
-// writeJSONAtomic persists v at path via tmp+rename, so readers (and the
-// resume scan after a crash) never observe a torn document.
+// writeJSONAtomic persists v at path via tmp+fsync+rename, then syncs the
+// directory, so readers (and the resume scan after a crash or power loss)
+// never observe a torn, empty or missing document — the same durability
+// the staged input itself gets from stageTo.
 func writeJSONAtomic(path string, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.Create(tmp)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }
 
 func saveManifest(dir string, j *Job) error {
@@ -315,28 +354,44 @@ func loadJob(dir, id string) (*Job, error) {
 	return j, nil
 }
 
-// stageTo copies r to path in chunks, calling onChunk with the durable
-// offset after each chunk lands (the file is synced first, so the offset
-// never overstates what a crash would preserve). Returns the bytes staged.
+// storageError marks a server-side staging fault (creating, writing or
+// syncing staging files) as distinct from a request-side failure, so the
+// submit handler can answer 5xx instead of blaming the client.
+type storageError struct{ err error }
+
+func (e storageError) Error() string { return e.err.Error() }
+func (e storageError) Unwrap() error { return e.err }
+
+// stageTo copies r to path, calling onChunk with the durable offset every
+// chunkBytes of staged input (the file is synced first, so the offset
+// never overstates what a crash would preserve). Only a clean io.EOF ends
+// the copy successfully: net/http yields io.ErrUnexpectedEOF when a
+// client disconnects mid-body on a Content-Length request (multipart does
+// the same for a truncated part), and that MUST fail the submission — a
+// truncated upload can never be sealed and validated as if it were
+// complete. File-side faults come back wrapped in storageError; reader
+// errors propagate as-is. Returns the bytes staged.
 func stageTo(path string, r io.Reader, chunkBytes int, onChunk func(offset int64) error) (int64, error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return 0, err
+		return 0, storageError{err}
 	}
 	buf := make([]byte, chunkBytes)
-	var off int64
+	var off, sinceSync int64
 	for {
-		n, rerr := io.ReadFull(r, buf)
+		n, rerr := r.Read(buf)
 		if n > 0 {
 			if _, werr := f.Write(buf[:n]); werr != nil {
 				f.Close()
-				return off, werr
+				return off, storageError{werr}
 			}
 			off += int64(n)
-			if onChunk != nil {
+			sinceSync += int64(n)
+			if onChunk != nil && sinceSync >= int64(chunkBytes) {
+				sinceSync = 0
 				if serr := f.Sync(); serr != nil {
 					f.Close()
-					return off, serr
+					return off, storageError{serr}
 				}
 				if cerr := onChunk(off); cerr != nil {
 					f.Close()
@@ -344,7 +399,7 @@ func stageTo(path string, r io.Reader, chunkBytes int, onChunk func(offset int64
 				}
 			}
 		}
-		if rerr == io.EOF || errors.Is(rerr, io.ErrUnexpectedEOF) {
+		if rerr == io.EOF {
 			break
 		}
 		if rerr != nil {
@@ -354,9 +409,12 @@ func stageTo(path string, r io.Reader, chunkBytes int, onChunk func(offset int64
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return off, err
+		return off, storageError{err}
 	}
-	return off, f.Close()
+	if err := f.Close(); err != nil {
+		return off, storageError{err}
+	}
+	return off, nil
 }
 
 // runJob executes one dequeued job end to end: load the (cached)
@@ -391,7 +449,7 @@ func (s *Server) runJob(j *Job) {
 	span.SetAttr("model", j.ModelRef)
 	defer span.End()
 
-	enf, err := s.enforcer(j.ModelPath)
+	enf, err := s.enforcer(j.ModelPath, j.ModelRef != modelRefInline)
 	if err != nil {
 		span.Fail(err)
 		s.finishJob(j, StateFailed, nil, nil, fmt.Errorf("loading model: %w", err))
@@ -509,8 +567,15 @@ func (s *Server) finishJob(j *Job, state string, res *dqbatch.Result, reportJSON
 		}
 		j.reportJSON = reportJSON
 	}
-	slotHeld := j.slotHeld
-	j.slotHeld = false
+	var release bool
+	if j.slotHeld && !j.inQueue {
+		// A job still sitting in the queue channel keeps its slot: freeing
+		// it now would admit a replacement submission whose enqueue could
+		// block on the channel space the ghost still occupies. The worker
+		// releases the slot when it drains the ghost (Server.dequeued).
+		j.slotHeld = false
+		release = true
+	}
 	j.mu.Unlock()
 
 	if reportJSON != nil {
@@ -537,7 +602,7 @@ func (s *Server) finishJob(j *Job, state string, res *dqbatch.Result, reportJSON
 	case StateCancelled:
 		s.jobsCancelled.Inc()
 	}
-	if slotHeld {
+	if release {
 		s.slots.Release()
 	}
 	close(j.done)

@@ -294,6 +294,12 @@ func TestInlineModelSubmission(t *testing.T) {
 	if normalizeReport(t, inlineReport) != normalizeReport(t, refReport) {
 		t.Fatal("inline-model report diverges from server-model report")
 	}
+	// Only the reference job's server-side model is cached: an inline
+	// model is a per-job file, and caching its enforcer would leak one
+	// dead entry per submission.
+	if n := s.EnforcerCacheSize(); n != 1 {
+		t.Fatalf("enforcer cache size = %d, want 1 (inline models must not be cached)", n)
+	}
 }
 
 // TestQueueBoundSheds503 saturates the admission valve: with one worker
@@ -574,6 +580,211 @@ func TestRestartServesFinishedReports(t *testing.T) {
 	status, text := get(t, ts2, "/v1/jobs/"+id+"/report?format=text")
 	if status != http.StatusOK || !strings.Contains(string(text), "records") {
 		t.Fatalf("text report = %d: %s", status, text)
+	}
+}
+
+// errReader yields err on every Read — the tail of a truncated upload.
+type errReader struct{ err error }
+
+func (e errReader) Read([]byte) (int, error) { return 0, e.err }
+
+// TestTruncatedUploadRejected drives the submit handler with a body that
+// ends in io.ErrUnexpectedEOF — what net/http yields when a client
+// disconnects mid-body on a Content-Length request. The submission must
+// fail with a client error (a truncated upload must never be sealed,
+// validated and served as a confident report over partial data), leave no
+// staging files behind, and release its admission slot.
+func TestTruncatedUploadRejected(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxJobs = 1
+	s, _ := startServer(t, cfg)
+
+	body := io.MultiReader(
+		strings.NewReader(makeNDJSON(50)),
+		errReader{err: io.ErrUnexpectedEOF},
+	)
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", body)
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("truncated submit = %d, want 400: %s", rec.Code, rec.Body)
+	}
+	entries, err := os.ReadDir(cfg.StagingDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("truncated submission left staging files: %v", entries)
+	}
+	// The slot came back: with MaxJobs=1 a good submission still fits.
+	rec2 := httptest.NewRecorder()
+	req2 := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(makeNDJSON(20)))
+	s.Handler().ServeHTTP(rec2, req2)
+	if rec2.Code != http.StatusAccepted {
+		t.Fatalf("follow-up submit = %d, want 202: %s", rec2.Code, rec2.Body)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec2.Body.Bytes(), &acc); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, acc.ID)
+}
+
+// TestCancelQueuedJobDoesNotWedgeSubmit reproduces the cancelled-ghost
+// overflow: cancelling queued jobs and resubmitting used to fill the
+// queue channel with cancelled ghosts until `s.queue <- j` blocked the
+// submit handler. A cancelled-but-queued job now keeps its admission slot
+// (followers shed with an immediate 503 instead of blocking) and the slot
+// frees only when a worker drains the ghost.
+func TestCancelQueuedJobDoesNotWedgeSubmit(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxJobs = 2
+	cfg.JobWorkers = 1
+	s, err := dqserve.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var startedOnce sync.Once
+	s.SetBeforeRun(func(*dqserve.Job) {
+		startedOnce.Do(func() { close(started) })
+		<-release
+	})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The timeout is the regression detector: with the old behaviour the
+	// submit handler blocks forever on the ghost-filled channel.
+	client := &http.Client{Timeout: 10 * time.Second}
+	post := func() (int, string) {
+		t.Helper()
+		resp, err := client.Post(ts.URL+"/v1/jobs", "application/x-ndjson",
+			strings.NewReader(makeNDJSON(30)))
+		if err != nil {
+			t.Fatalf("submit blocked: %v", err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var acc struct {
+			ID string `json:"id"`
+		}
+		_ = json.Unmarshal(data, &acc)
+		return resp.StatusCode, acc.ID
+	}
+	cancel := func(id string) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cancel %s = %d", id, resp.StatusCode)
+		}
+	}
+
+	code, runID := post()
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", code)
+	}
+	<-started // the worker is now held mid-job
+
+	// Repeatedly cancel whatever queues and resubmit: each round used to
+	// leave a ghost in the channel, overflowing its capacity (2) on the
+	// third round and wedging the handler.
+	for round := 0; round < 4; round++ {
+		code, id := post()
+		switch code {
+		case http.StatusAccepted:
+			if j := s.Job(id); j.State() != dqserve.StateQueued {
+				t.Fatalf("round %d: state = %s, want queued", round, j.State())
+			}
+			cancel(id)
+		case http.StatusServiceUnavailable:
+			// A previous ghost still holds its slot — the admission valve
+			// says no instead of letting the enqueue block.
+		default:
+			t.Fatalf("round %d: submit = %d", round, code)
+		}
+	}
+
+	close(release)
+	if j := waitDone(t, s, runID); j.State() != dqserve.StateDone {
+		t.Fatalf("running job state = %s", j.State())
+	}
+	// With the worker free the ghosts drain and their slots return: a new
+	// submission is admitted and completes.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, id := post()
+		if code == http.StatusAccepted {
+			if j := waitDone(t, s, id); j.State() != dqserve.StateDone {
+				t.Fatalf("post-drain job state = %s", j.State())
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slots never freed after ghosts drained: submit = %d", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBodySizeCapSheds413 checks the submission body cap: an upload past
+// MaxBodyBytes is rejected with 413 (before it can fill the staging
+// disk), its slot comes back, and a small job still runs.
+func TestBodySizeCapSheds413(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxBodyBytes = 512
+	s, ts := startServer(t, cfg)
+
+	code, _ := submit(t, ts, "", makeNDJSON(200))
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit = %d, want 413", code)
+	}
+	code, id := submit(t, ts, "", `{"first_name":"A","last_name":"B","email_address":"a@b.c"}`+"\n")
+	if code != http.StatusAccepted {
+		t.Fatalf("small submit = %d, want 202", code)
+	}
+	waitDone(t, s, id)
+}
+
+// TestTerminalJobGC checks the retention sweep: a terminal job older than
+// the cutoff disappears from the API and its staging files (input,
+// checkpoint, report, manifest) are removed; fresher jobs survive.
+func TestTerminalJobGC(t *testing.T) {
+	cfg := testConfig(t)
+	s, ts := startServer(t, cfg)
+	code, id := submit(t, ts, "", makeNDJSON(100))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	waitDone(t, s, id)
+
+	if n := s.GCTerminal(time.Now().Add(-time.Hour)); n != 0 {
+		t.Fatalf("sweep reaped %d fresh jobs, want 0", n)
+	}
+	if n := s.GCTerminal(time.Now().Add(time.Hour)); n != 1 {
+		t.Fatalf("sweep reaped %d jobs, want 1", n)
+	}
+	if status, _ := get(t, ts, "/v1/jobs/"+id); status != http.StatusNotFound {
+		t.Fatalf("reaped job still addressable: %d", status)
+	}
+	entries, err := os.ReadDir(cfg.StagingDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), id) {
+			t.Fatalf("staging file survived GC: %s", e.Name())
+		}
 	}
 }
 
