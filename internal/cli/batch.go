@@ -8,6 +8,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -47,6 +49,8 @@ func cmdBatch(args []string, out io.Writer) error {
 	windows := fs.String("windows", "24h,168h", "comma-separated freshness windows for -timeliness")
 	maxAge := fs.Duration("max-age", 0, "oldest acceptable age for -timeliness (0 = largest window)")
 	maxSkew := fs.Duration("max-skew", 0, "future-timestamp tolerance for -timeliness (0 = 5m)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the batch run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file when the batch finishes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +69,39 @@ func cmdBatch(args []string, out io.Writer) error {
 
 	if (*ref == "") != (*refKey == "") {
 		return fmt.Errorf("-ref and -ref-key go together")
+	}
+
+	// Profiling hooks: where batch time goes (ingest vs eval) is exactly
+	// what the zero-copy work needs to verify, so the command can capture
+	// it directly instead of requiring a test-harness run.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("creating -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dqwebre: writing -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dqwebre: writing -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	enf, err := LoadEnforcer(*modelPath)
@@ -175,34 +212,19 @@ func splitFields(s string) []string {
 }
 
 // openSource opens the record stream, picking the decoder from -format or
-// the file extension (.csv → CSV, anything else → NDJSON).
+// the file extension (.csv → CSV, anything else → NDJSON). File paths go
+// through dqbatch.OpenFileSource, which memory-maps regular files where
+// the platform allows; stdin stays on the streaming decoders.
 func openSource(path, format string) (dqbatch.Source, func() error, error) {
-	var r io.Reader
-	closeIn := func() error { return nil }
-	if path == "-" {
-		r = os.Stdin
-	} else {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, nil, err
-		}
-		r = f
-		closeIn = f.Close
-	}
-	if format == "" {
-		if strings.EqualFold(filepath.Ext(path), ".csv") {
-			format = "csv"
-		} else {
-			format = "ndjson"
-		}
-	}
-	switch format {
-	case "ndjson":
-		return dqbatch.NewNDJSONSource(r), closeIn, nil
-	case "csv":
-		return dqbatch.NewCSVSource(r), closeIn, nil
-	default:
-		closeIn()
+	if format != "" && format != "ndjson" && format != "csv" {
 		return nil, nil, fmt.Errorf("unknown record format %q (ndjson or csv)", format)
 	}
+	if path == "-" {
+		closeIn := func() error { return nil }
+		if format == "csv" {
+			return dqbatch.NewCSVSource(os.Stdin), closeIn, nil
+		}
+		return dqbatch.NewNDJSONSource(os.Stdin), closeIn, nil
+	}
+	return dqbatch.OpenFileSource(path, format)
 }

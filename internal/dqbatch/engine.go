@@ -50,6 +50,16 @@ type Options struct {
 	// validator both support it — the escape hatch for differential
 	// debugging, and how the parity tests drive both paths.
 	ForceRows bool
+	// DecodeWorkers caps the decode stage on the pipelined path (SpanSource
+	// inputs, e.g. memory-mapped NDJSON): one scanner cuts raw spans, this
+	// many goroutines decode them into column batches, and the eval workers
+	// score the results — parsing overlaps evaluation. 0 or negative means
+	// half the eval workers, rounded up.
+	DecodeWorkers int
+	// ForceSequential disables the pipelined decode stage even when the
+	// source supports spans, keeping the single reader-decodes shape — the
+	// pipelined counterpart of ForceRows, for differential testing.
+	ForceSequential bool
 	// MaxDecodeErrors caps the decode errors retained (with line numbers)
 	// in Result.DecodeErrors; 0 means 10, negative means none. Malformed
 	// counts every skipped record regardless of the cap.
@@ -119,6 +129,10 @@ type Result struct {
 	// Vectorized reports whether the columnar path ran. Excluded from the
 	// serialized forms so both paths produce identical reports.
 	Vectorized bool `json:"-"`
+	// Pipelined reports whether the decode stage ran as its own worker pool
+	// (SpanSource input). Excluded from the serialized forms for the same
+	// reason as Vectorized.
+	Pipelined bool `json:"-"`
 }
 
 // chunk is one unit of work on the row path: a recycled block of records.
@@ -134,11 +148,23 @@ type chunk struct {
 }
 
 // colChunk is one unit of work on the vectorized path: a recycled
-// columnar batch of up to ChunkSize rows.
+// columnar batch of up to ChunkSize rows. On the pipelined path idx is the
+// chunk's span sequence number (the sequencer restores input order from
+// it) and bads buffers the span's malformed-line diagnostics until the
+// sequencer replays them in line order.
 type colChunk struct {
 	base  int64
 	n     int
 	batch *dqruntime.ColumnBatch
+	idx   int64
+	bads  []lineErr
+}
+
+// lineErr is one malformed line captured during concurrent span decoding,
+// held until the sequencer replays it single-threaded.
+type lineErr struct {
+	line int64
+	err  error
 }
 
 // chunkPool and colChunkPool recycle chunks (and the record maps / column
@@ -234,8 +260,10 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 	var malformed int64
 	var decodeErrs []DecodeError
 	var readErr error
-	// onBad runs only on the reader goroutine; <-readerDone below is the
-	// happens-before edge that publishes its writes to the epilogue.
+	// onBad runs on exactly one goroutine — the reader, or on the pipelined
+	// path the sequencer (which replays buffered diagnostics in line order);
+	// <-readerDone below is the happens-before edge that publishes its
+	// writes to the epilogue.
 	onBad := func(line int64, err error) {
 		malformed++
 		errC.Inc()
@@ -259,46 +287,165 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 	readerDone := make(chan struct{})
 	var wg sync.WaitGroup
 
+	ssrc, spanOK := src.(SpanSource)
+	pipelined := vectorized && spanOK && !opts.ForceSequential
+	decodeWorkers := opts.DecodeWorkers
+	if decodeWorkers <= 0 {
+		decodeWorkers = (workers + 1) / 2
+	}
+
 	if vectorized {
 		// The free list is the memory bound: every batch in flight came
-		// from here, so at most cap(free) column batches exist.
-		free := make(chan *colChunk, 2*workers+2)
+		// from here, so at most cap(free) column batches exist (the
+		// pipelined path holds extras in its decode stage).
+		freeCap := 2*workers + 2
+		if pipelined {
+			freeCap += 2 * decodeWorkers
+		}
+		free := make(chan *colChunk, freeCap)
 		for i := 0; i < cap(free); i++ {
 			free <- getColChunk()
 		}
 		work := make(chan *colChunk, workers)
+		var scanDone chan struct{}
 
-		go func() {
-			defer close(readerDone)
-			defer close(work)
-			var ordinal int64
-			for {
-				var c *colChunk
-				select {
-				case c = <-free:
-				case <-ctx.Done():
-					return
-				}
-				c.batch.Reset()
-				n, err := bsrc.NextBatch(c.batch, chunkSize, onBad)
-				c.base = ordinal + 1
-				c.n = n
-				ordinal += int64(n)
-				if n > 0 {
+		if pipelined {
+			// Three stages: a scanner cuts raw spans off the source (pure
+			// newline arithmetic), decode workers parse spans into column
+			// batches concurrently, and a sequencer restores span order —
+			// assigning record ordinals and replaying malformed-line
+			// diagnostics exactly as the single-reader path would — before
+			// handing chunks to the eval workers. Reports stay byte-identical
+			// because ordinals, decode-error order and per-worker chunk order
+			// (ascending base) all match the sequential reader.
+			scanDone = make(chan struct{})
+			type spanItem struct {
+				idx int64
+				sp  Span
+			}
+			spans := make(chan spanItem, decodeWorkers)
+			seqCh := make(chan *colChunk, decodeWorkers+workers)
+
+			go func() { // scanner: owns readErr, published via scanDone
+				defer close(scanDone)
+				defer close(spans)
+				var idx int64
+				for {
+					sp, err := ssrc.NextSpan(chunkSize)
+					if err != nil {
+						if err != io.EOF {
+							readErr = err
+						}
+						return
+					}
 					select {
-					case work <- c:
+					case spans <- spanItem{idx: idx, sp: sp}:
 					case <-ctx.Done():
 						return
 					}
+					idx++
 				}
-				if err != nil {
-					if err != io.EOF {
-						readErr = err
+			}()
+
+			var decWg sync.WaitGroup
+			for i := 0; i < decodeWorkers; i++ {
+				decWg.Add(1)
+				go func() {
+					defer decWg.Done()
+					for it := range spans {
+						var c *colChunk
+						select {
+						case c = <-free:
+						case <-ctx.Done():
+							return
+						}
+						c.batch.Reset()
+						c.idx = it.idx
+						c.bads = c.bads[:0]
+						c.n = ssrc.DecodeSpan(it.sp, c.batch, func(line int64, err error) {
+							c.bads = append(c.bads, lineErr{line: line, err: err})
+						})
+						select {
+						case seqCh <- c:
+						case <-ctx.Done():
+							return
+						}
 					}
-					return
-				}
+				}()
 			}
-		}()
+			go func() {
+				decWg.Wait()
+				close(seqCh)
+			}()
+
+			go func() { // sequencer: owns onBad state, published via readerDone
+				defer close(readerDone)
+				defer close(work)
+				pending := make(map[int64]*colChunk, decodeWorkers+workers)
+				var next, ordinal int64
+				for c := range seqCh {
+					pending[c.idx] = c
+					for {
+						pc, ok := pending[next]
+						if !ok {
+							break
+						}
+						delete(pending, next)
+						next++
+						for _, b := range pc.bads {
+							onBad(b.line, b.err)
+						}
+						pc.bads = pc.bads[:0]
+						if pc.n == 0 {
+							select {
+							case free <- pc:
+							default:
+							}
+							continue
+						}
+						pc.base = ordinal + 1
+						ordinal += int64(pc.n)
+						select {
+						case work <- pc:
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+			}()
+		} else {
+			go func() {
+				defer close(readerDone)
+				defer close(work)
+				var ordinal int64
+				for {
+					var c *colChunk
+					select {
+					case c = <-free:
+					case <-ctx.Done():
+						return
+					}
+					c.batch.Reset()
+					n, err := bsrc.NextBatch(c.batch, chunkSize, onBad)
+					c.base = ordinal + 1
+					c.n = n
+					ordinal += int64(n)
+					if n > 0 {
+						select {
+						case work <- c:
+						case <-ctx.Done():
+							return
+						}
+					}
+					if err != nil {
+						if err != io.EOF {
+							readErr = err
+						}
+						return
+					}
+				}
+			}()
+		}
 
 		for i := 0; i < workers; i++ {
 			sh := shards[i]
@@ -333,6 +480,11 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 		}
 		wg.Wait()
 		<-readerDone
+		if scanDone != nil {
+			// Pipelined: readErr is the scanner's; wait for its publication
+			// edge too (the sequencer can finish first on cancellation).
+			<-scanDone
+		}
 		drainColChunks(free)
 	} else {
 		free := make(chan *chunk, 2*workers+2)
@@ -450,6 +602,7 @@ func Run(ctx context.Context, v Validating, src Source, opts Options) (*Result, 
 		Seconds:      dur.Seconds(),
 		Duration:     dur,
 		Vectorized:   vectorized,
+		Pipelined:    pipelined,
 	}
 	var samples []float64
 	res.Characteristics, samples = mergeShards(shards, maxExemplars)

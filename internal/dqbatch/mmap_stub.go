@@ -1,0 +1,18 @@
+//go:build !(darwin || dragonfly || freebsd || linux || netbsd || openbsd)
+
+package dqbatch
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapAvailable gates OpenFileSource's zero-copy path: on platforms
+// without a memory-mapping syscall the portable bufio sources serve every
+// input.
+const mmapAvailable = false
+
+// mmapFile always fails here; OpenFileSource falls back to bufio.
+func mmapFile(*os.File, int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("dqbatch: mmap not supported on this platform")
+}

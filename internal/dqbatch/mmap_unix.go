@@ -1,0 +1,34 @@
+//go:build darwin || dragonfly || freebsd || linux || netbsd || openbsd
+
+package dqbatch
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapAvailable reports whether this platform can memory-map input files;
+// OpenFileSource consults it before preferring the zero-copy source.
+const mmapAvailable = true
+
+// mmapFile maps f read-only into memory and returns the mapping plus the
+// unmap function. The caller owns the mapping's lifetime: every string
+// handed out of it is copied before the unmap (Go string conversions
+// copy), so unmapping after the batch drains is safe. Empty files cannot
+// be mapped (EINVAL) and must take the bufio fallback; the caller checks
+// the size first.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Advise the kernel the scan is sequential so readahead stays ahead of
+	// the newline scanner; failure is harmless, the mapping still works.
+	_ = madviseSequential(data)
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
+// madviseSequential hints sequential access on platforms that support it.
+func madviseSequential(data []byte) error {
+	return syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+}

@@ -41,6 +41,12 @@ func CountSource(src Source, p *Progress) Source {
 	if off, ok := src.(Offsetter); ok {
 		cs.off = off
 	}
+	if ssrc, ok := src.(SpanSource); ok {
+		return &countingSpanSource{
+			countingBatchSource: countingBatchSource{countingSource: cs, bsrc: ssrc},
+			ssrc:                ssrc,
+		}
+	}
 	if bsrc, ok := src.(BatchSource); ok {
 		return &countingBatchSource{countingSource: cs, bsrc: bsrc}
 	}
@@ -80,4 +86,30 @@ func (c *countingBatchSource) NextBatch(dst *dqruntime.ColumnBatch, max int, bad
 		c.p.bytes.Store(c.off.ByteOffset())
 	}
 	return n, err
+}
+
+// countingSpanSource keeps a SpanSource's pipelined eligibility: the byte
+// offset is published from the scanner side (NextSpan advances the cursor,
+// so progress runs slightly ahead of decoded records), while record counts
+// are added from the concurrent decode stage — Progress's counters are
+// atomic, so any goroutine may write.
+type countingSpanSource struct {
+	countingBatchSource
+	ssrc SpanSource
+}
+
+func (c *countingSpanSource) NextSpan(maxLines int) (Span, error) {
+	sp, err := c.ssrc.NextSpan(maxLines)
+	if c.off != nil {
+		c.p.bytes.Store(c.off.ByteOffset())
+	}
+	return sp, err
+}
+
+func (c *countingSpanSource) DecodeSpan(sp Span, dst *dqruntime.ColumnBatch, bad func(line int64, err error)) int {
+	n := c.ssrc.DecodeSpan(sp, dst, bad)
+	if n > 0 {
+		c.p.records.Add(int64(n))
+	}
+	return n
 }

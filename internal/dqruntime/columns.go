@@ -241,6 +241,18 @@ func (b *ColumnBatch) SetField(name, raw string) {
 	b.col(name).appendCell(raw)
 }
 
+// SetFieldBytes is SetField for decoders that hold the field name as a
+// byte slice into their input buffer: once the column exists, the map
+// lookup via string(name) does not allocate, so steady-state decoding
+// never materializes the key.
+func (b *ColumnBatch) SetFieldBytes(name []byte, raw string) {
+	if i, ok := b.byName[string(name)]; ok {
+		b.cols[i].appendCell(raw)
+		return
+	}
+	b.col(string(name)).appendCell(raw)
+}
+
 // EndRow completes the current row, back-filling missing cells in columns
 // the row did not touch.
 func (b *ColumnBatch) EndRow() {

@@ -153,30 +153,62 @@ func newBloom(bitCount int) *bloomFilter {
 	return &bloomFilter{words: make([]uint64, words), m: uint64(words) * 64}
 }
 
-// bloomHash derives the double-hashing pair from FNV-1a plus a splitmix64
-// finalizer; the stride is forced odd so probes never collapse.
-func bloomHash(key string) (h1, h2 uint64) {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h1 = offset64
+// fnv1a constants and hashes: the 64-bit key hash shared by the Bloom
+// filter and the uniqueness table, so a spilled table can re-insert its
+// keys into the filter from stored hashes alone, bit-identically to
+// inserting the key strings.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv1aString(key string) uint64 {
+	h := uint64(fnvOffset64)
 	for i := 0; i < len(key); i++ {
-		h1 ^= uint64(key[i])
-		h1 *= prime64
+		h ^= uint64(key[i])
+		h *= fnvPrime64
 	}
-	h2 = h1
+	return h
+}
+
+func fnv1aBytes(key []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// bloomStride derives the double-hashing stride from h1 with a splitmix64
+// finalizer, forced odd so probes never collapse.
+func bloomStride(h1 uint64) uint64 {
+	h2 := h1
 	h2 ^= h2 >> 30
 	h2 *= 0xbf58476d1ce4e5b9
 	h2 ^= h2 >> 27
 	h2 *= 0x94d049bb133111eb
 	h2 ^= h2 >> 31
 	h2 |= 1
-	return h1, h2
+	return h2
+}
+
+// bloomHash derives the double-hashing pair from FNV-1a plus the splitmix64
+// stride.
+func bloomHash(key string) (h1, h2 uint64) {
+	h1 = fnv1aString(key)
+	return h1, bloomStride(h1)
 }
 
 func (b *bloomFilter) insert(key string) {
-	h1, h2 := bloomHash(key)
+	b.insertHashed(fnv1aString(key))
+}
+
+// insertHashed inserts a key by its FNV-1a hash — the same bits insert
+// sets for the key itself, which is what keeps a hash-only spill
+// deterministic.
+func (b *bloomFilter) insertHashed(h1 uint64) {
+	h2 := bloomStride(h1)
 	for i := uint64(0); i < bloomHashCount; i++ {
 		pos := (h1 + i*h2) % b.m
 		b.words[pos/64] |= 1 << (pos % 64)
@@ -292,6 +324,110 @@ func (t *keyTally) sortedKeys() []string {
 }
 
 // ---------------------------------------------------------------------------
+// uniqTable: open-addressed key counting for the uniqueness check.
+
+// uniqEntry is one slot; count == 0 marks it empty, so hashes are stored
+// verbatim (no reserved hash value that would skew the Bloom spill).
+type uniqEntry struct {
+	hash  uint64
+	count int64
+	key   string
+}
+
+// uniqTable counts key occurrences with open addressing and linear
+// probing. Compared to a map[string]int64 it probes by a precomputed
+// 64-bit hash, which lets callers look keys up from a byte slice and only
+// materialize the string on first insertion — the hot path of a
+// high-duplication dataset allocates nothing.
+type uniqTable struct {
+	entries []uniqEntry
+	n       int // occupied slots (distinct keys)
+}
+
+// init sizes the table for about hint distinct keys.
+func (t *uniqTable) init(hint int) {
+	size := 16
+	for size*3/4 < hint && size < 1<<62 {
+		size <<= 1
+	}
+	t.entries = make([]uniqEntry, size)
+	t.n = 0
+}
+
+// growTo widens the table to hold about hint keys in one rehash, skipping
+// the intermediate doublings; a no-op when already large enough.
+func (t *uniqTable) growTo(hint int) {
+	size := len(t.entries)
+	for size*3/4 < hint {
+		size <<= 1
+	}
+	if size > len(t.entries) {
+		t.rehash(size)
+	}
+}
+
+// find probes for (h, key): found means entries[idx] holds it; otherwise
+// idx is the empty slot where an insert of the key belongs.
+func (t *uniqTable) find(h uint64, key string) (idx int, found bool) {
+	mask := len(t.entries) - 1
+	i := int(h) & mask
+	for {
+		e := &t.entries[i]
+		if e.count == 0 {
+			return i, false
+		}
+		if e.hash == h && e.key == key {
+			return i, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// findBytes is find for a key held as bytes; the e.key == string(key)
+// comparison does not allocate.
+func (t *uniqTable) findBytes(h uint64, key []byte) (idx int, found bool) {
+	mask := len(t.entries) - 1
+	i := int(h) & mask
+	for {
+		e := &t.entries[i]
+		if e.count == 0 {
+			return i, false
+		}
+		if e.hash == h && e.key == string(key) {
+			return i, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// insertAt fills the empty slot find returned and keeps the load factor
+// under 3/4.
+func (t *uniqTable) insertAt(idx int, h uint64, key string, count int64) {
+	t.entries[idx] = uniqEntry{hash: h, count: count, key: key}
+	t.n++
+	if t.n >= len(t.entries)*3/4 {
+		t.rehash(len(t.entries) * 2)
+	}
+}
+
+func (t *uniqTable) rehash(size int) {
+	old := t.entries
+	t.entries = make([]uniqEntry, size)
+	mask := size - 1
+	for i := range old {
+		e := &old[i]
+		if e.count == 0 {
+			continue
+		}
+		j := int(e.hash) & mask
+		for t.entries[j].count != 0 {
+			j = (j + 1) & mask
+		}
+		t.entries[j] = *e
+	}
+}
+
+// ---------------------------------------------------------------------------
 // UniquenessCheck
 
 // DefaultMaxExact is the distinct-key cardinality up to which
@@ -340,87 +476,182 @@ func (c UniquenessCheck) NewStates(n, maxDetails int) []CheckState {
 	if bloomBits == 0 {
 		bloomBits = DefaultBloomBits
 	}
-	// Pre-size the exact maps: growing a string-keyed map from empty
-	// rehashes every doubling, which dominates the insert cost on large
-	// key sets. The hint is bounded so tiny datasets don't pay for it.
+	// Start the exact tables small; maybePrime widens them after the first
+	// chunk when the observed cardinality says the run will need it, so
+	// tiny datasets don't pay and large high-cardinality ones skip the
+	// intermediate rehashes.
 	hint := maxExact
-	if hint > 1<<13 {
-		hint = 1 << 13
+	if hint > 256 {
+		hint = 256
 	}
 	out := make([]CheckState, n)
 	for i := range out {
-		out[i] = &uniquenessState{
+		st := &uniquenessState{
 			check:      c,
 			maxExact:   maxExact,
 			bloomBits:  bloomBits,
 			maxDetails: maxDetails,
-			keys:       make(map[string]int64, hint),
 		}
+		st.table.init(hint)
+		out[i] = st
 	}
 	return out
 }
 
-// uniquenessState is one worker's accumulator: an exact key-count map
-// until maxExact distinct keys, a Bloom filter afterwards.
+// uniquenessState is one worker's accumulator: an exact key-count table
+// until maxExact distinct keys, a Bloom filter afterwards. Keys are hashed
+// (FNV-1a 64) out of a reused scratch buffer and the key string is only
+// materialized the first time it is inserted — repeat observations of a
+// key allocate nothing.
 type uniquenessState struct {
 	check      UniquenessCheck
 	maxExact   int
 	bloomBits  int
 	maxDetails int
 	records    int64
-	keys       map[string]int64 // nil once spilled
+	table      uniqTable
 	spilled    bool
 	bloom      *bloomFilter
+	primed     bool
 	cols       []*Column // ObserveBatch scratch
+	keyBuf     []byte    // multi-field key scratch
 }
 
-func (s *uniquenessState) add(key string) {
+// addString folds one observation of a key already held as a string (a
+// single-field key is the cell's raw value — stored as-is on first
+// insertion, since cell strings are immutable).
+func (s *uniquenessState) addString(key string) {
 	s.records++
+	h := fnv1aString(key)
 	if s.spilled {
-		s.bloom.insert(key)
+		s.bloom.insertHashed(h)
 		return
 	}
-	if _, ok := s.keys[key]; ok {
-		s.keys[key]++
+	idx, found := s.table.find(h, key)
+	if found {
+		s.table.entries[idx].count++
 		return
 	}
-	if len(s.keys) >= s.maxExact {
+	if s.table.n >= s.maxExact {
 		s.spill()
-		s.bloom.insert(key)
+		s.bloom.insertHashed(h)
 		return
 	}
-	s.keys[key] = 1
+	s.table.insertAt(idx, h, key, 1)
 }
 
-// spill converts the exact set to Bloom form. Insertion order is
-// irrelevant (inserts are idempotent), so a spill at any point yields the
-// same bits as inserting the stream directly.
+// addBytes folds one observation of a key built in the scratch buffer; the
+// string is materialized only when the key is new.
+func (s *uniquenessState) addBytes(key []byte) {
+	s.records++
+	h := fnv1aBytes(key)
+	if s.spilled {
+		s.bloom.insertHashed(h)
+		return
+	}
+	idx, found := s.table.findBytes(h, key)
+	if found {
+		s.table.entries[idx].count++
+		return
+	}
+	if s.table.n >= s.maxExact {
+		s.spill()
+		s.bloom.insertHashed(h)
+		return
+	}
+	s.table.insertAt(idx, h, string(key), 1)
+}
+
+// spill converts the exact set to Bloom form by stored hash (identical
+// bits to inserting the key strings). Insertion order is irrelevant
+// (inserts are idempotent), so a spill at any point yields the same bits
+// as inserting the stream directly.
 func (s *uniquenessState) spill() {
 	if s.bloom == nil {
 		s.bloom = newBloom(s.bloomBits)
 	}
-	for k := range s.keys {
-		s.bloom.insert(k)
+	for i := range s.table.entries {
+		if e := &s.table.entries[i]; e.count != 0 {
+			s.bloom.insertHashed(e.hash)
+		}
 	}
-	s.keys = nil
+	s.table.entries = nil
+	s.table.n = 0
 	s.spilled = true
+}
+
+// maybePrime sizes the table from the first chunk's cardinality: when most
+// keys so far are distinct, the run is high-cardinality and the table
+// jumps straight to a large capacity instead of doubling its way there.
+func (s *uniquenessState) maybePrime() {
+	if s.primed || s.spilled {
+		return
+	}
+	s.primed = true
+	if int64(s.table.n)*2 >= s.records {
+		target := s.maxExact
+		if target > 1<<14 {
+			target = 1 << 14
+		}
+		s.table.growTo(target)
+	}
+}
+
+// appendKeyPart extends the scratch buffer with one multi-field key part.
+func (s *uniquenessState) appendKeyPart(i int, part string) {
+	if i > 0 {
+		s.keyBuf = append(s.keyBuf, keySep...)
+	}
+	s.keyBuf = append(s.keyBuf, part...)
 }
 
 // Observe folds one record's key.
 func (s *uniquenessState) Observe(_ int64, r Record) {
-	s.add(KeyOf(s.check.Fields, r))
+	fields := s.check.Fields
+	if len(fields) == 1 {
+		s.addString(r[fields[0]])
+	} else {
+		s.keyBuf = s.keyBuf[:0]
+		for i, f := range fields {
+			s.appendKeyPart(i, r[f])
+		}
+		s.addBytes(s.keyBuf)
+	}
+	if !s.primed && s.records >= 256 {
+		s.maybePrime()
+	}
 }
 
 // ObserveBatch folds every row's key, extracted column-wise.
 func (s *uniquenessState) ObserveBatch(_ int64, b *ColumnBatch) {
 	s.cols = keyCols(s.check.Fields, b, s.cols)
 	rows := b.Rows()
-	for i := 0; i < rows; i++ {
-		s.add(colKeyAt(s.cols, i))
+	if len(s.cols) == 1 {
+		c := s.cols[0]
+		for i := 0; i < rows; i++ {
+			if c == nil {
+				s.addString("")
+			} else {
+				s.addString(c.Raw[i])
+			}
+		}
+	} else {
+		for i := 0; i < rows; i++ {
+			s.keyBuf = s.keyBuf[:0]
+			for ci, c := range s.cols {
+				part := ""
+				if c != nil {
+					part = c.Raw[i]
+				}
+				s.appendKeyPart(ci, part)
+			}
+			s.addBytes(s.keyBuf)
+		}
 	}
+	s.maybePrime()
 }
 
-// Merge folds other into s. Two exact states merge their maps (the
+// Merge folds other into s. Two exact states merge their tables (the
 // approximate decision is deferred to Finding, where the merged
 // cardinality is known); once either side spilled, both degrade to the
 // unioned filter.
@@ -428,8 +659,17 @@ func (s *uniquenessState) Merge(other CheckState) {
 	o := other.(*uniquenessState)
 	s.records += o.records
 	if !s.spilled && !o.spilled {
-		for k, n := range o.keys {
-			s.keys[k] += n
+		for i := range o.table.entries {
+			e := &o.table.entries[i]
+			if e.count == 0 {
+				continue
+			}
+			idx, found := s.table.find(e.hash, e.key)
+			if found {
+				s.table.entries[idx].count += e.count
+			} else {
+				s.table.insertAt(idx, e.hash, e.key, e.count)
+			}
 		}
 		return
 	}
@@ -439,8 +679,10 @@ func (s *uniquenessState) Merge(other CheckState) {
 	if o.spilled {
 		s.bloom.union(o.bloom)
 	} else {
-		for k := range o.keys {
-			s.bloom.insert(k)
+		for i := range o.table.entries {
+			if e := &o.table.entries[i]; e.count != 0 {
+				s.bloom.insertHashed(e.hash)
+			}
 		}
 	}
 }
@@ -452,7 +694,7 @@ func (s *uniquenessState) Merge(other CheckState) {
 // the same side.)
 func (s *uniquenessState) Finding() CrossFinding {
 	f := CrossFinding{Check: s.check.Name(), Characteristic: s.check.Characteristic(), Records: s.records}
-	if !s.spilled && len(s.keys) > s.maxExact {
+	if !s.spilled && s.table.n > s.maxExact {
 		s.spill()
 	}
 	if s.spilled {
@@ -466,20 +708,20 @@ func (s *uniquenessState) Finding() CrossFinding {
 			"~%d distinct keys over %d fields (Bloom estimate, %d bits, exact set capped at %d)",
 			distinct, len(s.check.Fields), s.bloom.m, s.maxExact)}
 	} else {
-		f.Violations = s.records - int64(len(s.keys))
-		var dup []string
-		for k, n := range s.keys {
-			if n > 1 {
-				dup = append(dup, k)
+		f.Violations = s.records - int64(s.table.n)
+		var dup []uniqEntry
+		for i := range s.table.entries {
+			if e := &s.table.entries[i]; e.count > 1 {
+				dup = append(dup, *e)
 			}
 		}
-		sort.Strings(dup)
+		sort.Slice(dup, func(i, j int) bool { return dup[i].key < dup[j].key })
 		shown := dup
 		if len(shown) > s.maxDetails {
 			shown = shown[:s.maxDetails]
 		}
-		for _, k := range shown {
-			f.Details = append(f.Details, fmt.Sprintf("key %q appears %d times", displayKey(k), s.keys[k]))
+		for _, e := range shown {
+			f.Details = append(f.Details, fmt.Sprintf("key %q appears %d times", displayKey(e.key), e.count))
 		}
 		if extra := len(dup) - len(shown); extra > 0 {
 			f.Details = append(f.Details, fmt.Sprintf("... and %d more duplicated keys", extra))

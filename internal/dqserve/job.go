@@ -461,19 +461,17 @@ func (s *Server) runJob(j *Job) {
 		s.finishJob(j, StateFailed, nil, nil, err)
 		return
 	}
-	f, err := os.Open(j.InputPath)
+	// Staged inputs are always regular files, so submissions and resumes
+	// alike pick up the memory-mapped fast path (and its exact byte-offset
+	// progress) from the shared constructor; non-mmap platforms fall back
+	// to the streaming decoders inside OpenFileSource.
+	src, closeIn, err := dqbatch.OpenFileSource(j.InputPath, j.Format)
 	if err != nil {
 		span.Fail(err)
 		s.finishJob(j, StateFailed, nil, nil, fmt.Errorf("opening staged input: %w", err))
 		return
 	}
-	defer f.Close()
-	var src dqbatch.Source
-	if j.Format == "csv" {
-		src = dqbatch.NewCSVSource(f)
-	} else {
-		src = dqbatch.NewNDJSONSource(f)
-	}
+	defer closeIn()
 	src = dqbatch.CountSource(src, &j.progress)
 
 	// Progress checkpoints: the job's record/offset position lands on disk

@@ -1,11 +1,18 @@
 #!/bin/sh
 # Benchmark harness. Three suites, one JSON data point each per CI run:
 #   - batch engine (BenchmarkBatchSequential, BenchmarkBatchParallel{2,4,8},
-#     BenchmarkBatchVectorized, the full-engine BenchmarkBatchVectorized8
-#     and the cross-record BenchmarkBatchUniqueness{1,8} exact/Bloom pairs)
+#     BenchmarkBatchVectorized, the full-engine BenchmarkBatchVectorized8,
+#     the cross-record BenchmarkBatchUniqueness{1,8} exact/Bloom pairs, the
+#     zero-copy ingest pairs BenchmarkDecode{Bufio,Mmap} and
+#     BenchmarkBatchFile{Bufio,Mmap}, and the uniqueness key-materialization
+#     pair BenchmarkBatchUniquenessKeys{Baseline,Hashed})
 #     → BENCH_batch.json: records/sec, allocs, stride-sampled p50/p99
-#     latency, plus the vectorized-vs-row, parallel-vs-sequential and
-#     uniqueness-vs-parallel speedups.
+#     latency, plus the vectorized-vs-row, parallel-vs-sequential,
+#     uniqueness-vs-parallel, mmap-vs-bufio and key-allocs-reduction
+#     ratios.
+# Each run is also archived under artifacts/bench/<timestamp>_{batch,ocl,obs}.json
+# so scripts/bench_compare.sh can flag throughput regressions against the
+# previous entry.
 #   - OCL evaluation (BenchmarkEvalInterpreted vs BenchmarkEvalCompiled per
 #     expression shape, plus the end-to-end BenchmarkBatchCompiled)
 #     → BENCH_ocl.json: ns/op, allocs/op and compiled-vs-interpreted
@@ -29,12 +36,12 @@ oclraw="$(mktemp)"
 obsraw="$(mktemp)"
 trap 'rm -f "$raw" "$oclraw" "$obsraw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkBatch(Sequential|Parallel[0-9]+|Vectorized[0-9]*|Uniqueness(Bloom)?[0-9]+)$' \
+go test -run '^$' -bench 'Benchmark(Batch(Sequential|Parallel[0-9]+|Vectorized[0-9]*|Uniqueness(Bloom)?[0-9]+|File(Bufio|Mmap)|UniquenessKeys(Baseline|Hashed))|Decode(Bufio|Mmap))$' \
 	-benchmem -benchtime "$benchtime" -count 1 ./internal/dqbatch/ | tee "$raw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^BenchmarkBatch/ {
+/^Benchmark(Batch|Decode)/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
 	line = "    {\"name\": \"" name "\", \"iterations\": " $2
@@ -44,6 +51,7 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 		gsub(/[^A-Za-z0-9_]/, "_", unit)
 		line = line ", \"" unit "\": " $i
 		if (unit == "records_per_sec") rps[name] = $i
+		if (unit == "allocs_per_op") allocs[name] = $i
 	}
 	lines[n++] = line "}"
 }
@@ -66,7 +74,17 @@ END {
 	printf "  \"speedup_vectorized8_vs_sequential\": %.2f,\n", (seq > 0) ? vec8 / seq : 0
 	printf "  \"uniqueness8_records_per_sec\": %.0f,\n", u8
 	printf "  \"uniqueness_bloom8_records_per_sec\": %.0f,\n", ub8
-	printf "  \"uniqueness8_vs_parallel8\": %.2f\n", (par > 0) ? u8 / par : 0
+	printf "  \"uniqueness8_vs_parallel8\": %.2f,\n", (par > 0) ? u8 / par : 0
+	db = rps["BenchmarkDecodeBufio"]
+	dm = rps["BenchmarkDecodeMmap"]
+	fb = rps["BenchmarkBatchFileBufio"]
+	fm = rps["BenchmarkBatchFileMmap"]
+	ab = allocs["BenchmarkBatchUniquenessKeysBaseline"]
+	ah = allocs["BenchmarkBatchUniquenessKeysHashed"]
+	printf "  \"file_mmap_records_per_sec\": %.0f,\n", fm
+	printf "  \"mmap_vs_bufio\": %.2f,\n", (db > 0) ? dm / db : 0
+	printf "  \"file_mmap_vs_bufio\": %.2f,\n", (fb > 0) ? fm / fb : 0
+	printf "  \"uniqueness_key_allocs_reduction\": %.1f\n", (ah > 0) ? ab / ah : 0
 	print "}"
 }' "$raw" > "$out"
 
@@ -154,3 +172,13 @@ END {
 }' "$obsraw" > "$obsout"
 
 echo "wrote $obsout"
+
+# Archive this run so the next one has a baseline: bench_compare.sh reads
+# the newest non-identical entry and warns on records/sec regressions.
+hist="${BENCH_HISTORY:-artifacts/bench}"
+mkdir -p "$hist"
+stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+cp "$out" "$hist/${stamp}_batch.json"
+cp "$oclout" "$hist/${stamp}_ocl.json"
+cp "$obsout" "$hist/${stamp}_obs.json"
+echo "archived under $hist/${stamp}_{batch,ocl,obs}.json"

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Compare the current batch benchmark JSON against the previous entry in
+# the bench history (artifacts/bench, written by scripts/bench.sh) and
+# warn when any benchmark's records/sec dropped more than 10%.
+#
+# Usage: scripts/bench_compare.sh [current-batch.json] [history-dir]
+#
+# Advisory only: always exits 0. In CI the ::warning:: lines surface as
+# annotations; locally they read fine as plain text. Sets REGRESSIONS
+# in $GITHUB_OUTPUT when running under Actions so later steps can react.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cur="${1:-BENCH_batch.json}"
+hist="${2:-artifacts/bench}"
+
+if [ ! -f "$cur" ]; then
+	echo "bench_compare: $cur not found (run scripts/bench.sh first)"
+	exit 0
+fi
+if [ ! -d "$hist" ]; then
+	echo "bench_compare: no history at $hist yet — nothing to compare"
+	exit 0
+fi
+
+# The newest archived entry is usually the current run itself (bench.sh
+# archives right after writing), so take the newest entry whose bytes
+# differ from the current file.
+prev=""
+for f in $(ls -r "$hist"/*_batch.json 2>/dev/null); do
+	if ! cmp -s "$f" "$cur"; then
+		prev="$f"
+		break
+	fi
+done
+if [ -z "$prev" ]; then
+	echo "bench_compare: no previous entry in $hist — nothing to compare"
+	exit 0
+fi
+
+echo "bench_compare: $cur vs $prev"
+regressions="$(awk -v curfile="$cur" -v prevfile="$prev" '
+function scan(file, map,   line, name, v) {
+	while ((getline line < file) > 0) {
+		if (match(line, /"name": "[A-Za-z0-9_]+"/)) {
+			name = substr(line, RSTART + 9, RLENGTH - 10)
+			if (match(line, /"records_per_sec": [0-9.]+/))
+				map[name] = substr(line, RSTART + 19, RLENGTH - 19) + 0
+		}
+	}
+	close(file)
+}
+BEGIN {
+	scan(curfile, cur)
+	scan(prevfile, prev)
+	bad = 0
+	for (name in prev) {
+		if (!(name in cur) || prev[name] <= 0) continue
+		if (cur[name] < prev[name] * 0.9) {
+			printf "::warning::%s records/sec regressed %.1f%% (%.0f -> %.0f)\n",
+				name, (1 - cur[name] / prev[name]) * 100, prev[name], cur[name]
+			bad++
+		}
+	}
+	if (bad == 0)
+		print "bench_compare: no records/sec regression beyond 10%"
+	exit 0
+}' < /dev/null)"
+
+echo "$regressions"
+count="$(printf '%s\n' "$regressions" | grep -c '^::warning::' || true)"
+if [ -n "${GITHUB_OUTPUT:-}" ]; then
+	echo "regressions=$count" >> "$GITHUB_OUTPUT"
+fi
+exit 0
